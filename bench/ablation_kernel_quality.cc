@@ -1,0 +1,73 @@
+// Ablation: GMM (2-approximate k-center, MapReduce side) vs SMM
+// (8-approximate doubling algorithm, streaming side) as the core-set kernel,
+// at equal core-set sizes.
+//
+// Section 7.2 of the paper attributes the MR algorithm's better ratios to
+// exactly this difference: "in MapReduce we use a 2-approximation k'-center
+// algorithm to build the core-sets, while in Streaming only a weaker
+// 8-approximation k'-center algorithm is available". This bench isolates
+// the effect: same data, same k', one pass each, remote-edge value of the
+// solution extracted from each core-set.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "core/coreset.h"
+#include "core/metric.h"
+#include "core/sequential.h"
+#include "data/synthetic.h"
+#include "streaming/smm.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace diverse;
+  bench::Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("n", 100000));
+  size_t k = static_cast<size_t>(flags.GetInt("k", 32));
+  int runs = static_cast<int>(flags.GetInt("runs", 5));
+
+  bench::Banner("Ablation: core-set kernel quality",
+                "GMM (MapReduce kernel) vs SMM (streaming kernel) at equal "
+                "core-set size k',\nremote-edge value of the extracted "
+                "solution (higher is better).");
+
+  EuclideanMetric metric;
+  const DiversityProblem problem = DiversityProblem::kRemoteEdge;
+  const std::vector<size_t> mults = {1, 2, 4, 8};
+
+  TablePrinter table({"k'", "GMM coreset div", "SMM coreset div",
+                      "GMM advantage"});
+  for (size_t mult : mults) {
+    size_t k_prime = k * mult;
+    double gmm_sum = 0.0, smm_sum = 0.0;
+    for (int run = 0; run < runs; ++run) {
+      SphereDatasetOptions opts;
+      opts.n = n;
+      opts.k = k;
+      opts.seed = 8000 + static_cast<uint64_t>(run);
+      PointSet pts = GenerateSphereDataset(opts);
+
+      PointSet gmm_coreset = GmmCoreset(pts, metric, k_prime).points;
+      std::vector<size_t> gi =
+          SolveSequential(problem, gmm_coreset, metric, k);
+      gmm_sum += bench::SolutionDiversity(problem, gmm_coreset, gi, metric);
+
+      Smm smm(&metric, k, k_prime);
+      for (const Point& p : pts) smm.Update(p);
+      PointSet smm_coreset = smm.Finalize();
+      std::vector<size_t> si =
+          SolveSequential(problem, smm_coreset, metric,
+                          std::min(k, smm_coreset.size()));
+      smm_sum += bench::SolutionDiversity(problem, smm_coreset, si, metric);
+    }
+    table.AddRow({std::to_string(mult) + "k",
+                  TablePrinter::Fmt(gmm_sum / runs, 4),
+                  TablePrinter::Fmt(smm_sum / runs, 4),
+                  TablePrinter::Fmt(gmm_sum / smm_sum, 3) + "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected: GMM >= SMM at every k', with the gap closing as k' "
+              "grows (both converge to\nthe optimum); explains Fig. 4's "
+              "better ratios vs Fig. 2 at equal k'.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Kernel microbenchmarks (google-benchmark): distance evaluations, GMM
+// steps, SMM updates, diversity evaluators. These track the constants behind
+// the throughput numbers of Figure 3.
+
+#include <benchmark/benchmark.h>
+
+#include "core/coreset.h"
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "core/metric.h"
+#include "core/sequential.h"
+#include "data/sparse_text.h"
+#include "data/synthetic.h"
+#include "streaming/smm.h"
+
+namespace diverse {
+namespace {
+
+void BM_EuclideanDistanceDense3(benchmark::State& state) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(2, 3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Distance(pts[0], pts[1]));
+  }
+}
+BENCHMARK(BM_EuclideanDistanceDense3);
+
+void BM_CosineDistanceSparse(benchmark::State& state) {
+  CosineMetric m;
+  SparseTextOptions opts;
+  opts.n = 2;
+  opts.max_terms = static_cast<size_t>(state.range(0));
+  opts.min_terms = opts.max_terms / 2;
+  opts.seed = 1;
+  PointSet docs = GenerateSparseTextDataset(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Distance(docs[0], docs[1]));
+  }
+}
+BENCHMARK(BM_CosineDistanceSparse)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_Gmm(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  PointSet pts = GenerateUniformCube(n, 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gmm(pts, m, k));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Gmm)->Args({10000, 32})->Args({10000, 128})->Args({50000, 32});
+
+void BM_GmmExtCoreset(benchmark::State& state) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(10000, 3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GmmExtCoreset(pts, m, 64, 15));
+  }
+}
+BENCHMARK(BM_GmmExtCoreset);
+
+void BM_SmmUpdate(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t k_prime = static_cast<size_t>(state.range(0));
+  PointSet pts = GenerateUniformCube(100000, 3, 4);
+  Smm smm(&m, k_prime / 2, k_prime);
+  size_t i = 0;
+  for (auto _ : state) {
+    smm.Update(pts[i++ % pts.size()]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SmmUpdate)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EvaluateDiversity(benchmark::State& state) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(64, 3, 5);
+  DistanceMatrix d(pts, m);
+  auto problem = static_cast<DiversityProblem>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateDiversity(problem, d));
+  }
+  state.SetLabel(ProblemName(problem));
+}
+BENCHMARK(BM_EvaluateDiversity)
+    ->Arg(static_cast<int>(DiversityProblem::kRemoteEdge))
+    ->Arg(static_cast<int>(DiversityProblem::kRemoteClique))
+    ->Arg(static_cast<int>(DiversityProblem::kRemoteStar))
+    ->Arg(static_cast<int>(DiversityProblem::kRemoteBipartition))
+    ->Arg(static_cast<int>(DiversityProblem::kRemoteTree))
+    ->Arg(static_cast<int>(DiversityProblem::kRemoteCycle));
+
+void BM_GreedyMatching(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  PointSet pts = GenerateUniformCube(n, 3, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMatchingOnPoints(pts, m, 8));
+  }
+}
+BENCHMARK(BM_GreedyMatching)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,124 @@
+// Table 3 (empirical counterpart): measured memory footprint of every
+// streaming and MapReduce variant, next to the asymptotic bounds the paper
+// tabulates.
+//
+//   streaming 1-pass:    Theta((1/eps)^D k)      [r-edge/cycle, SMM]
+//                        Theta((1/eps)^D k^2)    [other four, SMM-EXT]
+//   streaming 2-pass:    Theta((1/eps)^D k)      [generalized core-set]
+//   MR 2-round det:      M_L = sqrt((1/eps)^D k n)  or  k sqrt((1/eps)^D n)
+//   MR 2-round rand:     max(...k^2, sqrt(... k n log n))
+//   MR 3-round det:      M_L = sqrt((1/eps)^D k n)
+//
+// We report points held per reducer / per pass on a fixed workload.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "core/metric.h"
+#include "data/synthetic.h"
+#include "mapreduce/mr_diversity.h"
+#include "streaming/streaming_diversity.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace diverse;
+  bench::Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("n", 100000));
+  size_t k = static_cast<size_t>(flags.GetInt("k", 16));
+  size_t k_prime = static_cast<size_t>(flags.GetInt("k_prime", 64));
+  size_t parts = static_cast<size_t>(flags.GetInt("parts", 8));
+
+  bench::Banner("Table 3 (empirical)",
+                "Measured memory (points) of each algorithm variant on one "
+                "workload\n(n = 100k planted-sphere R^3, k = 16, k' = 64, 8 "
+                "partitions).");
+
+  EuclideanMetric metric;
+  SphereDatasetOptions dopts;
+  dopts.n = n;
+  dopts.k = k;
+  dopts.seed = 7000;
+  PointSet pts = GenerateSphereDataset(dopts);
+
+  TablePrinter table({"algorithm", "problem family", "measured memory (pts)",
+                      "paper bound"});
+
+  {  // streaming 1-pass, SMM
+    StreamingDiversity sd(&metric, DiversityProblem::kRemoteEdge, k, k_prime);
+    for (const Point& p : pts) sd.Update(p);
+    StreamingResult r = sd.Finalize();
+    table.AddRow({"streaming 1-pass (SMM)", "r-edge / r-cycle",
+                  TablePrinter::Fmt(
+                      static_cast<long long>(r.peak_memory_points)),
+                  "Theta((1/eps)^D k)"});
+  }
+  {  // streaming 1-pass, SMM-EXT
+    StreamingDiversity sd(&metric, DiversityProblem::kRemoteClique, k,
+                          k_prime);
+    for (const Point& p : pts) sd.Update(p);
+    StreamingResult r = sd.Finalize();
+    table.AddRow({"streaming 1-pass (SMM-EXT)", "other four",
+                  TablePrinter::Fmt(
+                      static_cast<long long>(r.peak_memory_points)),
+                  "Theta((1/eps)^D k^2)"});
+  }
+  {  // streaming 2-pass generalized
+    TwoPassStreamingDiversity sd(&metric, DiversityProblem::kRemoteClique, k,
+                                 k_prime);
+    for (const Point& p : pts) sd.UpdateFirstPass(p);
+    sd.EndFirstPass();
+    for (const Point& p : pts) sd.UpdateSecondPass(p);
+    StreamingResult r = sd.Finalize();
+    table.AddRow({"streaming 2-pass (SMM-GEN)", "other four",
+                  TablePrinter::Fmt(
+                      static_cast<long long>(r.peak_memory_points)),
+                  "Theta((a^2/eps)^D k)"});
+  }
+  MrOptions o;
+  o.k = k;
+  o.k_prime = k_prime;
+  o.num_partitions = parts;
+  o.num_workers = 4;
+  {  // MR 2-round, GMM family
+    MapReduceDiversity mr(&metric, DiversityProblem::kRemoteEdge, o);
+    MrResult r = mr.Run(pts);
+    table.AddRow({"MR 2-round det (GMM)", "r-edge / r-cycle",
+                  TablePrinter::Fmt(
+                      static_cast<long long>(r.max_local_memory_points)),
+                  "Theta(sqrt((1/eps)^D k n))"});
+  }
+  {  // MR 2-round, GMM-EXT family
+    MapReduceDiversity mr(&metric, DiversityProblem::kRemoteClique, o);
+    MrResult r = mr.Run(pts);
+    table.AddRow({"MR 2-round det (GMM-EXT)", "other four",
+                  TablePrinter::Fmt(
+                      static_cast<long long>(r.max_local_memory_points)),
+                  "Theta(k sqrt((1/eps)^D n))"});
+  }
+  {  // MR 2-round randomized
+    MrOptions ro = o;
+    ro.randomized_delegate_cap = true;
+    MapReduceDiversity mr(&metric, DiversityProblem::kRemoteClique, ro);
+    MrResult r = mr.Run(pts);
+    table.AddRow({"MR 2-round randomized", "other four",
+                  TablePrinter::Fmt(
+                      static_cast<long long>(r.max_local_memory_points)),
+                  "max(k^2, sqrt(k n log n)) * (1/eps)^D terms"});
+  }
+  {  // MR 3-round generalized
+    MapReduceDiversity mr(&metric, DiversityProblem::kRemoteClique, o);
+    MrResult r = mr.RunGeneralized(pts);
+    table.AddRow({"MR 3-round det (GMM-GEN)", "other four",
+                  TablePrinter::Fmt(
+                      static_cast<long long>(r.max_local_memory_points)),
+                  "Theta(sqrt((a^2/eps)^D k n))"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Note: in the MR rows the measured value is dominated by the "
+      "partition size n/l; the\ninteresting comparison is the round-2 "
+      "aggregate (|T|): GMM %zu, GMM-EXT up to %zu,\nGMM-GEN %zu pairs — "
+      "matching the k-factor separation in the bounds.\n",
+      parts * k_prime, parts * k_prime * k, parts * k_prime);
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "api/solve.h"
+
+#include <algorithm>
+
+#include "core/sequential.h"
+#include "mapreduce/mr_diversity.h"
+#include "streaming/streaming_diversity.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+
+std::string BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kSequential:
+      return "sequential";
+    case Backend::kStreaming:
+      return "streaming";
+    case Backend::kStreamingTwoPass:
+      return "streaming-2pass";
+    case Backend::kMapReduce:
+      return "mapreduce";
+    case Backend::kMapReduceRandomized:
+      return "mapreduce-randomized";
+    case Backend::kMapReduceGeneralized:
+      return "mapreduce-generalized";
+    case Backend::kMapReduceRecursive:
+      return "mapreduce-recursive";
+  }
+  return "unknown";
+}
+
+Backend ParseBackend(const std::string& name, bool* ok) {
+  for (Backend b :
+       {Backend::kSequential, Backend::kStreaming, Backend::kStreamingTwoPass,
+        Backend::kMapReduce, Backend::kMapReduceRandomized,
+        Backend::kMapReduceGeneralized, Backend::kMapReduceRecursive}) {
+    if (BackendName(b) == name) {
+      if (ok != nullptr) *ok = true;
+      return b;
+    }
+  }
+  if (ok != nullptr) *ok = false;
+  return Backend::kSequential;
+}
+
+namespace {
+
+// Applies the "auto" rules documented on SolveOptions.
+SolveOptions Normalize(const SolveOptions& in, size_t n) {
+  SolveOptions o = in;
+  if (o.k_prime == 0) o.k_prime = 4 * o.k;
+  o.k_prime = std::max(o.k_prime, o.k);
+  if (o.num_partitions == 0) o.num_partitions = 8;
+  o.num_partitions = std::min(o.num_partitions, n);
+  if (o.num_workers == 0) o.num_workers = o.num_partitions;
+  if (o.local_memory_budget == 0) {
+    o.local_memory_budget = std::max<size_t>(4 * o.k_prime * o.k, 1024);
+  }
+  return o;
+}
+
+SolveResult FromStreaming(const StreamingResult& r) {
+  SolveResult out;
+  out.solution = r.solution;
+  out.diversity = r.diversity;
+  out.coreset_size = r.coreset_size;
+  return out;
+}
+
+SolveResult FromMr(const MrResult& r) {
+  SolveResult out;
+  out.solution = r.solution;
+  out.diversity = r.diversity;
+  out.coreset_size = r.coreset_size;
+  out.rounds_or_passes = r.rounds;
+  return out;
+}
+
+}  // namespace
+
+SolveResult Solve(const PointSet& points, const Metric& metric,
+                  const SolveOptions& options) {
+  DIVERSE_CHECK_GE(points.size(), 1u);
+  SolveOptions o = Normalize(options, points.size());
+  Timer timer;
+  SolveResult result;
+
+  switch (o.backend) {
+    case Backend::kSequential: {
+      size_t k = std::min(o.k, points.size());
+      std::vector<size_t> picked =
+          SolveSequential(o.problem, points, metric, k);
+      for (size_t idx : picked) result.solution.push_back(points[idx]);
+      result.diversity = EvaluateDiversity(o.problem, result.solution, metric);
+      break;
+    }
+    case Backend::kStreaming: {
+      StreamingDiversity sd(&metric, o.problem, o.k, o.k_prime);
+      for (const Point& p : points) sd.Update(p);
+      result = FromStreaming(sd.Finalize());
+      result.rounds_or_passes = 1;
+      break;
+    }
+    case Backend::kStreamingTwoPass: {
+      TwoPassStreamingDiversity sd(&metric, o.problem, o.k, o.k_prime);
+      for (const Point& p : points) sd.UpdateFirstPass(p);
+      sd.EndFirstPass();
+      for (const Point& p : points) sd.UpdateSecondPass(p);
+      result = FromStreaming(sd.Finalize());
+      result.rounds_or_passes = 2;
+      break;
+    }
+    case Backend::kMapReduce:
+    case Backend::kMapReduceRandomized:
+    case Backend::kMapReduceGeneralized:
+    case Backend::kMapReduceRecursive: {
+      MrOptions mr;
+      mr.k = o.k;
+      mr.k_prime = o.k_prime;
+      mr.num_partitions = o.num_partitions;
+      mr.num_workers = o.num_workers;
+      mr.seed = o.seed;
+      mr.randomized_delegate_cap =
+          (o.backend == Backend::kMapReduceRandomized);
+      MapReduceDiversity driver(&metric, o.problem, mr);
+      if (o.backend == Backend::kMapReduceGeneralized) {
+        result = FromMr(driver.RunGeneralized(points));
+      } else if (o.backend == Backend::kMapReduceRecursive) {
+        result = FromMr(driver.RunRecursive(points, o.local_memory_budget));
+      } else {
+        result = FromMr(driver.Run(points));
+      }
+      break;
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace diverse

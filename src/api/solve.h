@@ -1,0 +1,82 @@
+// Unified front door: one configuration struct and one Solve() call that
+// dispatches to the sequential, streaming (1- or 2-pass), or MapReduce
+// (2-round, randomized, 3-round generalized, recursive) back end. This is
+// the API the CLI tool and most downstream users go through; the individual
+// drivers remain available for callers that need streaming Update() hooks
+// or custom partitioning.
+
+#ifndef DIVERSE_API_SOLVE_H_
+#define DIVERSE_API_SOLVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/diversity.h"
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// Which execution backend to use.
+enum class Backend : uint8_t {
+  kSequential,
+  kStreaming,          // 1 pass (Theorem 3)
+  kStreamingTwoPass,   // 2 passes, generalized core-sets (Theorem 9)
+  kMapReduce,          // 2 rounds (Theorem 6)
+  kMapReduceRandomized,  // 2 rounds, randomized delegate cap (Theorem 7)
+  kMapReduceGeneralized,  // 3 rounds, generalized core-sets (Theorem 10)
+  kMapReduceRecursive,    // multi-round recursion (Theorem 8)
+};
+
+/// Short name, e.g. "streaming".
+std::string BackendName(Backend backend);
+
+/// Inverse of BackendName (returns kSequential for unknown names and sets
+/// *ok to false if provided).
+Backend ParseBackend(const std::string& name, bool* ok = nullptr);
+
+/// Full configuration for Solve().
+struct SolveOptions {
+  DiversityProblem problem = DiversityProblem::kRemoteEdge;
+  Backend backend = Backend::kSequential;
+  /// Solution size.
+  size_t k = 8;
+  /// Core-set kernel size (ignored by kSequential). 0 means "auto": 4k.
+  size_t k_prime = 0;
+  /// MapReduce: number of partitions / reducers. 0 means "auto": 8.
+  size_t num_partitions = 0;
+  /// MapReduce: simulated processors. 0 means "auto": num_partitions.
+  size_t num_workers = 0;
+  /// MapReduce recursive backend: local memory budget in points.
+  /// 0 means "auto": max(4 k' k, 1024).
+  size_t local_memory_budget = 0;
+  uint64_t seed = 1;
+};
+
+/// Outcome of Solve().
+struct SolveResult {
+  /// The selected points (k, or fewer if the input was smaller).
+  PointSet solution;
+  /// div(solution) under options.problem.
+  double diversity = 0.0;
+  /// Core-set the final sequential step ran on (0 for kSequential).
+  size_t coreset_size = 0;
+  /// Rounds (MapReduce) or passes (streaming); 0 for kSequential.
+  size_t rounds_or_passes = 0;
+  /// Wall time of the whole solve, seconds.
+  double seconds = 0.0;
+};
+
+/// Solves diversity maximization on `points` with the configured backend.
+/// `metric` must outlive the call. Requires points.size() >= 1.
+/// Backends that need injective proxies reject remote-edge/remote-cycle
+/// inputs only where the paper's algorithm is undefined
+/// (kStreamingTwoPass and kMapReduceGeneralized); everything else accepts
+/// all six problems.
+SolveResult Solve(const PointSet& points, const Metric& metric,
+                  const SolveOptions& options);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_API_SOLVE_H_

@@ -1,0 +1,54 @@
+// Core-set containers and the GMM-based composable core-set constructions
+// used by the MapReduce algorithms (Theorems 4 and 5 of the paper).
+//
+//   * GmmCoreset(S, k')          — kernel only; (1+eps)-composable core-set
+//                                  for remote-edge and remote-cycle (Thm 4).
+//   * GmmExtCoreset(S, k, k')    — Algorithm 1 (GMM-EXT): kernel of k' points
+//                                  plus up to k-1 delegates per cluster;
+//                                  (1+eps)-composable core-set for
+//                                  remote-clique/-star/-bipartition/-tree
+//                                  (Thm 5).
+// The generalized (multiplicity) variant GMM-GEN lives in
+// generalized_coreset.h.
+
+#ifndef DIVERSE_CORE_CORESET_H_
+#define DIVERSE_CORE_CORESET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/gmm.h"
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// A plain core-set: a subset of the input points. `indices[i]` is the
+/// position of `points[i]` in the originating set, so callers that work with
+/// local indices (tests, instantiation passes) can trace points back.
+struct Coreset {
+  PointSet points;
+  std::vector<size_t> indices;
+
+  size_t size() const { return points.size(); }
+};
+
+/// GMM core-set: the k' points selected by a farthest-first traversal of
+/// `points`. Requires 1 <= k_prime <= points.size().
+Coreset GmmCoreset(std::span<const Point> points, const Metric& metric,
+                   size_t k_prime);
+
+/// GMM-EXT core-set (Algorithm 1): runs GMM(S, k') to obtain a kernel
+/// T' = {c_1..c_k'}, clusters S around the kernel (ties toward earlier
+/// centers), and returns each center plus up to `delegates_per_cluster`
+/// additional points of its cluster. With delegates_per_cluster = k-1 this
+/// is exactly the paper's GMM-EXT(S, k, k'); Theorem 7's randomized MR
+/// algorithm calls it with a smaller cap. Output size is at most
+/// k' * (1 + delegates_per_cluster).
+Coreset GmmExtCoreset(std::span<const Point> points, const Metric& metric,
+                      size_t k_prime, size_t delegates_per_cluster);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_CORESET_H_

@@ -1,0 +1,51 @@
+#include "core/distance_matrix.h"
+
+#include "util/check.h"
+
+namespace diverse {
+
+DistanceMatrix::DistanceMatrix(size_t n) : n_(n), d_(n * n, 0.0) {}
+
+DistanceMatrix::DistanceMatrix(std::span<const Point> points,
+                               const Metric& metric)
+    : n_(points.size()), d_(points.size() * points.size(), 0.0) {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      double dist = metric.Distance(points[i], points[j]);
+      d_[i * n_ + j] = dist;
+      d_[j * n_ + i] = dist;
+    }
+  }
+}
+
+void DistanceMatrix::set(size_t i, size_t j, double value) {
+  DIVERSE_CHECK_LT(i, n_);
+  DIVERSE_CHECK_LT(j, n_);
+  DIVERSE_CHECK_GE(value, 0.0);
+  d_[i * n_ + j] = value;
+  d_[j * n_ + i] = value;
+}
+
+DistanceMatrix DistanceMatrix::Restrict(std::span<const size_t> subset) const {
+  DistanceMatrix out(subset.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    DIVERSE_CHECK_LT(subset[i], n_);
+    for (size_t j = i + 1; j < subset.size(); ++j) {
+      out.set(i, j, at(subset[i], subset[j]));
+    }
+  }
+  return out;
+}
+
+bool DistanceMatrix::SatisfiesTriangleInequality(double tol) const {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      for (size_t k = 0; k < n_; ++k) {
+        if (at(i, j) > at(i, k) + at(k, j) + tol) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace diverse

@@ -1,0 +1,54 @@
+// Dense symmetric distance matrix over a small point set.
+//
+// Diversity objectives are functions of the pairwise distances of a k-subset
+// (k is small: tens to a few hundred). Evaluators, the exact solvers, and
+// the sequential approximation algorithms all work on a `DistanceMatrix`
+// rather than on raw points, so they can be unit-tested against hand-built
+// metrics and reused for generalized (multiplicity-weighted) core-sets.
+
+#ifndef DIVERSE_CORE_DISTANCE_MATRIX_H_
+#define DIVERSE_CORE_DISTANCE_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// A symmetric n-by-n matrix of nonnegative distances with zero diagonal.
+class DistanceMatrix {
+ public:
+  /// Creates an n-by-n zero matrix.
+  explicit DistanceMatrix(size_t n);
+
+  /// Builds the full pairwise matrix of `points` under `metric`
+  /// (n(n-1)/2 distance evaluations).
+  DistanceMatrix(std::span<const Point> points, const Metric& metric);
+
+  /// Number of points.
+  size_t size() const { return n_; }
+
+  /// Distance between points i and j.
+  double at(size_t i, size_t j) const { return d_[i * n_ + j]; }
+
+  /// Sets d(i,j) and d(j,i). Used by tests to construct explicit metrics.
+  void set(size_t i, size_t j, double value);
+
+  /// Restriction of this matrix to the rows/columns in `subset`.
+  DistanceMatrix Restrict(std::span<const size_t> subset) const;
+
+  /// True if the entries satisfy the triangle inequality up to `tol`
+  /// (O(n^3); intended for tests).
+  bool SatisfiesTriangleInequality(double tol = 1e-9) const;
+
+ private:
+  size_t n_;
+  std::vector<double> d_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_DISTANCE_MATRIX_H_

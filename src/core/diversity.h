@@ -1,0 +1,93 @@
+// The six diversity objectives of the paper (Table 1) and their evaluators.
+//
+//   remote-edge         min_{p,q in S} d(p,q)
+//   remote-clique       sum_{p,q in S} d(p,q)          (unordered pairs)
+//   remote-star         min_{c in S} sum_{q != c} d(c,q)
+//   remote-bipartition  min_{|Q| = floor(|S|/2)} sum_{q in Q, z in S\Q} d(q,z)
+//   remote-tree         w(MST(S))
+//   remote-cycle        w(TSP(S))
+//
+// Evaluation notes: remote-bipartition and remote-cycle are themselves
+// NP-hard to evaluate; we evaluate them exactly for small sets (subset
+// enumeration / Held-Karp) and with standard local-search heuristics above
+// that, applied uniformly to every algorithm under comparison so that ratio
+// experiments remain apples-to-apples.
+
+#ifndef DIVERSE_CORE_DIVERSITY_H_
+#define DIVERSE_CORE_DIVERSITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/distance_matrix.h"
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// The diversity maximization problems considered in the paper.
+enum class DiversityProblem : uint8_t {
+  kRemoteEdge,
+  kRemoteClique,
+  kRemoteStar,
+  kRemoteBipartition,
+  kRemoteTree,
+  kRemoteCycle,
+};
+
+/// All six problems, for iteration in tests/benches.
+inline constexpr DiversityProblem kAllProblems[] = {
+    DiversityProblem::kRemoteEdge,         DiversityProblem::kRemoteClique,
+    DiversityProblem::kRemoteStar,         DiversityProblem::kRemoteBipartition,
+    DiversityProblem::kRemoteTree,         DiversityProblem::kRemoteCycle,
+};
+
+/// Short name, e.g. "remote-edge".
+std::string ProblemName(DiversityProblem problem);
+
+/// Inverse of ProblemName; nullopt for unknown names.
+std::optional<DiversityProblem> ParseProblem(const std::string& name);
+
+/// True for the problems whose core-set proof needs an *injective* proxy
+/// function (Lemma 2): remote-clique, -star, -bipartition, -tree. These are
+/// the problems requiring delegate-augmented core-sets (GMM-EXT / SMM-EXT)
+/// or generalized core-sets.
+bool RequiresInjectiveProxies(DiversityProblem problem);
+
+/// Approximation factor alpha of the best known linear-space sequential
+/// algorithm (Table 1): 2, 2, 2, 3, 4, 3 respectively.
+double SequentialAlpha(DiversityProblem problem);
+
+/// The number of distance terms f(k) in div(S) for |S| = k (Lemma 7):
+/// C(k,2) for remote-clique, k-1 for remote-star/tree, floor(k/2)*ceil(k/2)
+/// for remote-bipartition. Returns 1 for remote-edge and k for remote-cycle
+/// (the count of tour edges), which Lemma 7 does not use but evaluators do.
+double DiversityTermCount(DiversityProblem problem, size_t k);
+
+/// Evaluates div(S) for the full set behind `d` (all rows are the set S).
+/// Exact for edge/clique/star/tree; exact for bipartition when
+/// d.size() <= kBipartitionExactLimit and for cycle when
+/// d.size() <= kTspExactLimit, heuristic otherwise.
+double EvaluateDiversity(DiversityProblem problem, const DistanceMatrix& d);
+
+/// Convenience overload: builds the pairwise matrix of `solution` under
+/// `metric` and evaluates.
+double EvaluateDiversity(DiversityProblem problem,
+                         std::span<const Point> solution, const Metric& metric);
+
+/// Maximum set size for exact remote-bipartition evaluation by enumeration.
+inline constexpr size_t kBipartitionExactLimit = 20;
+
+/// Exact remote-bipartition by enumerating all balanced bipartitions.
+/// Requires d.size() <= kBipartitionExactLimit.
+double BipartitionWeightExact(const DistanceMatrix& d);
+
+/// Heuristic remote-bipartition: best of several random balanced cuts, each
+/// improved by pairwise swaps to a local minimum (Kernighan-Lin style).
+double BipartitionWeightHeuristic(const DistanceMatrix& d);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_DIVERSITY_H_

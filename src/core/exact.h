@@ -1,0 +1,51 @@
+// Brute-force exact solvers for tiny instances.
+//
+// div_k(S) is NP-hard for every objective, but for n up to ~20 and small k
+// it can be computed by enumerating all C(n, k) subsets. The exact values
+// anchor the unit tests: approximation guarantees of GMM / matching /
+// core-set pipelines are asserted against these ground truths.
+
+#ifndef DIVERSE_CORE_EXACT_H_
+#define DIVERSE_CORE_EXACT_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/diversity.h"
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// Result of exact k-diversity maximization.
+struct ExactResult {
+  /// An optimal k-subset (row indices).
+  std::vector<size_t> best_subset;
+  /// div_k(S): the diversity of best_subset.
+  double value = 0.0;
+};
+
+/// Enumerates every k-subset of the rows of `d` and returns one maximizing
+/// the diversity objective. Requires k <= d.size() and C(d.size(), k)
+/// manageable (guarded: d.size() <= 24).
+ExactResult ExactDiversityMaximization(DiversityProblem problem,
+                                       const DistanceMatrix& d, size_t k);
+
+/// Convenience overload over points.
+ExactResult ExactDiversityMaximization(DiversityProblem problem,
+                                       std::span<const Point> points,
+                                       const Metric& metric, size_t k);
+
+/// Optimal range r*_k: the minimum over k-subsets T of
+/// max_{p in S} d(p, T) (the k-center optimum). Brute force, same limits.
+double ExactOptimalRange(const DistanceMatrix& d, size_t k);
+
+/// Optimal farness rho*_k: the maximum over k-subsets T of
+/// min_{c in T} d(c, T \ {c}); equals the remote-edge optimum.
+double ExactOptimalFarness(const DistanceMatrix& d, size_t k);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_EXACT_H_

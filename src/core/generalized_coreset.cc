@@ -1,0 +1,161 @@
+#include "core/generalized_coreset.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/gmm.h"
+#include "util/check.h"
+
+namespace diverse {
+
+void GeneralizedCoreset::Add(Point point, size_t multiplicity) {
+  DIVERSE_CHECK_GE(multiplicity, 1u);
+  entries_.push_back(WeightedPoint{std::move(point), multiplicity});
+}
+
+size_t GeneralizedCoreset::ExpandedSize() const {
+  size_t m = 0;
+  for (const WeightedPoint& e : entries_) m += e.multiplicity;
+  return m;
+}
+
+GeneralizedCoreset::Expansion GeneralizedCoreset::Expand() const {
+  return ExpandCapped(SIZE_MAX);
+}
+
+GeneralizedCoreset::Expansion GeneralizedCoreset::ExpandCapped(
+    size_t cap) const {
+  Expansion out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t reps = std::min(entries_[i].multiplicity, cap);
+    for (size_t r = 0; r < reps; ++r) {
+      out.points.push_back(entries_[i].point);
+      out.kernel_id.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool GeneralizedCoreset::IsCoherentSubsetOf(
+    const GeneralizedCoreset& other) const {
+  for (const WeightedPoint& e : entries_) {
+    bool found = false;
+    for (const WeightedPoint& o : other.entries_) {
+      if (o.point == e.point && o.multiplicity >= e.multiplicity) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+GeneralizedCoreset GeneralizedCoreset::Merge(
+    std::span<const GeneralizedCoreset> parts) {
+  GeneralizedCoreset out;
+  for (const GeneralizedCoreset& part : parts) {
+    for (const WeightedPoint& e : part.entries()) {
+      out.Add(e.point, e.multiplicity);
+    }
+  }
+  return out;
+}
+
+DistanceMatrix ExpansionDistanceMatrix(
+    const GeneralizedCoreset::Expansion& expansion, const Metric& metric) {
+  size_t n = expansion.points.size();
+  DistanceMatrix d(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (expansion.kernel_id[i] == expansion.kernel_id[j]) continue;  // 0
+      d.set(i, j, metric.Distance(expansion.points[i], expansion.points[j]));
+    }
+  }
+  return d;
+}
+
+double EvaluateGeneralizedDiversity(DiversityProblem problem,
+                                    const GeneralizedCoreset& coreset,
+                                    const Metric& metric) {
+  auto expansion = coreset.Expand();
+  return EvaluateDiversity(problem, ExpansionDistanceMatrix(expansion, metric));
+}
+
+GeneralizedCoreset GmmGenCoreset(std::span<const Point> points,
+                                 const Metric& metric, size_t k,
+                                 size_t k_prime, double* range_out) {
+  size_t n = points.size();
+  DIVERSE_CHECK_GE(k, 1u);
+  DIVERSE_CHECK_GE(k_prime, 1u);
+  DIVERSE_CHECK_LE(k_prime, n);
+  GmmResult gmm = Gmm(points, metric, k_prime);
+  if (range_out != nullptr) *range_out = gmm.range;
+
+  // m_{c_i} = |E_i| of GMM-EXT = min(|C_i|, k): the center plus up to k-1
+  // delegates, but never more than the cluster can supply.
+  std::vector<size_t> cluster_size(k_prime, 0);
+  for (size_t i = 0; i < n; ++i) cluster_size[gmm.assignment[i]]++;
+
+  GeneralizedCoreset out;
+  for (size_t j = 0; j < k_prime; ++j) {
+    out.Add(points[gmm.selected[j]], std::min(cluster_size[j], k));
+  }
+  return out;
+}
+
+std::optional<PointSet> Instantiate(const GeneralizedCoreset& coreset,
+                                    std::span<const Point> points,
+                                    const Metric& metric, double delta) {
+  const auto& entries = coreset.entries();
+  std::vector<size_t> needed(entries.size());
+  for (size_t e = 0; e < entries.size(); ++e) {
+    needed[e] = entries[e].multiplicity;
+  }
+
+  PointSet chosen;
+  std::vector<bool> used(points.size(), false);
+
+  // First serve each entry its own kernel point if it occurs in `points`
+  // (distance 0, always a legal delegate); then give each entry its m_p
+  // *nearest* unused points within delta. Nearest-first keeps the realized
+  // proxy distances (and hence the Lemma 7 loss f(k) * 2 * delta) as small
+  // as possible in practice while preserving the worst-case guarantee.
+  // Since every delegate of the construction lies within delta of its own
+  // kernel point, the sweep can only run out of candidates if `points` is
+  // not the originating set.
+  for (size_t e = 0; e < entries.size(); ++e) {
+    if (needed[e] == 0) continue;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (!used[i] && points[i] == entries[e].point) {
+        used[i] = true;
+        chosen.push_back(points[i]);
+        --needed[e];
+        break;
+      }
+    }
+  }
+  std::vector<std::pair<double, size_t>> candidates;
+  for (size_t e = 0; e < entries.size(); ++e) {
+    if (needed[e] == 0) continue;
+    candidates.clear();
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (used[i]) continue;
+      double dist = metric.Distance(points[i], entries[e].point);
+      if (dist <= delta) candidates.emplace_back(dist, i);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [dist, i] : candidates) {
+      if (needed[e] == 0) break;
+      used[i] = true;
+      chosen.push_back(points[i]);
+      --needed[e];
+    }
+  }
+  for (size_t e = 0; e < entries.size(); ++e) {
+    if (needed[e] > 0) return std::nullopt;
+  }
+  return chosen;
+}
+
+}  // namespace diverse

@@ -1,0 +1,135 @@
+#include "core/kcenter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/gmm.h"
+#include "util/check.h"
+
+namespace diverse {
+
+KCenterResult SolveKCenterGmm(std::span<const Point> points,
+                              const Metric& metric, size_t k) {
+  GmmResult gmm = Gmm(points, metric, k);
+  KCenterResult result;
+  result.centers = std::move(gmm.selected);
+  result.assignment = std::move(gmm.assignment);
+  result.radius = gmm.range;
+  return result;
+}
+
+namespace {
+
+// One maximal-independent-set merge over center indices at the given radius.
+std::vector<size_t> MergeCenters(std::span<const Point> points,
+                                 const Metric& metric,
+                                 const std::vector<size_t>& centers,
+                                 double radius) {
+  std::vector<size_t> kept;
+  kept.reserve(centers.size());
+  for (size_t c : centers) {
+    bool blocked = false;
+    for (size_t other : kept) {
+      if (metric.Distance(points[c], points[other]) <= radius) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) kept.push_back(c);
+  }
+  return kept;
+}
+
+}  // namespace
+
+KCenterResult SolveKCenterDoubling(std::span<const Point> points,
+                                   const Metric& metric, size_t k) {
+  size_t n = points.size();
+  DIVERSE_CHECK_GE(k, 1u);
+  DIVERSE_CHECK_LE(k, n);
+
+  std::vector<size_t> centers;
+  double threshold = 0.0;
+
+  if (n <= k) {
+    centers.resize(n);
+    for (size_t i = 0; i < n; ++i) centers[i] = i;
+  } else {
+    // Initialization: first k+1 points, d_1 = their min pairwise distance.
+    for (size_t i = 0; i <= k; ++i) centers.push_back(i);
+    threshold = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i <= k; ++i) {
+      for (size_t j = i + 1; j <= k; ++j) {
+        threshold =
+            std::min(threshold, metric.Distance(points[i], points[j]));
+      }
+    }
+    auto shrink = [&] {
+      for (;;) {
+        centers = MergeCenters(points, metric, centers, 2.0 * threshold);
+        if (centers.size() <= k) return;
+        if (threshold > 0.0) {
+          threshold *= 2.0;
+        } else {
+          double min_positive = std::numeric_limits<double>::infinity();
+          for (size_t i = 0; i < centers.size(); ++i) {
+            for (size_t j = i + 1; j < centers.size(); ++j) {
+              double d =
+                  metric.Distance(points[centers[i]], points[centers[j]]);
+              if (d > 0.0) min_positive = std::min(min_positive, d);
+            }
+          }
+          DIVERSE_CHECK_LT(min_positive,
+                           std::numeric_limits<double>::infinity());
+          threshold = min_positive;
+        }
+      }
+    };
+    shrink();
+    for (size_t i = k + 1; i < n; ++i) {
+      double dist = std::numeric_limits<double>::infinity();
+      for (size_t c : centers) {
+        dist = std::min(dist, metric.Distance(points[i], points[c]));
+      }
+      if (dist > 4.0 * threshold) {
+        centers.push_back(i);
+        if (centers.size() == k + 1) {
+          threshold *= 2.0;
+          shrink();
+        }
+      }
+    }
+  }
+
+  KCenterResult result;
+  result.centers = std::move(centers);
+  result.assignment.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < result.centers.size(); ++c) {
+      double d = metric.Distance(points[i], points[result.centers[c]]);
+      if (d < best) {
+        best = d;
+        result.assignment[i] = c;
+      }
+    }
+    result.radius = std::max(result.radius, best);
+  }
+  return result;
+}
+
+double ClusteringRadius(std::span<const Point> points, const Metric& metric,
+                        std::span<const size_t> centers) {
+  DIVERSE_CHECK(!centers.empty());
+  double radius = 0.0;
+  for (const Point& p : points) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c : centers) {
+      best = std::min(best, metric.Distance(p, points[c]));
+    }
+    radius = std::max(radius, best);
+  }
+  return radius;
+}
+
+}  // namespace diverse

@@ -1,0 +1,53 @@
+// k-center solvers — the substrate primitive of the paper.
+//
+// Both core-set families are k-center algorithms run with k' >= k centers:
+// GMM (Gonzalez' 2-approximation) on the MapReduce side and the
+// Charikar-Chekuri-Feder-Motwani doubling algorithm (8-approximation) on the
+// streaming side. Fact 1 (r*_k <= rho*_k) connects the k-center optimum to
+// the remote-edge optimum. This header exposes both solvers directly, for
+// callers that want clustering rather than diversity, and for the ablation
+// experiments comparing the two kernels.
+
+#ifndef DIVERSE_CORE_KCENTER_H_
+#define DIVERSE_CORE_KCENTER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// A k-center solution over a point set.
+struct KCenterResult {
+  /// Indices of the chosen centers.
+  std::vector<size_t> centers;
+  /// assignment[i] = position in `centers` of point i's center.
+  std::vector<size_t> assignment;
+  /// Realized clustering radius: max_i d(points[i], centers).
+  double radius = 0.0;
+};
+
+/// Gonzalez' farthest-first 2-approximation. O(k n) distances.
+/// Requires 1 <= k <= points.size().
+KCenterResult SolveKCenterGmm(std::span<const Point> points,
+                              const Metric& metric, size_t k);
+
+/// Offline run of the streaming doubling algorithm (8-approximation,
+/// O(n k) distances amortized). Provided to quantify the GMM-vs-doubling
+/// quality gap (Section 7.2 of the paper) outside the streaming harness.
+/// May return fewer than k centers when the input has fewer distinct
+/// locations. Requires 1 <= k <= points.size().
+KCenterResult SolveKCenterDoubling(std::span<const Point> points,
+                                   const Metric& metric, size_t k);
+
+/// Radius max_i d(points[i], {points[c] : c in centers}) of an explicit
+/// center set.
+double ClusteringRadius(std::span<const Point> points, const Metric& metric,
+                        std::span<const size_t> centers);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_KCENTER_H_

@@ -1,0 +1,144 @@
+#include "core/matroid.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace diverse {
+
+bool PartitionMatroid::IsIndependent(std::span<const size_t> subset) const {
+  std::vector<size_t> used(capacity.size(), 0);
+  for (size_t idx : subset) {
+    DIVERSE_CHECK_LT(idx, category_of.size());
+    size_t c = category_of[idx];
+    DIVERSE_CHECK_LT(c, capacity.size());
+    if (++used[c] > capacity[c]) return false;
+  }
+  return true;
+}
+
+size_t PartitionMatroid::MaxFeasibleSize() const {
+  std::vector<size_t> size_of(capacity.size(), 0);
+  for (size_t c : category_of) {
+    DIVERSE_CHECK_LT(c, capacity.size());
+    ++size_of[c];
+  }
+  size_t total = 0;
+  for (size_t c = 0; c < capacity.size(); ++c) {
+    total += std::min(capacity[c], size_of[c]);
+  }
+  return total;
+}
+
+MatroidSolveResult SolveRemoteCliqueUnderMatroid(
+    std::span<const Point> points, const Metric& metric,
+    const PartitionMatroid& matroid, size_t k, size_t max_sweeps) {
+  size_t n = points.size();
+  DIVERSE_CHECK_EQ(matroid.category_of.size(), n);
+  DIVERSE_CHECK_GE(k, 1u);
+
+  MatroidSolveResult result;
+  size_t target = std::min(k, matroid.MaxFeasibleSize());
+  if (target == 0) return result;
+
+  std::vector<size_t> used(matroid.num_categories(), 0);
+  std::vector<bool> in_set(n, false);
+  std::vector<size_t> current;
+  current.reserve(target);
+
+  // Greedy farthest-first initialization restricted to feasible additions:
+  // the same GMM rule, skipping points whose category is saturated.
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  while (current.size() < target) {
+    size_t best = n;
+    double best_dist = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (in_set[i]) continue;
+      if (used[matroid.category_of[i]] >=
+          matroid.capacity[matroid.category_of[i]]) {
+        continue;
+      }
+      double d = current.empty() ? 1.0 : dist[i];
+      if (d > best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    DIVERSE_CHECK_LT(best, n);
+    in_set[best] = true;
+    ++used[matroid.category_of[best]];
+    current.push_back(best);
+    for (size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(dist[i], metric.Distance(points[i], points[best]));
+    }
+  }
+
+  // contribution[a] = sum of distances from current[a] to the rest.
+  std::vector<double> contribution(target, 0.0);
+  auto recompute = [&] {
+    for (size_t a = 0; a < target; ++a) {
+      double s = 0.0;
+      for (size_t b = 0; b < target; ++b) {
+        if (a != b) {
+          s += metric.Distance(points[current[a]], points[current[b]]);
+        }
+      }
+      contribution[a] = s;
+    }
+  };
+  recompute();
+
+  // Local search with feasibility-preserving swaps: candidate q may replace
+  // member current[a] iff the swap stays independent — i.e. q's category has
+  // spare capacity, or current[a] shares q's category.
+  std::vector<double> dq(target);
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool improved = false;
+    for (size_t q = 0; q < n; ++q) {
+      if (in_set[q]) continue;
+      size_t cq = matroid.category_of[q];
+      bool spare = used[cq] < matroid.capacity[cq];
+      double total = 0.0;
+      for (size_t a = 0; a < target; ++a) {
+        dq[a] = metric.Distance(points[q], points[current[a]]);
+        total += dq[a];
+      }
+      size_t best_a = target;
+      double best_delta = 1e-9;
+      for (size_t a = 0; a < target; ++a) {
+        if (!spare && matroid.category_of[current[a]] != cq) continue;
+        double delta = (total - dq[a]) - contribution[a];
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_a = a;
+        }
+      }
+      if (best_a < target) {
+        size_t evicted = current[best_a];
+        in_set[evicted] = false;
+        --used[matroid.category_of[evicted]];
+        in_set[q] = true;
+        ++used[cq];
+        current[best_a] = q;
+        recompute();
+        ++result.swaps;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.solution = std::move(current);
+  double sum = 0.0;
+  for (size_t i = 0; i < result.solution.size(); ++i) {
+    for (size_t j = i + 1; j < result.solution.size(); ++j) {
+      sum += metric.Distance(points[result.solution[i]],
+                             points[result.solution[j]]);
+    }
+  }
+  result.diversity = sum;
+  return result;
+}
+
+}  // namespace diverse

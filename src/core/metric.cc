@@ -1,0 +1,30 @@
+#include "core/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diverse {
+
+double EuclideanMetric::Distance(const Point& a, const Point& b) const {
+  return std::sqrt(a.SquaredEuclideanDistanceTo(b));
+}
+
+double ManhattanMetric::Distance(const Point& a, const Point& b) const {
+  return a.L1DistanceTo(b);
+}
+
+double CosineMetric::Distance(const Point& a, const Point& b) const {
+  double na = a.norm(), nb = b.norm();
+  if (na == 0.0 && nb == 0.0) return 0.0;
+  if (na == 0.0 || nb == 0.0) return M_PI / 2.0;
+  double c = a.Dot(b) / (na * nb);
+  // Guard against rounding pushing the cosine outside [-1, 1].
+  c = std::clamp(c, -1.0, 1.0);
+  return std::acos(c);
+}
+
+double JaccardMetric::Distance(const Point& a, const Point& b) const {
+  return a.SupportJaccardDistanceTo(b);
+}
+
+}  // namespace diverse

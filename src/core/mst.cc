@@ -1,0 +1,51 @@
+#include "core/mst.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace diverse {
+
+std::vector<std::pair<size_t, size_t>> MstEdges(const DistanceMatrix& d) {
+  size_t n = d.size();
+  std::vector<std::pair<size_t, size_t>> edges;
+  if (n < 2) return edges;
+  edges.reserve(n - 1);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, kInf);
+  std::vector<size_t> parent(n, 0);
+  std::vector<bool> in_tree(n, false);
+
+  in_tree[0] = true;
+  for (size_t j = 1; j < n; ++j) best[j] = d.at(0, j);
+
+  for (size_t added = 1; added < n; ++added) {
+    size_t next = n;
+    double next_dist = kInf;
+    for (size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best[j] < next_dist) {
+        next_dist = best[j];
+        next = j;
+      }
+    }
+    DIVERSE_CHECK_LT(next, n);
+    in_tree[next] = true;
+    edges.emplace_back(parent[next], next);
+    for (size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && d.at(next, j) < best[j]) {
+        best[j] = d.at(next, j);
+        parent[j] = next;
+      }
+    }
+  }
+  return edges;
+}
+
+double MstWeight(const DistanceMatrix& d) {
+  double w = 0.0;
+  for (const auto& [a, b] : MstEdges(d)) w += d.at(a, b);
+  return w;
+}
+
+}  // namespace diverse

@@ -1,0 +1,29 @@
+// Minimum spanning tree over a distance matrix.
+//
+// The remote-tree diversity objective is w(MST(S)); MST weight is also the
+// base of the TSP 2-approximation used to evaluate remote-cycle, and the GMM
+// prefix heuristic is a 4-approximation for it (Table 1 of the paper).
+
+#ifndef DIVERSE_CORE_MST_H_
+#define DIVERSE_CORE_MST_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/distance_matrix.h"
+
+namespace diverse {
+
+/// Weight of the minimum spanning tree of the complete graph whose edge
+/// weights are given by `d` (Prim's algorithm, O(n^2)). A matrix of size
+/// 0 or 1 has MST weight 0.
+double MstWeight(const DistanceMatrix& d);
+
+/// The n-1 edges of a minimum spanning tree of `d`, as index pairs.
+/// Empty if d.size() < 2.
+std::vector<std::pair<size_t, size_t>> MstEdges(const DistanceMatrix& d);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_MST_H_

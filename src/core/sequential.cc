@@ -1,0 +1,467 @@
+#include "core/sequential.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/gmm.h"
+#include "util/check.h"
+
+namespace diverse {
+
+std::vector<size_t> GmmOnMatrix(const DistanceMatrix& d, size_t k,
+                                size_t first) {
+  size_t n = d.size();
+  DIVERSE_CHECK_GE(k, 1u);
+  DIVERSE_CHECK_LE(k, n);
+  DIVERSE_CHECK_LT(first, n);
+
+  std::vector<size_t> selected;
+  selected.reserve(k);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  size_t current = first;
+  selected.push_back(current);
+  while (selected.size() < k) {
+    size_t farthest = current;
+    double farthest_dist = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(dist[i], d.at(i, current));
+      if (dist[i] > farthest_dist) {
+        farthest_dist = dist[i];
+        farthest = i;
+      }
+    }
+    selected.push_back(farthest);
+    current = farthest;
+  }
+  return selected;
+}
+
+std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k) {
+  size_t n = d.size();
+  DIVERSE_CHECK_GE(k, 1u);
+  DIVERSE_CHECK_LE(k, n);
+
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  std::vector<bool> used(n, false);
+  while (chosen.size() + 1 < k) {
+    // Heaviest unused pair.
+    size_t best_i = n, best_j = n;
+    double best = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (used[j]) continue;
+        if (d.at(i, j) > best) {
+          best = d.at(i, j);
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    DIVERSE_CHECK_LT(best_i, n);
+    used[best_i] = used[best_j] = true;
+    chosen.push_back(best_i);
+    chosen.push_back(best_j);
+  }
+  if (chosen.size() < k) {
+    // Odd k: add the unused point with the largest distance sum to the
+    // chosen set (any point preserves the approximation bound; this choice
+    // helps in practice).
+    size_t best_i = n;
+    double best = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      double s = 0.0;
+      for (size_t c : chosen) s += d.at(i, c);
+      if (s > best) {
+        best = s;
+        best_i = i;
+      }
+    }
+    DIVERSE_CHECK_LT(best_i, n);
+    chosen.push_back(best_i);
+  }
+  return chosen;
+}
+
+std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
+                                           const Metric& metric, size_t k) {
+  size_t n = points.size();
+  DIVERSE_CHECK_GE(k, 1u);
+  DIVERSE_CHECK_LE(k, n);
+
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  std::vector<bool> used(n, false);
+
+  // One O(n^2) scan collects the heaviest kBuffer pairs; the greedy loop
+  // then consumes the heaviest pair whose endpoints are both unused. Exact:
+  // a chosen pair only removes 2 points, so the next heaviest *surviving*
+  // pair is the true global maximum; if the buffer runs dry (pathological
+  // overlap among the top pairs), it is refilled with a fresh scan over the
+  // unused points. This turns k/2 quadratic scans into ~1.
+  struct Pair {
+    double dist;
+    size_t i, j;
+    bool operator<(const Pair& other) const { return dist < other.dist; }
+  };
+  const size_t buffer_cap = std::max<size_t>(4 * k * k, 64);
+  std::vector<Pair> heap;  // min-heap of the current top pairs
+  heap.reserve(buffer_cap + 1);
+  auto scan = [&] {
+    heap.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (used[j]) continue;
+        double dist = metric.Distance(points[i], points[j]);
+        if (heap.size() < buffer_cap) {
+          heap.push_back({dist, i, j});
+          std::push_heap(heap.begin(), heap.end(),
+                         [](const Pair& a, const Pair& b) { return b < a; });
+        } else if (dist > heap.front().dist) {
+          std::pop_heap(heap.begin(), heap.end(),
+                        [](const Pair& a, const Pair& b) { return b < a; });
+          heap.back() = {dist, i, j};
+          std::push_heap(heap.begin(), heap.end(),
+                         [](const Pair& a, const Pair& b) { return b < a; });
+        }
+      }
+    }
+    // Sort descending by distance for in-order consumption.
+    std::sort(heap.begin(), heap.end(),
+              [](const Pair& a, const Pair& b) { return b < a; });
+  };
+  scan();
+  size_t cursor = 0;
+  while (chosen.size() + 1 < k) {
+    while (cursor < heap.size() &&
+           (used[heap[cursor].i] || used[heap[cursor].j])) {
+      ++cursor;
+    }
+    if (cursor == heap.size()) {
+      scan();
+      cursor = 0;
+      DIVERSE_CHECK_LT(cursor, heap.size());
+      continue;
+    }
+    used[heap[cursor].i] = used[heap[cursor].j] = true;
+    chosen.push_back(heap[cursor].i);
+    chosen.push_back(heap[cursor].j);
+  }
+  if (chosen.size() < k) {
+    size_t best_i = n;
+    double best = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      double s = 0.0;
+      for (size_t c : chosen) s += metric.Distance(points[i], points[c]);
+      if (s > best) {
+        best = s;
+        best_i = i;
+      }
+    }
+    DIVERSE_CHECK_LT(best_i, n);
+    chosen.push_back(best_i);
+  }
+  return chosen;
+}
+
+std::vector<size_t> SolveSequentialOnMatrix(DiversityProblem problem,
+                                            const DistanceMatrix& d,
+                                            size_t k) {
+  switch (problem) {
+    case DiversityProblem::kRemoteEdge:
+    case DiversityProblem::kRemoteTree:
+    case DiversityProblem::kRemoteCycle:
+      return GmmOnMatrix(d, k);
+    case DiversityProblem::kRemoteClique:
+    case DiversityProblem::kRemoteStar:
+    case DiversityProblem::kRemoteBipartition:
+      return GreedyMatchingOnMatrix(d, k);
+  }
+  return {};
+}
+
+std::vector<size_t> SolveSequential(DiversityProblem problem,
+                                    std::span<const Point> points,
+                                    const Metric& metric, size_t k) {
+  switch (problem) {
+    case DiversityProblem::kRemoteEdge:
+    case DiversityProblem::kRemoteTree:
+    case DiversityProblem::kRemoteCycle:
+      return Gmm(points, metric, k).selected;
+    case DiversityProblem::kRemoteClique:
+    case DiversityProblem::kRemoteStar:
+    case DiversityProblem::kRemoteBipartition:
+      return GreedyMatchingOnPoints(points, metric, k);
+  }
+  return {};
+}
+
+std::vector<size_t> LocalSearchRemoteClique(std::span<const Point> points,
+                                            const Metric& metric,
+                                            std::vector<size_t> initial,
+                                            size_t max_sweeps,
+                                            LocalSearchScan scan) {
+  size_t n = points.size();
+  size_t k = initial.size();
+  DIVERSE_CHECK_GE(k, 1u);
+  std::vector<size_t> current = std::move(initial);
+  std::vector<bool> in_set(n, false);
+  for (size_t idx : current) {
+    DIVERSE_CHECK_LT(idx, n);
+    in_set[idx] = true;
+  }
+
+  // contribution[c] = sum of distances from current[c] to the rest of the
+  // set; swapping current[c] for q changes the objective by
+  // sum_d(q, set minus current[c]) - contribution[c].
+  std::vector<double> contribution(k, 0.0);
+  auto recompute = [&] {
+    for (size_t a = 0; a < k; ++a) {
+      double s = 0.0;
+      for (size_t b = 0; b < k; ++b) {
+        if (a != b) s += metric.Distance(points[current[a]], points[current[b]]);
+      }
+      contribution[a] = s;
+    }
+  };
+  recompute();
+
+  std::vector<double> dq(k);
+  // Evaluates candidate q and applies the best improving swap, if any.
+  auto try_swap = [&](size_t q) {
+    if (in_set[q]) return false;
+    double total = 0.0;
+    for (size_t a = 0; a < k; ++a) {
+      dq[a] = metric.Distance(points[q], points[current[a]]);
+      total += dq[a];
+    }
+    // Best member to evict: the one whose removal keeps the most of q's
+    // contribution while dropping the least of its own.
+    size_t best_a = k;
+    double best_delta = 1e-9;
+    for (size_t a = 0; a < k; ++a) {
+      double delta = (total - dq[a]) - contribution[a];
+      if (delta > best_delta) {
+        best_delta = delta;
+        best_a = a;
+      }
+    }
+    if (best_a == k) return false;
+    in_set[current[best_a]] = false;
+    in_set[q] = true;
+    current[best_a] = q;
+    recompute();
+    return true;
+  };
+
+  if (scan == LocalSearchScan::kContinue) {
+    for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+      bool improved = false;
+      for (size_t q = 0; q < n; ++q) improved |= try_swap(q);
+      if (!improved) break;
+    }
+    return current;
+  }
+
+  // kRestart: the literal published local search — every candidate swap
+  // (q in, current[a] out) is evaluated by recomputing the objective of the
+  // swapped set from scratch (O(k^2) distances), and after every accepted
+  // swap the scan restarts from the beginning. Cost is
+  // O(#improvements * n * k^3); the superlinear growth of #improvements
+  // with n is what Table 4 measures. `max_sweeps` caps accepted swaps as a
+  // termination safety valve only.
+  auto set_value = [&](const std::vector<size_t>& s) {
+    double v = 0.0;
+    for (size_t a = 0; a < s.size(); ++a) {
+      for (size_t b = a + 1; b < s.size(); ++b) {
+        v += metric.Distance(points[s[a]], points[s[b]]);
+      }
+    }
+    return v;
+  };
+  double value = set_value(current);
+  size_t swaps = 0;
+  bool improved = true;
+  std::vector<size_t> trial = current;
+  while (improved && swaps < max_sweeps) {
+    improved = false;
+    for (size_t q = 0; q < n && !improved; ++q) {
+      if (in_set[q]) continue;
+      for (size_t a = 0; a < k; ++a) {
+        trial = current;
+        trial[a] = q;
+        double v = set_value(trial);
+        if (v > value + 1e-9) {
+          in_set[current[a]] = false;
+          in_set[q] = true;
+          current[a] = q;
+          value = v;
+          ++swaps;
+          improved = true;  // restart the scan
+          break;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+namespace {
+
+// gen-div of the multiset encoded by per-kernel counts, evaluated under the
+// given problem (replicas of one kernel at distance 0).
+double GenDivOfCounts(DiversityProblem problem, const DistanceMatrix& kernels,
+                      const std::vector<size_t>& count) {
+  std::vector<size_t> units;
+  for (size_t i = 0; i < count.size(); ++i) {
+    for (size_t c = 0; c < count[i]; ++c) units.push_back(i);
+  }
+  DistanceMatrix d(units.size());
+  for (size_t a = 0; a < units.size(); ++a) {
+    for (size_t b = a + 1; b < units.size(); ++b) {
+      if (units[a] != units[b]) d.set(a, b, kernels.at(units[a], units[b]));
+    }
+  }
+  return EvaluateDiversity(problem, d);
+}
+
+}  // namespace
+
+GeneralizedCoreset SolveSequentialGeneralized(DiversityProblem problem,
+                                              const GeneralizedCoreset& coreset,
+                                              const Metric& metric, size_t k) {
+  DIVERSE_CHECK_GE(coreset.ExpandedSize(), k);
+  size_t s = coreset.size();
+
+  // Work on the s distinct kernel points with multiplicity budgets, instead
+  // of materializing the (s * k)^2 expansion matrix: replica distances equal
+  // kernel distances, so nothing is lost.
+  PointSet kernel_points;
+  std::vector<size_t> budget(s);
+  kernel_points.reserve(s);
+  for (size_t i = 0; i < s; ++i) {
+    kernel_points.push_back(coreset.entries()[i].point);
+    budget[i] = std::min(coreset.entries()[i].multiplicity, k);
+  }
+  DistanceMatrix d(kernel_points, metric);
+
+  // Greedy multiset selection. GMM-family (remote-tree): farthest-first over
+  // distinct kernels; matching-family: heaviest-pair over kernels with
+  // remaining budget. Same-kernel pairs weigh 0, so replicas only enter when
+  // the budgeted distinct kernels run out.
+  std::vector<size_t> count(s, 0);
+  size_t selected = 0;
+  auto remaining = [&](size_t i) { return budget[i] - count[i]; };
+
+  if (problem == DiversityProblem::kRemoteTree) {
+    std::vector<size_t> order = GmmOnMatrix(d, std::min(k, s));
+    for (size_t i : order) {
+      if (selected == k) break;
+      count[i] = 1;
+      ++selected;
+    }
+  } else {
+    while (selected + 1 < k) {
+      size_t best_i = s, best_j = s;
+      double best = -1.0;
+      for (size_t i = 0; i < s; ++i) {
+        if (remaining(i) == 0) continue;
+        for (size_t j = i + 1; j < s; ++j) {
+          if (remaining(j) == 0) continue;
+          if (d.at(i, j) > best) {
+            best = d.at(i, j);
+            best_i = i;
+            best_j = j;
+          }
+        }
+      }
+      if (best_i == s) break;  // fewer than 2 kernels with budget left
+      ++count[best_i];
+      ++count[best_j];
+      selected += 2;
+    }
+  }
+  // Top up to exactly k units from the remaining budget. Among fresh
+  // kernels (which add positive distance, unlike replicas) pick the one
+  // with the largest distance sum to the current selection — the same rule
+  // the plain matching uses for an odd last point.
+  while (selected < k) {
+    size_t pick = s;
+    double pick_score = -1.0;
+    bool pick_fresh = false;
+    for (size_t i = 0; i < s; ++i) {
+      if (remaining(i) == 0) continue;
+      bool fresh = count[i] == 0;
+      if (pick_fresh && !fresh) continue;
+      double score = 0.0;
+      for (size_t u = 0; u < s; ++u) {
+        score += static_cast<double>(count[u]) * d.at(i, u);
+      }
+      if (pick == s || (fresh && !pick_fresh) || score > pick_score) {
+        pick = i;
+        pick_score = score;
+        pick_fresh = fresh;
+      }
+    }
+    DIVERSE_CHECK_LT(pick, s);
+    ++count[pick];
+    ++selected;
+  }
+
+  // Unit-move local search on the remote-clique surrogate: move one selected
+  // unit from kernel x to kernel y while the multiset distance sum improves.
+  // S[z] = sum_u count[u] * d(z, u).
+  std::vector<size_t> improved = count;
+  {
+    std::vector<double> sum_to(s, 0.0);
+    auto recompute = [&] {
+      for (size_t z = 0; z < s; ++z) {
+        double acc = 0.0;
+        for (size_t u = 0; u < s; ++u) {
+          acc += static_cast<double>(improved[u]) * d.at(z, u);
+        }
+        sum_to[z] = acc;
+      }
+    };
+    recompute();
+    bool moved = true;
+    size_t guard = 0;
+    while (moved && guard < 4 * k * s) {
+      moved = false;
+      for (size_t x = 0; x < s && !moved; ++x) {
+        if (improved[x] == 0) continue;
+        for (size_t y = 0; y < s; ++y) {
+          if (y == x || improved[y] >= budget[y]) continue;
+          double delta = (sum_to[y] - d.at(x, y)) - sum_to[x];
+          if (delta > 1e-9) {
+            --improved[x];
+            ++improved[y];
+            recompute();
+            ++guard;
+            moved = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  // The surrogate targets the clique sum; keep the post-passed counts only
+  // if they are at least as good under the actual objective.
+  if (GenDivOfCounts(problem, d, improved) >=
+      GenDivOfCounts(problem, d, count)) {
+    count = improved;
+  }
+
+  GeneralizedCoreset out;
+  for (size_t i = 0; i < s; ++i) {
+    if (count[i] > 0) out.Add(kernel_points[i], count[i]);
+  }
+  DIVERSE_CHECK_EQ(out.ExpandedSize(), k);
+  return out;
+}
+
+}  // namespace diverse

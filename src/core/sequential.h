@@ -1,0 +1,93 @@
+// Sequential approximation algorithms for the six diversity problems — the
+// "alpha" algorithms of Table 1 that run on (core-sets of) the data.
+//
+// Following the paper (Section 6: "the best sequential approximation
+// algorithms ... are essentially based on either finding a maximal matching
+// or running GMM on the input set"):
+//   * remote-edge, remote-tree, remote-cycle: the k-prefix of GMM
+//     (2-, 4-, 3-approximate respectively);
+//   * remote-clique, remote-star, remote-bipartition: greedy heaviest-pair
+//     matching [Hassin-Rubinstein-Tamir 97; Chandra-Halldorsson 01]
+//     (2-, 2-, 3-approximate).
+// Both families have multiplicity-aware adaptations (Fact 2) used with
+// generalized core-sets.
+
+#ifndef DIVERSE_CORE_SEQUENTIAL_H_
+#define DIVERSE_CORE_SEQUENTIAL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/diversity.h"
+#include "core/generalized_coreset.h"
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// Farthest-first traversal driven by a distance matrix instead of points.
+/// Returns the k selected row indices in selection order.
+std::vector<size_t> GmmOnMatrix(const DistanceMatrix& d, size_t k,
+                                size_t first = 0);
+
+/// Greedy heaviest-pair matching on a distance matrix: repeatedly picks the
+/// farthest pair among unused rows until k points are chosen; for odd k the
+/// last point maximizes its distance sum to the chosen set. O(k n^2).
+std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k);
+
+/// Greedy heaviest-pair matching evaluated on the fly (no matrix storage),
+/// for point sets too large to materialize n^2 distances. O(k n^2) distance
+/// evaluations.
+std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
+                                           const Metric& metric, size_t k);
+
+/// Solves the problem on the rows of `d`, returning k row indices.
+/// Dispatches to GmmOnMatrix or GreedyMatchingOnMatrix by problem family.
+std::vector<size_t> SolveSequentialOnMatrix(DiversityProblem problem,
+                                            const DistanceMatrix& d, size_t k);
+
+/// Solves the problem on `points`, returning k indices into `points`.
+/// GMM-family problems cost O(k n) distances; matching-family O(k n^2).
+/// Requires k <= points.size().
+std::vector<size_t> SolveSequential(DiversityProblem problem,
+                                    std::span<const Point> points,
+                                    const Metric& metric, size_t k);
+
+/// Scan policy for LocalSearchRemoteClique.
+enum class LocalSearchScan : uint8_t {
+  /// Continue the candidate sweep after an improving swap (our optimized
+  /// variant: converges in few sweeps).
+  kContinue,
+  /// Restart the candidate scan from the beginning after every improving
+  /// swap — the literal reading of the published local-search pseudocode,
+  /// and the source of the AFZ baseline's superlinear running time
+  /// (cost ~ #improvements * n * k).
+  kRestart,
+};
+
+/// Local-search improvement for remote-clique: starting from `initial`
+/// (k indices into `points`), repeatedly swaps a chosen point for an outside
+/// point while the sum of pairwise distances improves. With kContinue,
+/// `max_sweeps` bounds the number of full candidate sweeps; with kRestart it
+/// bounds the number of accepted swaps (a termination safety valve — the
+/// search normally stops at a local optimum). This is the (intentionally
+/// expensive) core-set construction of the AFZ baseline
+/// [Aghamolaei et al., CCCG 15]; exposed here so tests can exercise it.
+std::vector<size_t> LocalSearchRemoteClique(
+    std::span<const Point> points, const Metric& metric,
+    std::vector<size_t> initial, size_t max_sweeps,
+    LocalSearchScan scan = LocalSearchScan::kContinue);
+
+/// Fact 2: the multiplicity-aware adaptation. Runs the sequential algorithm
+/// for `problem` on the capped expansion of `coreset` (replicas at distance
+/// zero) and returns the selected multiset as a coherent subset T-hat with
+/// expanded size exactly k. Requires coreset.ExpandedSize() >= k.
+GeneralizedCoreset SolveSequentialGeneralized(DiversityProblem problem,
+                                              const GeneralizedCoreset& coreset,
+                                              const Metric& metric, size_t k);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_SEQUENTIAL_H_

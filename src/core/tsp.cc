@@ -1,0 +1,134 @@
+#include "core/tsp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/mst.h"
+#include "util/check.h"
+
+namespace diverse {
+
+double TourWeight(const DistanceMatrix& d, const std::vector<size_t>& tour) {
+  if (tour.size() < 2) return 0.0;
+  double w = 0.0;
+  for (size_t i = 0; i < tour.size(); ++i) {
+    w += d.at(tour[i], tour[(i + 1) % tour.size()]);
+  }
+  return w;
+}
+
+double TspWeightExact(const DistanceMatrix& d) {
+  size_t n = d.size();
+  DIVERSE_CHECK_LE(n, kTspExactLimit);
+  if (n < 2) return 0.0;
+  if (n == 2) return 2.0 * d.at(0, 1);
+
+  // Held-Karp over subsets of {1..n-1} with vertex 0 fixed as tour start.
+  // dp[mask][j] = min cost of a path starting at 0, visiting exactly the
+  // vertices in `mask` (subset of {1..n-1}), and ending at j (j in mask).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  size_t m = n - 1;
+  std::vector<double> dp((size_t{1} << m) * m, kInf);
+  auto idx = [m](size_t mask, size_t j) { return mask * m + j; };
+
+  for (size_t j = 0; j < m; ++j) {
+    dp[idx(size_t{1} << j, j)] = d.at(0, j + 1);
+  }
+  for (size_t mask = 1; mask < (size_t{1} << m); ++mask) {
+    for (size_t j = 0; j < m; ++j) {
+      if (!(mask & (size_t{1} << j))) continue;
+      double cur = dp[idx(mask, j)];
+      if (cur == kInf) continue;
+      for (size_t t = 0; t < m; ++t) {
+        if (mask & (size_t{1} << t)) continue;
+        size_t nmask = mask | (size_t{1} << t);
+        double cand = cur + d.at(j + 1, t + 1);
+        if (cand < dp[idx(nmask, t)]) dp[idx(nmask, t)] = cand;
+      }
+    }
+  }
+  size_t full = (size_t{1} << m) - 1;
+  double best = kInf;
+  for (size_t j = 0; j < m; ++j) {
+    best = std::min(best, dp[idx(full, j)] + d.at(j + 1, 0));
+  }
+  return best;
+}
+
+namespace {
+
+// Applies 2-opt moves until no move shortens the tour. Each move reverses a
+// tour segment; convergence is guaranteed because the tour length strictly
+// decreases. O(n^2) per sweep.
+void TwoOptImprove(const DistanceMatrix& d, std::vector<size_t>& tour) {
+  size_t n = tour.size();
+  if (n < 4) return;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      for (size_t j = i + 2; j < n; ++j) {
+        // Edges (tour[i], tour[i+1]) and (tour[j], tour[j+1 mod n]).
+        size_t a = tour[i], b = tour[i + 1];
+        size_t c = tour[j], e = tour[(j + 1) % n];
+        if (a == e) continue;  // adjacent edges share a vertex
+        double delta = d.at(a, c) + d.at(b, e) - d.at(a, b) - d.at(c, e);
+        if (delta < -1e-12) {
+          std::reverse(tour.begin() + static_cast<ptrdiff_t>(i) + 1,
+                       tour.begin() + static_cast<ptrdiff_t>(j) + 1);
+          improved = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> TspTourHeuristic(const DistanceMatrix& d) {
+  size_t n = d.size();
+  std::vector<size_t> tour;
+  if (n == 0) return tour;
+  tour.reserve(n);
+  if (n <= 3) {
+    for (size_t i = 0; i < n; ++i) tour.push_back(i);
+    return tour;
+  }
+
+  // Double-tree: a preorder (DFS) walk of the MST visits every vertex once;
+  // shortcutting repeated vertices yields a tour of weight <= 2 * w(MST)
+  // <= 2 * w(TSP) on metric inputs.
+  auto edges = MstEdges(d);
+  std::vector<std::vector<size_t>> adj(n);
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<size_t> stack = {0};
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    if (seen[v]) continue;
+    seen[v] = true;
+    tour.push_back(v);
+    // Push in reverse so nearer children (as listed) are visited first.
+    for (auto it = adj[v].rbegin(); it != adj[v].rend(); ++it) {
+      if (!seen[*it]) stack.push_back(*it);
+    }
+  }
+  DIVERSE_CHECK_EQ(tour.size(), n);
+  TwoOptImprove(d, tour);
+  return tour;
+}
+
+double TspWeightHeuristic(const DistanceMatrix& d) {
+  return TourWeight(d, TspTourHeuristic(d));
+}
+
+double TspWeightAuto(const DistanceMatrix& d) {
+  if (d.size() <= kTspExactLimit) return TspWeightExact(d);
+  return TspWeightHeuristic(d);
+}
+
+}  // namespace diverse

@@ -1,0 +1,46 @@
+// Traveling-salesman tour weight over a distance matrix.
+//
+// The remote-cycle diversity objective is w(TSP(S)), the weight of a minimum
+// Hamiltonian cycle. Computing it exactly is NP-hard, so the library offers:
+//  * Held-Karp exact dynamic programming for n <= kTspExactLimit (tests,
+//    small-k experiments), and
+//  * a metric heuristic (MST double-tree shortcutting, then 2-opt local
+//    improvement) whose value is within a factor 2 of optimal on metric
+//    inputs — this is the canonical evaluator at larger k, used consistently
+//    for both our algorithms and baselines so ratio comparisons stay fair.
+
+#ifndef DIVERSE_CORE_TSP_H_
+#define DIVERSE_CORE_TSP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/distance_matrix.h"
+
+namespace diverse {
+
+/// Maximum instance size accepted by TspWeightExact (2^n * n^2 DP).
+inline constexpr size_t kTspExactLimit = 18;
+
+/// Weight of a cyclic tour visiting vertices in the given order.
+/// A tour of size 0 or 1 has weight 0; size 2 counts the edge twice
+/// (the degenerate "cycle" a-b-a).
+double TourWeight(const DistanceMatrix& d, const std::vector<size_t>& tour);
+
+/// Optimal TSP tour weight via Held-Karp. Requires d.size() <= kTspExactLimit.
+double TspWeightExact(const DistanceMatrix& d);
+
+/// Heuristic TSP tour: MST preorder shortcut (2-approximation on metrics)
+/// improved by 2-opt until a local optimum. Returns the visiting order.
+std::vector<size_t> TspTourHeuristic(const DistanceMatrix& d);
+
+/// Weight of TspTourHeuristic(d).
+double TspWeightHeuristic(const DistanceMatrix& d);
+
+/// Exact weight when the instance is small enough, heuristic weight
+/// otherwise. This is the evaluator used by the remote-cycle objective.
+double TspWeightAuto(const DistanceMatrix& d);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_TSP_H_

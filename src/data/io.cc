@@ -1,0 +1,172 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace diverse {
+
+namespace {
+
+constexpr uint32_t kBinaryMagic = 0x44495650;  // "DIVP"
+constexpr uint8_t kDenseTag = 0;
+constexpr uint8_t kSparseTag = 1;
+
+}  // namespace
+
+std::string PointToTextLine(const Point& point) {
+  // %.9g prints enough significant digits for exact float round-trips.
+  char buf[48];
+  std::string out;
+  if (point.is_sparse()) {
+    out = "s " + std::to_string(point.dim());
+    const auto& idx = point.sparse_indices();
+    const auto& val = point.sparse_values();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), " %u:%.9g", idx[i],
+                    static_cast<double>(val[i]));
+      out += buf;
+    }
+  } else {
+    out = "d";
+    for (float v : point.dense_values()) {
+      std::snprintf(buf, sizeof(buf), " %.9g", static_cast<double>(v));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::optional<Point> PointFromTextLine(const std::string& line) {
+  std::istringstream in(line);
+  std::string tag;
+  if (!(in >> tag)) return std::nullopt;
+  if (tag == "d") {
+    std::vector<float> values;
+    float v;
+    while (in >> v) values.push_back(v);
+    if (!in.eof()) return std::nullopt;
+    return Point::Dense(std::move(values));
+  }
+  if (tag == "s") {
+    uint32_t dim;
+    if (!(in >> dim)) return std::nullopt;
+    std::vector<uint32_t> indices;
+    std::vector<float> values;
+    std::string pair;
+    while (in >> pair) {
+      size_t colon = pair.find(':');
+      if (colon == std::string::npos) return std::nullopt;
+      char* end = nullptr;
+      unsigned long idx = std::strtoul(pair.c_str(), &end, 10);
+      if (end != pair.c_str() + colon) return std::nullopt;
+      float val = std::strtof(pair.c_str() + colon + 1, &end);
+      if (end != pair.c_str() + pair.size()) return std::nullopt;
+      if (!indices.empty() && idx <= indices.back()) return std::nullopt;
+      if (idx >= dim) return std::nullopt;
+      indices.push_back(static_cast<uint32_t>(idx));
+      values.push_back(val);
+    }
+    return Point::Sparse(std::move(indices), std::move(values), dim);
+  }
+  return std::nullopt;
+}
+
+bool SavePointsText(const PointSet& points, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# diverse point set, " << points.size() << " points\n";
+  for (const Point& p : points) out << PointToTextLine(p) << "\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<PointSet> LoadPointsText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  PointSet points;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto p = PointFromTextLine(line);
+    if (!p.has_value()) return std::nullopt;
+    points.push_back(std::move(*p));
+  }
+  return points;
+}
+
+bool SavePointsBinary(const PointSet& points, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  uint32_t magic = kBinaryMagic;
+  uint64_t count = points.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Point& p : points) {
+    uint8_t tag = p.is_sparse() ? kSparseTag : kDenseTag;
+    uint32_t dim = static_cast<uint32_t>(p.dim());
+    uint32_t nnz = static_cast<uint32_t>(p.nnz());
+    out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+    if (p.is_sparse()) {
+      out.write(reinterpret_cast<const char*>(p.sparse_indices().data()),
+                static_cast<std::streamsize>(nnz * sizeof(uint32_t)));
+      out.write(reinterpret_cast<const char*>(p.sparse_values().data()),
+                static_cast<std::streamsize>(nnz * sizeof(float)));
+    } else {
+      out.write(reinterpret_cast<const char*>(p.dense_values().data()),
+                static_cast<std::streamsize>(nnz * sizeof(float)));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<PointSet> LoadPointsBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kBinaryMagic) return std::nullopt;
+  PointSet points;
+  points.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t tag;
+    uint32_t dim, nnz;
+    in.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
+    if (!in) return std::nullopt;
+    if (tag == kDenseTag) {
+      if (nnz != dim) return std::nullopt;
+      std::vector<float> values(nnz);
+      in.read(reinterpret_cast<char*>(values.data()),
+              static_cast<std::streamsize>(nnz * sizeof(float)));
+      if (!in) return std::nullopt;
+      points.push_back(Point::Dense(std::move(values)));
+    } else if (tag == kSparseTag) {
+      if (nnz > dim) return std::nullopt;
+      std::vector<uint32_t> indices(nnz);
+      std::vector<float> values(nnz);
+      in.read(reinterpret_cast<char*>(indices.data()),
+              static_cast<std::streamsize>(nnz * sizeof(uint32_t)));
+      in.read(reinterpret_cast<char*>(values.data()),
+              static_cast<std::streamsize>(nnz * sizeof(float)));
+      if (!in) return std::nullopt;
+      for (size_t j = 0; j + 1 < indices.size(); ++j) {
+        if (indices[j] >= indices[j + 1]) return std::nullopt;
+      }
+      if (!indices.empty() && indices.back() >= dim) return std::nullopt;
+      points.push_back(
+          Point::Sparse(std::move(indices), std::move(values), dim));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return points;
+}
+
+}  // namespace diverse

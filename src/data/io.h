@@ -1,0 +1,45 @@
+// Dataset persistence: a text format for interchange and a compact binary
+// format for large generated datasets, so experiments can be re-run on
+// identical inputs (and real datasets like musiXmatch can be imported when
+// available).
+//
+// Text format, one point per line:
+//   dense:  "d v0 v1 ... v_{dim-1}"
+//   sparse: "s <dim> i0:v0 i1:v1 ..."
+// Lines starting with '#' are comments.
+//
+// Binary format: a small header (magic, count) followed by records; see
+// io.cc for the exact layout. Both formats round-trip dense and sparse
+// points exactly.
+
+#ifndef DIVERSE_DATA_IO_H_
+#define DIVERSE_DATA_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/point.h"
+
+namespace diverse {
+
+/// Writes `points` in the text format. Returns false on I/O failure.
+bool SavePointsText(const PointSet& points, const std::string& path);
+
+/// Reads a text-format file. Returns nullopt on I/O or parse failure.
+std::optional<PointSet> LoadPointsText(const std::string& path);
+
+/// Writes `points` in the binary format. Returns false on I/O failure.
+bool SavePointsBinary(const PointSet& points, const std::string& path);
+
+/// Reads a binary-format file. Returns nullopt on I/O or format failure.
+std::optional<PointSet> LoadPointsBinary(const std::string& path);
+
+/// Serializes one point to its text-format line (no trailing newline).
+std::string PointToTextLine(const Point& point);
+
+/// Parses one text-format line. Returns nullopt on malformed input.
+std::optional<Point> PointFromTextLine(const std::string& line);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_DATA_IO_H_

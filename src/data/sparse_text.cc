@@ -1,0 +1,154 @@
+#include "data/sparse_text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace diverse {
+
+namespace {
+
+// Samples from a Zipf distribution over {0..n-1} by inverting the CDF with
+// binary search over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent) : cdf_(n) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = acc;
+    }
+    total_ = acc;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble() * total_;
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return static_cast<size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+PointSet GenerateSparseTextDataset(const SparseTextOptions& options) {
+  DIVERSE_CHECK_GE(options.vocab_size, 1u);
+  DIVERSE_CHECK_GE(options.min_terms, 1u);
+  DIVERSE_CHECK_GE(options.max_terms, options.min_terms);
+  DIVERSE_CHECK_LE(options.max_terms, options.vocab_size);
+  DIVERSE_CHECK_GE(options.topic_fraction, 0.0);
+  DIVERSE_CHECK_LE(options.topic_fraction, 1.0);
+
+  Rng rng(options.seed);
+  ZipfSampler background(options.vocab_size, options.zipf_exponent);
+
+  // Topic t owns the vocabulary slice [t*slice, (t+1)*slice).
+  size_t slice = options.num_topics > 0
+                     ? options.vocab_size / options.num_topics
+                     : 0;
+
+  PointSet docs;
+  docs.reserve(options.n);
+  for (size_t i = 0; i < options.n; ++i) {
+    if (i > 0 && rng.NextDouble() < options.duplicate_fraction) {
+      // Near-duplicate: perturb a random earlier document. The perturbation
+      // strength is itself random so duplicate distances span a continuum of
+      // scales (from near-identical re-releases to loose rewrites) — the
+      // multi-scale structure real corpora exhibit.
+      const Point& base = docs[rng.NextBounded(i)];
+      double strength = 0.05 + 0.75 * rng.NextDouble();
+      std::map<uint32_t, float> counts;
+      for (size_t t = 0; t < base.sparse_indices().size(); ++t) {
+        if (rng.NextDouble() < strength * 0.4) continue;  // drop the term
+        float count = base.sparse_values()[t];
+        if (rng.NextDouble() < strength) {
+          count = std::max(1.0f, count + static_cast<float>(
+                                             rng.NextInRange(-1, 2)));
+        }
+        counts.emplace(base.sparse_indices()[t], count);
+      }
+      size_t extra = static_cast<size_t>(
+          strength * static_cast<double>(base.nnz()) * 0.5);
+      for (size_t t = 0; t < extra && counts.size() < options.max_terms;
+           ++t) {
+        counts.emplace(static_cast<uint32_t>(background.Sample(rng)), 1.0f);
+      }
+      // Term drops may have pushed the document below the corpus filter;
+      // refill from the background to respect the min_terms invariant.
+      while (counts.size() < options.min_terms) {
+        counts.emplace(static_cast<uint32_t>(background.Sample(rng)), 1.0f);
+      }
+      std::vector<uint32_t> indices;
+      std::vector<float> values;
+      for (const auto& [term, count] : counts) {
+        indices.push_back(term);
+        values.push_back(count);
+      }
+      docs.push_back(Point::Sparse(std::move(indices), std::move(values),
+                                   options.vocab_size));
+      continue;
+    }
+    // Power-law document length in [min_terms, max_terms]: inverse-CDF of
+    // p(l) ~ 1/l^2, the shape of real bag-of-words length distributions.
+    double u = rng.NextDouble();
+    double lo = static_cast<double>(options.min_terms);
+    double hi = static_cast<double>(options.max_terms);
+    double len = lo * hi / (hi - u * (hi - lo));
+    size_t num_terms = static_cast<size_t>(len);
+    num_terms = std::clamp(num_terms, options.min_terms, options.max_terms);
+
+    bool topical = options.num_topics > 0 && slice > 1 &&
+                   rng.NextDouble() < options.topic_fraction;
+    // Topical documents are *mixtures* of two topics with a random mixing
+    // weight, and their overall topical bias is itself random. This yields a
+    // continuum of pairwise angles (like real text), rather than the bimodal
+    // same-topic/different-topic distribution a single-topic model produces —
+    // important for the streaming doubling algorithm, whose phase thresholds
+    // otherwise saturate immediately.
+    size_t topic_a = topical ? rng.NextBounded(options.num_topics) : 0;
+    size_t topic_b = topical ? rng.NextBounded(options.num_topics) : 0;
+    double mix = rng.NextDouble();
+    double bias = topical ? 0.2 + (options.topic_term_bias - 0.2) *
+                                      rng.NextDouble()
+                          : 0.0;
+
+    // Draw distinct terms; counts follow a small geometric-ish distribution,
+    // like word repetitions inside one document.
+    std::map<uint32_t, float> counts;
+    while (counts.size() < num_terms) {
+      uint32_t term;
+      if (topical && rng.NextDouble() < bias) {
+        size_t topic = rng.NextDouble() < mix ? topic_a : topic_b;
+        term = static_cast<uint32_t>(topic * slice + rng.NextBounded(slice));
+      } else {
+        term = static_cast<uint32_t>(background.Sample(rng));
+      }
+      float count = 1.0f;
+      while (rng.NextDouble() < 0.3 && count < 32.0f) count += 1.0f;
+      counts.emplace(term, count);  // keep the first draw of a repeated term
+    }
+
+    std::vector<uint32_t> indices;
+    std::vector<float> values;
+    indices.reserve(counts.size());
+    values.reserve(counts.size());
+    for (const auto& [term, count] : counts) {
+      indices.push_back(term);
+      values.push_back(count);
+    }
+    docs.push_back(
+        Point::Sparse(std::move(indices), std::move(values),
+                      options.vocab_size));
+  }
+  return docs;
+}
+
+}  // namespace diverse

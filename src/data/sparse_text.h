@@ -1,0 +1,62 @@
+// Synthetic sparse word-count corpus — the musiXmatch substitute.
+//
+// The paper's real-world dataset is the musiXmatch lyrics collection:
+// 234,363 bag-of-words vectors over the 5,000 most frequent terms, at least
+// 10 terms per document, compared under the cosine distance. That dataset
+// is not redistributable here, so we generate a corpus with the same
+// structural properties (see DESIGN.md §5):
+//   * vocabulary of `vocab_size` terms with Zipf-distributed frequencies
+//     (natural-language term statistics);
+//   * document lengths (distinct terms) power-law distributed with a lower
+//     bound of `min_terms`, mirroring the paper's ">= 10 frequent words"
+//     filter;
+//   * `num_topics` planted topic blocks: each topic owns a disjoint slice of
+//     the vocabulary and topic documents draw most terms from their slice,
+//     so documents of different topics are nearly orthogonal — guaranteeing
+//     a set of far-away points under the cosine distance, the same role the
+//     sphere surface plays in the Euclidean generator.
+
+#ifndef DIVERSE_DATA_SPARSE_TEXT_H_
+#define DIVERSE_DATA_SPARSE_TEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/point.h"
+
+namespace diverse {
+
+/// Parameters of the synthetic corpus generator.
+struct SparseTextOptions {
+  /// Number of documents.
+  size_t n = 10000;
+  /// Vocabulary size (the paper uses the top 5000 terms).
+  uint32_t vocab_size = 5000;
+  /// Minimum distinct terms per document (the paper filters at 10).
+  size_t min_terms = 10;
+  /// Maximum distinct terms per document.
+  size_t max_terms = 120;
+  /// Zipf exponent of the background term distribution.
+  double zipf_exponent = 1.1;
+  /// Number of planted topics (0 disables topical structure).
+  size_t num_topics = 32;
+  /// Fraction of documents attached to a topic; the rest are background.
+  double topic_fraction = 0.5;
+  /// Probability that a term of a topic document comes from the topic's
+  /// vocabulary slice (the rest are background noise).
+  double topic_term_bias = 0.9;
+  /// Fraction of documents that are *near-duplicates* of an earlier document
+  /// (slightly perturbed copies — covers, remixes, re-releases in a lyrics
+  /// corpus). Near-duplicates give the pairwise-distance distribution the
+  /// wide dynamic range real corpora have, which the streaming doubling
+  /// algorithm's phase thresholds depend on.
+  double duplicate_fraction = 0.15;
+  uint64_t seed = 1;
+};
+
+/// Generates the corpus as sparse count vectors.
+PointSet GenerateSparseTextDataset(const SparseTextOptions& options);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_DATA_SPARSE_TEXT_H_

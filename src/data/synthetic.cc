@@ -1,0 +1,104 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace diverse {
+
+Point RandomSpherePoint(Rng& rng, size_t dim, double radius) {
+  // Gaussian direction, normalized: uniform on the sphere.
+  std::vector<float> v(dim);
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      double g = rng.NextGaussian();
+      v[d] = static_cast<float>(g);
+      norm2 += g * g;
+    }
+  } while (norm2 == 0.0);
+  double scale = radius / std::sqrt(norm2);
+  for (size_t d = 0; d < dim; ++d) {
+    v[d] = static_cast<float>(v[d] * scale);
+  }
+  return Point::Dense(std::move(v));
+}
+
+Point RandomBallPoint(Rng& rng, size_t dim, double radius) {
+  // Uniform in the ball: uniform direction scaled by U^(1/dim).
+  double u = rng.NextDouble();
+  double r = radius * std::pow(u, 1.0 / static_cast<double>(dim));
+  return RandomSpherePoint(rng, dim, r);
+}
+
+PointSet GenerateSphereDataset(const SphereDatasetOptions& options) {
+  DIVERSE_CHECK_GE(options.n, options.k);
+  DIVERSE_CHECK_GE(options.dim, 1u);
+  Rng rng(options.seed);
+  PointSet points;
+  points.reserve(options.n);
+  for (size_t i = 0; i < options.k; ++i) {
+    points.push_back(RandomSpherePoint(rng, options.dim, 1.0));
+  }
+  for (size_t i = options.k; i < options.n; ++i) {
+    points.push_back(RandomBallPoint(rng, options.dim, options.inner_radius));
+  }
+  return points;
+}
+
+SphereStream::SphereStream(const SphereDatasetOptions& options)
+    : options_(options), rng_(options.seed) {
+  DIVERSE_CHECK_GE(options.n, options.k);
+}
+
+Point SphereStream::Next() {
+  DIVERSE_CHECK(HasNext());
+  ++produced_;
+  size_t remaining = options_.n - produced_ + 1;
+  size_t planted_left = options_.k - planted_emitted_;
+  // Emit a planted point with probability planted_left / remaining, which
+  // scatters the k planted points uniformly over stream positions while
+  // guaranteeing all are emitted by the end.
+  if (planted_left > 0 && rng_.NextBounded(remaining) < planted_left) {
+    ++planted_emitted_;
+    return RandomSpherePoint(rng_, options_.dim, 1.0);
+  }
+  return RandomBallPoint(rng_, options_.dim, options_.inner_radius);
+}
+
+PointSet GenerateUniformCube(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  PointSet points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = static_cast<float>(rng.NextDouble());
+    }
+    points.push_back(Point::Dense(std::move(v)));
+  }
+  return points;
+}
+
+PointSet GenerateGaussianBlobs(size_t n, size_t centers, size_t dim,
+                               double stddev, uint64_t seed) {
+  DIVERSE_CHECK_GE(centers, 1u);
+  Rng rng(seed);
+  PointSet center_points = GenerateUniformCube(centers, dim, rng.Next());
+  PointSet points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& c = center_points[i % centers];
+    std::vector<float> v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = static_cast<float>(c.dense_values()[d] +
+                                stddev * rng.NextGaussian());
+    }
+    points.push_back(Point::Dense(std::move(v)));
+  }
+  return points;
+}
+
+}  // namespace diverse

@@ -1,0 +1,86 @@
+#include "mapreduce/afz.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/coreset.h"
+#include "core/sequential.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+
+namespace {
+
+// AFZ round-1 core-set for one partition.
+PointSet AfzPartitionCoreset(const PointSet& part, const Metric& metric,
+                             DiversityProblem problem, size_t k,
+                             size_t max_sweeps) {
+  size_t kk = std::min(k, part.size());
+  if (problem == DiversityProblem::kRemoteEdge) {
+    return GmmCoreset(part, metric, kk).points;
+  }
+  DIVERSE_CHECK(problem == DiversityProblem::kRemoteClique);
+  // Local search from an arbitrary initial set (the first k points, as the
+  // construction prescribes "any" initial solution).
+  std::vector<size_t> initial(kk);
+  std::iota(initial.begin(), initial.end(), 0);
+  std::vector<size_t> chosen =
+      LocalSearchRemoteClique(part, metric, std::move(initial), max_sweeps,
+                              LocalSearchScan::kRestart);
+  PointSet out;
+  out.reserve(chosen.size());
+  for (size_t idx : chosen) out.push_back(part[idx]);
+  return out;
+}
+
+}  // namespace
+
+MrResult RunAfz(const PointSet& input, const Metric& metric,
+                DiversityProblem problem, const AfzOptions& options) {
+  DIVERSE_CHECK(problem == DiversityProblem::kRemoteEdge ||
+                problem == DiversityProblem::kRemoteClique);
+  DIVERSE_CHECK_GE(input.size(), options.num_partitions);
+  Timer total;
+  MrResult result;
+  MapReduceSimulator sim(options.num_workers);
+
+  std::vector<PointSet> parts =
+      PartitionPoints(input, options.num_partitions, options.partition,
+                      options.seed, &metric);
+
+  std::vector<PointSet> coresets(parts.size());
+  sim.RunRoundWithSizes(
+      "afz-coreset", parts.size(),
+      [&](size_t i) {
+        coresets[i] = AfzPartitionCoreset(parts[i], metric, problem,
+                                          options.k, options.max_sweeps);
+      },
+      [&](size_t i) { return parts[i].size(); },
+      [&](size_t i) { return coresets[i].size(); });
+
+  PointSet aggregate;
+  PointSet solution;
+  sim.RunRoundWithSizes(
+      "afz-solve", 1,
+      [&](size_t) {
+        for (const PointSet& c : coresets) {
+          aggregate.insert(aggregate.end(), c.begin(), c.end());
+        }
+        size_t k = std::min(options.k, aggregate.size());
+        std::vector<size_t> picked =
+            SolveSequential(problem, aggregate, metric, k);
+        for (size_t idx : picked) solution.push_back(aggregate[idx]);
+      },
+      [&](size_t) { return aggregate.size(); },
+      [&](size_t) { return solution.size(); });
+
+  result.solution = std::move(solution);
+  result.diversity = EvaluateDiversity(problem, result.solution, metric);
+  result.coreset_size = aggregate.size();
+  AccumulateRoundStats(sim, &result);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace diverse

@@ -1,0 +1,78 @@
+// A small in-process MapReduce simulator.
+//
+// The paper's MR model (Karloff et al. / Pietracaprina et al.): a round
+// applies a reducer function independently to each part of a partitioned
+// multiset, under a local memory budget M_L per reducer and a total budget
+// M_T. We replace the distributed transport of Spark with a thread pool and
+// keep everything else observable: per-round wall time, per-reducer input /
+// output sizes, and the maximum local memory actually touched, so benches
+// can report the quantities Theorems 6-10 bound.
+
+#ifndef DIVERSE_MAPREDUCE_MAPREDUCE_H_
+#define DIVERSE_MAPREDUCE_MAPREDUCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace diverse {
+
+/// Observability record for one simulated round.
+struct RoundStats {
+  std::string name;
+  size_t num_reducers = 0;
+  double wall_seconds = 0.0;
+  /// Per-reducer input sizes in points, as reported by the driver.
+  std::vector<size_t> input_points;
+  /// Per-reducer output sizes in points, as reported by the driver.
+  std::vector<size_t> output_points;
+
+  /// Largest reducer input — the M_L this round actually required.
+  size_t MaxInputPoints() const;
+  /// Sum of reducer outputs — the shuffle volume to the next round.
+  size_t TotalOutputPoints() const;
+};
+
+/// Executes rounds of reducer tasks on a fixed worker pool and accumulates
+/// RoundStats. `num_workers` models the number of physical processors (the
+/// "parallelism" axis of Figures 4 and 5); the number of reducers per round
+/// is chosen by the caller and may exceed it, in which case reducers queue,
+/// exactly like Spark tasks on a smaller cluster.
+class MapReduceSimulator {
+ public:
+  explicit MapReduceSimulator(size_t num_workers);
+
+  /// Runs `reducer(i)` for every i in [0, num_reducers), in parallel across
+  /// the worker pool, and records timing. The reducer must fill in its
+  /// input/output sizes through the returned stats object *before* the next
+  /// round if it wants them recorded; more simply, use the overload below.
+  void RunRound(const std::string& name, size_t num_reducers,
+                const std::function<void(size_t)>& reducer);
+
+  /// As above, but the driver also supplies per-reducer size reporters:
+  /// sizes are recorded into the round's stats after the barrier.
+  void RunRoundWithSizes(
+      const std::string& name, size_t num_reducers,
+      const std::function<void(size_t)>& reducer,
+      const std::function<size_t(size_t)>& input_points_of,
+      const std::function<size_t(size_t)>& output_points_of);
+
+  /// Stats of every round run so far, in order.
+  const std::vector<RoundStats>& rounds() const { return rounds_; }
+
+  /// Number of rounds executed.
+  size_t num_rounds() const { return rounds_.size(); }
+
+  size_t num_workers() const { return pool_.num_threads(); }
+
+ private:
+  ThreadPool pool_;
+  std::vector<RoundStats> rounds_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MAPREDUCE_MAPREDUCE_H_

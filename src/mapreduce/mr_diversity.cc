@@ -1,0 +1,239 @@
+#include "mapreduce/mr_diversity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/coreset.h"
+#include "core/generalized_coreset.h"
+#include "core/sequential.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace diverse {
+
+MapReduceDiversity::MapReduceDiversity(const Metric* metric,
+                                       DiversityProblem problem,
+                                       const MrOptions& options)
+    : metric_(metric), problem_(problem), options_(options) {
+  DIVERSE_CHECK(metric != nullptr);
+  DIVERSE_CHECK_GE(options.k, 1u);
+  DIVERSE_CHECK_GE(options.k_prime, options.k);
+  DIVERSE_CHECK_GE(options.num_partitions, 1u);
+  DIVERSE_CHECK_GE(options.num_workers, 1u);
+}
+
+void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result) {
+  result->rounds = sim.num_rounds();
+  for (const RoundStats& r : sim.rounds()) {
+    result->round_seconds.push_back(r.wall_seconds);
+    result->max_local_memory_points =
+        std::max(result->max_local_memory_points, r.MaxInputPoints());
+    result->shuffle_points += r.TotalOutputPoints();
+  }
+}
+
+PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
+                                              size_t input_size) const {
+  size_t k_prime = std::min(options_.k_prime, part.size());
+  if (!RequiresInjectiveProxies(problem_)) {
+    return GmmCoreset(part, *metric_, k_prime).points;
+  }
+  size_t delegates = options_.k - 1;
+  if (options_.randomized_delegate_cap) {
+    // Theorem 7: with a random partition, no part holds more than
+    // Theta(max(log n, k/l)) points of any optimal solution w.h.p., so that
+    // many delegates per cluster suffice. The deterministic k-1 is always
+    // enough, so the cap never exceeds it.
+    size_t log_n = static_cast<size_t>(
+        std::ceil(std::log2(static_cast<double>(std::max<size_t>(input_size, 2)))));
+    size_t k_over_l =
+        (options_.k + options_.num_partitions - 1) / options_.num_partitions;
+    delegates = std::min(options_.k - 1, std::max(log_n, k_over_l));
+  }
+  return GmmExtCoreset(part, *metric_, k_prime, delegates).points;
+}
+
+MrResult MapReduceDiversity::Run(const PointSet& input) const {
+  DIVERSE_CHECK_GE(input.size(), options_.num_partitions);
+  Timer total;
+  MrResult result;
+  MapReduceSimulator sim(options_.num_workers);
+
+  std::vector<PointSet> parts =
+      PartitionPoints(input, options_.num_partitions, options_.partition,
+                      options_.seed, metric_);
+
+  // Round 1: one reducer per partition computes its composable core-set.
+  std::vector<PointSet> coresets(parts.size());
+  sim.RunRoundWithSizes(
+      "coreset", parts.size(),
+      [&](size_t i) { coresets[i] = PartitionCoreset(parts[i], input.size()); },
+      [&](size_t i) { return parts[i].size(); },
+      [&](size_t i) { return coresets[i].size(); });
+
+  // Round 2: a single reducer aggregates T = union of core-sets and runs the
+  // sequential approximation algorithm.
+  PointSet aggregate;
+  PointSet solution;
+  sim.RunRoundWithSizes(
+      "solve", 1,
+      [&](size_t) {
+        for (const PointSet& c : coresets) {
+          aggregate.insert(aggregate.end(), c.begin(), c.end());
+        }
+        size_t k = std::min(options_.k, aggregate.size());
+        std::vector<size_t> picked =
+            SolveSequential(problem_, aggregate, *metric_, k);
+        solution.reserve(picked.size());
+        for (size_t idx : picked) solution.push_back(aggregate[idx]);
+      },
+      [&](size_t) { return aggregate.size(); },
+      [&](size_t) { return solution.size(); });
+
+  result.solution = std::move(solution);
+  result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
+  result.coreset_size = aggregate.size();
+  AccumulateRoundStats(sim, &result);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
+  DIVERSE_CHECK(RequiresInjectiveProxies(problem_));
+  DIVERSE_CHECK_GE(input.size(), options_.num_partitions);
+  Timer total;
+  MrResult result;
+  MapReduceSimulator sim(options_.num_workers);
+
+  std::vector<PointSet> parts =
+      PartitionPoints(input, options_.num_partitions, options_.partition,
+                      options_.seed, metric_);
+
+  // Round 1: GMM-GEN per partition; keep each kernel's range so the
+  // instantiation radius r_T = max_i r_{T_i} is known.
+  std::vector<GeneralizedCoreset> gens(parts.size());
+  std::vector<double> ranges(parts.size(), 0.0);
+  sim.RunRoundWithSizes(
+      "gen-coreset", parts.size(),
+      [&](size_t i) {
+        size_t k_prime = std::min(options_.k_prime, parts[i].size());
+        gens[i] = GmmGenCoreset(parts[i], *metric_, options_.k, k_prime,
+                                &ranges[i]);
+      },
+      [&](size_t i) { return parts[i].size(); },
+      [&](size_t i) { return gens[i].size(); });
+  double r_t = *std::max_element(ranges.begin(), ranges.end());
+
+  // Round 2: one reducer merges the generalized core-sets and picks the
+  // coherent subset T-hat of expanded size k (Fact 2).
+  GeneralizedCoreset selected;
+  size_t merged_size = 0;
+  sim.RunRoundWithSizes(
+      "gen-solve", 1,
+      [&](size_t) {
+        GeneralizedCoreset merged = GeneralizedCoreset::Merge(gens);
+        merged_size = merged.size();
+        size_t k = std::min(options_.k, merged.ExpandedSize());
+        selected = SolveSequentialGeneralized(problem_, merged, *metric_, k);
+      },
+      [&](size_t) { return merged_size; },
+      [&](size_t) { return selected.size(); });
+
+  // Round 3: each partition instantiates the selected pairs whose kernel
+  // point it owns: m_p distinct delegates within r_T of p. Partitions are
+  // disjoint, so per-partition instantiations are globally disjoint.
+  std::vector<GeneralizedCoreset> per_part(parts.size());
+  {
+    std::vector<bool> assigned(selected.size(), false);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (size_t e = 0; e < selected.size(); ++e) {
+        if (assigned[e]) continue;
+        const Point& p = selected.entries()[e].point;
+        for (const Point& q : parts[i]) {
+          if (q == p) {
+            per_part[i].Add(p, selected.entries()[e].multiplicity);
+            assigned[e] = true;
+            break;
+          }
+        }
+      }
+    }
+    for (size_t e = 0; e < selected.size(); ++e) DIVERSE_CHECK(assigned[e]);
+  }
+  std::vector<PointSet> instantiated(parts.size());
+  sim.RunRoundWithSizes(
+      "instantiate", parts.size(),
+      [&](size_t i) {
+        if (per_part[i].size() == 0) return;
+        auto inst = Instantiate(per_part[i], parts[i], *metric_, r_t);
+        DIVERSE_CHECK(inst.has_value());
+        instantiated[i] = std::move(*inst);
+      },
+      [&](size_t i) { return parts[i].size(); },
+      [&](size_t i) { return instantiated[i].size(); });
+
+  for (PointSet& inst : instantiated) {
+    result.solution.insert(result.solution.end(), inst.begin(), inst.end());
+  }
+  result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
+  result.coreset_size = merged_size;
+  AccumulateRoundStats(sim, &result);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
+                                          size_t local_memory_budget) const {
+  DIVERSE_CHECK_GE(local_memory_budget, options_.k_prime);
+  Timer total;
+  MrResult result;
+  MapReduceSimulator sim(options_.num_workers);
+
+  PointSet current = input;
+  int level = 0;
+  // Compress through core-set rounds until one reducer can hold everything.
+  while (current.size() > local_memory_budget) {
+    size_t parts_needed =
+        (current.size() + local_memory_budget - 1) / local_memory_budget;
+    std::vector<PointSet> parts =
+        PartitionPoints(current, parts_needed, options_.partition,
+                        options_.seed + static_cast<uint64_t>(level), metric_);
+    std::vector<PointSet> coresets(parts.size());
+    sim.RunRoundWithSizes(
+        "coreset-l" + std::to_string(level), parts.size(),
+        [&](size_t i) {
+          coresets[i] = PartitionCoreset(parts[i], input.size());
+        },
+        [&](size_t i) { return parts[i].size(); },
+        [&](size_t i) { return coresets[i].size(); });
+    PointSet next;
+    for (PointSet& c : coresets) {
+      next.insert(next.end(), c.begin(), c.end());
+    }
+    // Guard against non-progress (budget too tight for k' per part).
+    DIVERSE_CHECK_LT(next.size(), current.size());
+    current = std::move(next);
+    ++level;
+  }
+
+  PointSet solution;
+  sim.RunRoundWithSizes(
+      "solve", 1,
+      [&](size_t) {
+        size_t k = std::min(options_.k, current.size());
+        std::vector<size_t> picked =
+            SolveSequential(problem_, current, *metric_, k);
+        for (size_t idx : picked) solution.push_back(current[idx]);
+      },
+      [&](size_t) { return current.size(); },
+      [&](size_t) { return solution.size(); });
+
+  result.solution = std::move(solution);
+  result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
+  result.coreset_size = current.size();
+  AccumulateRoundStats(sim, &result);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace diverse

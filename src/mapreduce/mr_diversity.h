@@ -1,0 +1,114 @@
+// MapReduce diversity maximization — the "CPPU" algorithms of the paper.
+//
+//   * Run()            — the 2-round algorithm of Theorem 6: round 1 computes
+//                        a composable core-set (GMM for remote-edge/-cycle,
+//                        GMM-EXT for the other four) on each partition;
+//                        round 2 aggregates the core-sets in one reducer and
+//                        runs the sequential alpha-approximation. With the
+//                        randomized delegate cap of Theorem 7 enabled, round
+//                        1 caps delegates at Theta(max(log n, k/l)) instead
+//                        of k-1, shrinking the aggregate core-set.
+//   * RunGeneralized() — the 3-round algorithm of Theorem 10 (injective-proxy
+//                        problems only): round 1 GMM-GEN, round 2 solves the
+//                        multiset problem on the merged generalized core-set,
+//                        round 3 instantiates distinct delegates per
+//                        partition.
+//   * RunRecursive()   — the multi-round recursion of Theorem 8: core-sets of
+//                        core-sets until the aggregate fits the local memory
+//                        budget.
+
+#ifndef DIVERSE_MAPREDUCE_MR_DIVERSITY_H_
+#define DIVERSE_MAPREDUCE_MR_DIVERSITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/diversity.h"
+#include "core/metric.h"
+#include "core/point.h"
+#include "mapreduce/mapreduce.h"
+#include "mapreduce/partitioner.h"
+
+namespace diverse {
+
+/// Configuration of a MapReduce diversity run.
+struct MrOptions {
+  /// Solution size.
+  size_t k = 8;
+  /// Core-set kernel size per partition (k' of the paper); >= k.
+  size_t k_prime = 8;
+  /// Number of partitions l (== number of round-1 reducers).
+  size_t num_partitions = 4;
+  /// Number of simulated processors executing reducers.
+  size_t num_workers = 4;
+  /// How the input is split.
+  PartitionStrategy partition = PartitionStrategy::kRandom;
+  /// Seed for partitioning (and nothing else; the algorithms are
+  /// deterministic given the partition).
+  uint64_t seed = 1;
+  /// Theorem 7: cap delegates per cluster at
+  /// max(ceil(log2 n), ceil(k / num_partitions)) instead of k-1.
+  bool randomized_delegate_cap = false;
+};
+
+/// Outcome of a MapReduce run.
+struct MrResult {
+  /// The k selected points.
+  PointSet solution;
+  /// div(solution) under the configured objective.
+  double diversity = 0.0;
+  /// Aggregate core-set size |T| fed to the final sequential step.
+  size_t coreset_size = 0;
+  /// max over reducers and rounds of the points a reducer held (the
+  /// observed M_L).
+  size_t max_local_memory_points = 0;
+  /// Number of MR rounds executed.
+  size_t rounds = 0;
+  /// Wall time of each round, seconds.
+  std::vector<double> round_seconds;
+  /// Points shuffled between rounds (sum over all rounds of the reducers'
+  /// output sizes) — the communication volume a real cluster would pay.
+  size_t shuffle_points = 0;
+  /// Total wall time, seconds.
+  double total_seconds = 0.0;
+};
+
+/// Copies round count, per-round wall times, max reducer input (M_L) and
+/// total shuffle volume from a finished simulator into `result`. Shared by
+/// the CPPU drivers and the AFZ baseline.
+void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result);
+
+/// Driver for the MapReduce algorithms. Thread-safe for concurrent Run()
+/// calls only through distinct instances.
+class MapReduceDiversity {
+ public:
+  /// `metric` must outlive this object.
+  MapReduceDiversity(const Metric* metric, DiversityProblem problem,
+                     const MrOptions& options);
+
+  /// 2-round algorithm (Theorems 6/7).
+  MrResult Run(const PointSet& input) const;
+
+  /// 3-round generalized-core-set algorithm (Theorem 10). Requires an
+  /// injective-proxy problem.
+  MrResult RunGeneralized(const PointSet& input) const;
+
+  /// Multi-round recursion (Theorem 8): keeps compressing through rounds of
+  /// composable core-sets until the aggregate has at most
+  /// `local_memory_budget` points, then solves sequentially.
+  MrResult RunRecursive(const PointSet& input,
+                        size_t local_memory_budget) const;
+
+ private:
+  // Core-set for one partition under the configured problem family.
+  PointSet PartitionCoreset(const PointSet& part, size_t input_size) const;
+
+  const Metric* metric_;
+  DiversityProblem problem_;
+  MrOptions options_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MAPREDUCE_MR_DIVERSITY_H_

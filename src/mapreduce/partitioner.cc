@@ -1,0 +1,91 @@
+#include "mapreduce/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace diverse {
+
+std::string PartitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kChunked:
+      return "chunked";
+    case PartitionStrategy::kRandom:
+      return "random";
+    case PartitionStrategy::kAdversarial:
+      return "adversarial";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Compares dense points lexicographically by coordinates.
+bool LexLess(const Point& a, const Point& b) {
+  const auto& va = a.dense_values();
+  const auto& vb = b.dense_values();
+  return std::lexicographical_compare(va.begin(), va.end(), vb.begin(),
+                                      vb.end());
+}
+
+}  // namespace
+
+std::vector<PointSet> PartitionPoints(std::span<const Point> points,
+                                      size_t num_parts,
+                                      PartitionStrategy strategy,
+                                      uint64_t seed, const Metric* metric) {
+  size_t n = points.size();
+  DIVERSE_CHECK_GE(num_parts, 1u);
+  DIVERSE_CHECK_LE(num_parts, n);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (strategy) {
+    case PartitionStrategy::kChunked:
+      break;
+    case PartitionStrategy::kRandom: {
+      Rng rng(seed);
+      for (size_t i = n; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+      break;
+    }
+    case PartitionStrategy::kAdversarial: {
+      if (!points.empty() && !points[0].is_sparse()) {
+        std::sort(order.begin(), order.end(), [&points](size_t a, size_t b) {
+          return LexLess(points[a], points[b]);
+        });
+      } else {
+        DIVERSE_CHECK(metric != nullptr);
+        const Point& pivot = points[0];
+        std::vector<double> key(n);
+        for (size_t i = 0; i < n; ++i) {
+          key[i] = metric->Distance(points[i], pivot);
+        }
+        std::sort(order.begin(), order.end(),
+                  [&key](size_t a, size_t b) { return key[a] < key[b]; });
+      }
+      break;
+    }
+  }
+
+  // Split `order` into num_parts blocks whose sizes differ by at most one.
+  std::vector<PointSet> parts(num_parts);
+  size_t base = n / num_parts;
+  size_t extra = n % num_parts;
+  size_t pos = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    size_t len = base + (p < extra ? 1 : 0);
+    parts[p].reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      parts[p].push_back(points[order[pos++]]);
+    }
+  }
+  DIVERSE_CHECK_EQ(pos, n);
+  return parts;
+}
+
+}  // namespace diverse

@@ -1,0 +1,50 @@
+// Input partitioning strategies for the MapReduce algorithms.
+//
+// Theorems 4-6 hold for *arbitrary* partitions (that is the point of
+// composable core-sets), but Section 7.2 of the paper studies how the
+// partition affects practical quality: a random shuffle is the default, and
+// an "adversarial" partition that confines each reducer to a region of
+// small volume worsens the ratio by up to ~10%. We provide all three
+// strategies used there.
+
+#ifndef DIVERSE_MAPREDUCE_PARTITIONER_H_
+#define DIVERSE_MAPREDUCE_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// How the input is split among reducers.
+enum class PartitionStrategy : uint8_t {
+  /// Contiguous equal-size blocks in input order.
+  kChunked,
+  /// Random shuffle, then equal-size blocks (the paper's default).
+  kRandom,
+  /// Sorted so that each block covers a small-volume region: dense points
+  /// are sorted lexicographically by coordinates; other points by distance
+  /// to the first point (thin metric shells). This is the obfuscating
+  /// partition of Section 7.2.
+  kAdversarial,
+};
+
+/// Short name, e.g. "random".
+std::string PartitionStrategyName(PartitionStrategy strategy);
+
+/// Splits `points` into `num_parts` subsets of (near-)equal size according
+/// to `strategy`. `metric` is needed only for kAdversarial on sparse points;
+/// it may be null otherwise. Requires 1 <= num_parts <= points.size().
+std::vector<PointSet> PartitionPoints(std::span<const Point> points,
+                                      size_t num_parts,
+                                      PartitionStrategy strategy,
+                                      uint64_t seed,
+                                      const Metric* metric = nullptr);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MAPREDUCE_PARTITIONER_H_

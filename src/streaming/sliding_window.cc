@@ -1,0 +1,100 @@
+#include "streaming/sliding_window.h"
+
+#include <algorithm>
+
+#include "core/sequential.h"
+#include "util/check.h"
+
+namespace diverse {
+
+SlidingWindowDiversity::SlidingWindowDiversity(
+    const Metric* metric, const SlidingWindowOptions& options)
+    : metric_(metric), options_(options) {
+  DIVERSE_CHECK(metric != nullptr);
+  DIVERSE_CHECK_GE(options_.k, 1u);
+  DIVERSE_CHECK_GE(options_.k_prime, options_.k);
+  if (options_.block == 0) {
+    options_.block = std::max(options_.window / 8, options_.k_prime);
+  }
+  DIVERSE_CHECK_GE(options_.window, options_.block);
+  // Retained full blocks: enough that the retained span always covers the
+  // last `window` points once that many have arrived.
+  max_blocks_ = (options_.window + options_.block - 1) / options_.block;
+  StartBlock();
+}
+
+void SlidingWindowDiversity::StartBlock() {
+  if (RequiresInjectiveProxies(options_.problem)) {
+    running_smm_ext_ = std::make_unique<SmmExt>(metric_, options_.k,
+                                                options_.k_prime);
+    running_smm_.reset();
+  } else {
+    running_smm_ =
+        std::make_unique<Smm>(metric_, options_.k, options_.k_prime);
+    running_smm_ext_.reset();
+  }
+  running_count_ = 0;
+}
+
+void SlidingWindowDiversity::SealBlock() {
+  Block block;
+  block.coreset =
+      running_smm_ ? running_smm_->Finalize() : running_smm_ext_->Finalize();
+  blocks_.push_back(std::move(block));
+  while (blocks_.size() > max_blocks_) blocks_.pop_front();
+  StartBlock();
+}
+
+void SlidingWindowDiversity::Update(const Point& p) {
+  if (running_smm_) {
+    running_smm_->Update(p);
+  } else {
+    running_smm_ext_->Update(p);
+  }
+  ++running_count_;
+  ++points_processed_;
+  if (running_count_ == options_.block) SealBlock();
+}
+
+StreamingResult SlidingWindowDiversity::Query() const {
+  StreamingResult result;
+  PointSet united;
+  for (const Block& b : blocks_) {
+    united.insert(united.end(), b.coreset.begin(), b.coreset.end());
+  }
+  if (running_count_ > 0) {
+    // Snapshot the running block: engines are value types, so finalize a
+    // copy without disturbing the live one.
+    if (running_smm_) {
+      Smm copy = *running_smm_;
+      PointSet c = copy.Finalize();
+      united.insert(united.end(), c.begin(), c.end());
+    } else {
+      SmmExt copy = *running_smm_ext_;
+      PointSet c = copy.Finalize();
+      united.insert(united.end(), c.begin(), c.end());
+    }
+  }
+  result.coreset_size = united.size();
+  result.peak_memory_points = StoredPoints();
+  if (united.empty()) return result;
+
+  size_t k = std::min(options_.k, united.size());
+  std::vector<size_t> picked =
+      SolveSequential(options_.problem, united, *metric_, k);
+  result.solution.reserve(picked.size());
+  for (size_t idx : picked) result.solution.push_back(united[idx]);
+  result.diversity =
+      EvaluateDiversity(options_.problem, result.solution, *metric_);
+  return result;
+}
+
+size_t SlidingWindowDiversity::StoredPoints() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.coreset.size();
+  if (running_smm_) total += running_smm_->engine().StoredPoints();
+  if (running_smm_ext_) total += running_smm_ext_->engine().StoredPoints();
+  return total;
+}
+
+}  // namespace diverse

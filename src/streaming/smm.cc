@@ -1,0 +1,195 @@
+#include "streaming/smm.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace diverse {
+namespace internal_smm {
+
+SmmEngine::SmmEngine(const Metric* metric, size_t k, size_t k_prime, Mode mode)
+    : metric_(metric), k_(k), k_prime_(k_prime), mode_(mode) {
+  DIVERSE_CHECK(metric != nullptr);
+  DIVERSE_CHECK_GE(k, 1u);
+  DIVERSE_CHECK_GE(k_prime, k);
+}
+
+void SmmEngine::Update(const Point& p) {
+  ++points_processed_;
+  if (initializing_) {
+    Entry e;
+    e.center = p;
+    if (mode_ == Mode::kDelegates) e.delegates.push_back(p);
+    centers_.push_back(std::move(e));
+    if (centers_.size() == k_prime_ + 1) {
+      // d_1 = min pairwise distance among the first k'+1 points.
+      double d1 = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < centers_.size(); ++i) {
+        for (size_t j = i + 1; j < centers_.size(); ++j) {
+          d1 = std::min(d1, metric_->Distance(centers_[i].center,
+                                              centers_[j].center));
+        }
+      }
+      threshold_ = d1;
+      initializing_ = false;
+      MergeUntilBelowCapacity();
+    }
+    return;
+  }
+
+  // Update step of the current phase.
+  size_t closest = 0;
+  double closest_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < centers_.size(); ++i) {
+    double dist = metric_->Distance(p, centers_[i].center);
+    if (dist < closest_dist) {
+      closest_dist = dist;
+      closest = i;
+    }
+  }
+  if (closest_dist > 4.0 * threshold_) {
+    Entry e;
+    e.center = p;
+    if (mode_ == Mode::kDelegates) e.delegates.push_back(p);
+    centers_.push_back(std::move(e));
+    if (centers_.size() == k_prime_ + 1) {
+      threshold_ *= 2.0;
+      MergeUntilBelowCapacity();
+    }
+    return;
+  }
+  // Covered point: delegate bookkeeping in the EXT/GEN variants, plain
+  // discard in base SMM.
+  Entry& host = centers_[closest];
+  if (mode_ == Mode::kDelegates && host.delegates.size() < k_) {
+    host.delegates.push_back(p);
+  } else if (mode_ == Mode::kCounts && host.count < k_) {
+    ++host.count;
+  }
+}
+
+void SmmEngine::MergeUntilBelowCapacity() {
+  ++phases_;
+  removed_.clear();
+  for (;;) {
+    MergeStep();
+    if (centers_.size() <= k_prime_) return;
+    // The independent set still overflows: the phase had an empty update
+    // step; double the threshold and merge again. A zero threshold (possible
+    // with duplicate points in the initial fill) cannot make progress by
+    // doubling, so jump directly to the smallest positive separation.
+    if (threshold_ > 0.0) {
+      threshold_ *= 2.0;
+    } else {
+      double min_positive = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < centers_.size(); ++i) {
+        for (size_t j = i + 1; j < centers_.size(); ++j) {
+          double dist =
+              metric_->Distance(centers_[i].center, centers_[j].center);
+          if (dist > 0.0) min_positive = std::min(min_positive, dist);
+        }
+      }
+      DIVERSE_CHECK_LT(min_positive,
+                       std::numeric_limits<double>::infinity());
+      threshold_ = min_positive;
+    }
+    ++phases_;
+  }
+}
+
+void SmmEngine::MergeStep() {
+  // Greedy maximal independent set of the graph with edges at distance
+  // <= 2 d_i: scan centers in order; a center joins I unless an earlier
+  // member of I is within 2 d_i, in which case it merges into that member
+  // (the maximality witness), transferring delegates / counts.
+  double radius = 2.0 * threshold_;
+  std::vector<Entry> kept;
+  kept.reserve(centers_.size());
+  for (Entry& e : centers_) {
+    size_t host = kept.size();
+    for (size_t i = 0; i < kept.size(); ++i) {
+      if (metric_->Distance(e.center, kept[i].center) <= radius) {
+        host = i;
+        break;
+      }
+    }
+    if (host == kept.size()) {
+      kept.push_back(std::move(e));
+      continue;
+    }
+    Entry& h = kept[host];
+    switch (mode_) {
+      case Mode::kCentersOnly:
+        removed_.push_back(std::move(e.center));
+        break;
+      case Mode::kDelegates: {
+        size_t room = k_ - h.delegates.size();
+        size_t take = std::min(room, e.delegates.size());
+        for (size_t t = 0; t < take; ++t) {
+          h.delegates.push_back(std::move(e.delegates[t]));
+        }
+        break;
+      }
+      case Mode::kCounts:
+        h.count += std::min(e.count, k_ - h.count);
+        break;
+    }
+  }
+  centers_ = std::move(kept);
+}
+
+size_t SmmEngine::StoredPoints() const {
+  size_t n = 0;
+  switch (mode_) {
+    case Mode::kCentersOnly:
+      n = centers_.size() + removed_.size();
+      break;
+    case Mode::kDelegates:
+      for (const Entry& e : centers_) n += e.delegates.size();
+      break;
+    case Mode::kCounts:
+      n = centers_.size();
+      break;
+  }
+  return n;
+}
+
+PointSet SmmEngine::Centers() const {
+  PointSet out;
+  out.reserve(centers_.size());
+  for (const Entry& e : centers_) out.push_back(e.center);
+  return out;
+}
+
+PointSet SmmEngine::FinalizeCenters() {
+  DIVERSE_CHECK(mode_ == Mode::kCentersOnly);
+  PointSet out = Centers();
+  // The paper's modification: if fewer than k centers survive the last
+  // phase, pad with arbitrary points removed by its merge step
+  // (|M| + |T| >= k'+1 >= k whenever the stream had that many points).
+  size_t i = 0;
+  while (out.size() < k_ && i < removed_.size()) {
+    out.push_back(removed_[i++]);
+  }
+  return out;
+}
+
+PointSet SmmEngine::FinalizeDelegates() {
+  DIVERSE_CHECK(mode_ == Mode::kDelegates);
+  PointSet out;
+  for (const Entry& e : centers_) {
+    for (const Point& p : e.delegates) out.push_back(p);
+  }
+  return out;
+}
+
+GeneralizedCoreset SmmEngine::FinalizeCounts() {
+  DIVERSE_CHECK(mode_ == Mode::kCounts);
+  GeneralizedCoreset out;
+  for (const Entry& e : centers_) out.Add(e.center, e.count);
+  return out;
+}
+
+}  // namespace internal_smm
+}  // namespace diverse

@@ -1,0 +1,251 @@
+// diverse — command-line driver for the diversity maximization library.
+//
+// Subcommands:
+//   solve     pick k diverse points from a dataset file
+//   generate  write a synthetic dataset (sphere | cube | text) to a file
+//   estimate  estimate the doubling dimension of a dataset
+//
+// Examples:
+//   diverse generate --kind=sphere --n=100000 --k=16 --out=data.bin
+//   diverse solve --in=data.bin --problem=remote-edge --k=16
+//       --backend=mapreduce --k_prime=64 --partitions=8
+//   diverse estimate --in=data.bin --metric=euclidean
+//
+// Datasets are the library's text (.txt) or binary (.bin, default) formats;
+// see data/io.h.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/solve.h"
+#include "core/doubling.h"
+#include "core/metric.h"
+#include "data/io.h"
+#include "data/sparse_text.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+// --key=value flags after the subcommand.
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_.insert_or_assign(arg.substr(2), std::string("1"));
+      } else {
+        values_.insert_or_assign(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  long long GetInt(const std::string& key, long long def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: diverse <command> [--flags]
+
+commands:
+  solve     --in=FILE --problem=remote-edge|remote-clique|remote-star|
+            remote-bipartition|remote-tree|remote-cycle --k=N
+            [--backend=sequential|streaming|streaming-2pass|mapreduce|
+             mapreduce-randomized|mapreduce-generalized|mapreduce-recursive]
+            [--k_prime=N] [--partitions=N] [--workers=N]
+            [--metric=euclidean|manhattan|cosine|jaccard] [--out=FILE]
+  generate  --kind=sphere|cube|text --n=N --out=FILE
+            [--k=planted] [--dim=D] [--vocab=V] [--topics=T] [--seed=S]
+            [--format=bin|txt]
+  estimate  --in=FILE [--metric=...] [--centers=N] [--sample=N]
+)");
+  return 2;
+}
+
+std::optional<PointSet> LoadAny(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return LoadPointsText(path);
+  }
+  return LoadPointsBinary(path);
+}
+
+bool SaveAny(const PointSet& pts, const std::string& path,
+             const std::string& format) {
+  bool text = format == "txt" ||
+              (path.size() > 4 && path.substr(path.size() - 4) == ".txt");
+  return text ? SavePointsText(pts, path) : SavePointsBinary(pts, path);
+}
+
+std::unique_ptr<Metric> MakeMetric(const std::string& name) {
+  if (name == "euclidean") return std::make_unique<EuclideanMetric>();
+  if (name == "manhattan") return std::make_unique<ManhattanMetric>();
+  if (name == "cosine") return std::make_unique<CosineMetric>();
+  if (name == "jaccard") return std::make_unique<JaccardMetric>();
+  return nullptr;
+}
+
+int RunSolve(const CliFlags& flags) {
+  std::string in = flags.Get("in", "");
+  if (in.empty()) return Usage();
+  auto points = LoadAny(in);
+  if (!points.has_value() || points->empty()) {
+    std::fprintf(stderr, "error: cannot load dataset from %s\n", in.c_str());
+    return 1;
+  }
+  auto problem = ParseProblem(flags.Get("problem", "remote-edge"));
+  if (!problem.has_value()) {
+    std::fprintf(stderr, "error: unknown problem\n");
+    return 1;
+  }
+  bool backend_ok = true;
+  Backend backend =
+      ParseBackend(flags.Get("backend", "sequential"), &backend_ok);
+  if (!backend_ok) {
+    std::fprintf(stderr, "error: unknown backend\n");
+    return 1;
+  }
+  auto metric = MakeMetric(flags.Get("metric", "euclidean"));
+  if (metric == nullptr) {
+    std::fprintf(stderr, "error: unknown metric\n");
+    return 1;
+  }
+  if ((backend == Backend::kStreamingTwoPass ||
+       backend == Backend::kMapReduceGeneralized) &&
+      !RequiresInjectiveProxies(*problem)) {
+    std::fprintf(stderr,
+                 "error: backend %s is defined only for remote-clique/"
+                 "-star/-bipartition/-tree\n",
+                 BackendName(backend).c_str());
+    return 1;
+  }
+
+  SolveOptions opts;
+  opts.problem = *problem;
+  opts.backend = backend;
+  opts.k = static_cast<size_t>(flags.GetInt("k", 8));
+  opts.k_prime = static_cast<size_t>(flags.GetInt("k_prime", 0));
+  opts.num_partitions = static_cast<size_t>(flags.GetInt("partitions", 0));
+  opts.num_workers = static_cast<size_t>(flags.GetInt("workers", 0));
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  SolveResult result = Solve(*points, *metric, opts);
+  std::printf("n:          %zu\n", points->size());
+  std::printf("problem:    %s\n", ProblemName(*problem).c_str());
+  std::printf("backend:    %s\n", BackendName(backend).c_str());
+  std::printf("solution:   %zu points\n", result.solution.size());
+  std::printf("diversity:  %.6f\n", result.diversity);
+  std::printf("coreset:    %zu points\n", result.coreset_size);
+  std::printf("time:       %.3f s\n", result.seconds);
+
+  std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    if (!SaveAny(result.solution, out, flags.Get("format", "bin"))) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("solution written to %s\n", out.c_str());
+  } else {
+    for (const Point& p : result.solution) {
+      std::printf("  %s\n", p.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int RunGenerate(const CliFlags& flags) {
+  std::string out = flags.Get("out", "");
+  std::string kind = flags.Get("kind", "sphere");
+  if (out.empty()) return Usage();
+  size_t n = static_cast<size_t>(flags.GetInt("n", 10000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  PointSet pts;
+  if (kind == "sphere") {
+    SphereDatasetOptions o;
+    o.n = n;
+    o.k = static_cast<size_t>(flags.GetInt("k", 8));
+    o.dim = static_cast<size_t>(flags.GetInt("dim", 3));
+    o.seed = seed;
+    pts = GenerateSphereDataset(o);
+  } else if (kind == "cube") {
+    pts = GenerateUniformCube(n, static_cast<size_t>(flags.GetInt("dim", 3)),
+                              seed);
+  } else if (kind == "text") {
+    SparseTextOptions o;
+    o.n = n;
+    o.vocab_size = static_cast<uint32_t>(flags.GetInt("vocab", 5000));
+    o.num_topics = static_cast<size_t>(flags.GetInt("topics", 32));
+    o.seed = seed;
+    pts = GenerateSparseTextDataset(o);
+  } else {
+    std::fprintf(stderr, "error: unknown kind %s\n", kind.c_str());
+    return 1;
+  }
+  if (!SaveAny(pts, out, flags.Get("format", "bin"))) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s points to %s\n", pts.size(), kind.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int RunEstimate(const CliFlags& flags) {
+  std::string in = flags.Get("in", "");
+  if (in.empty()) return Usage();
+  auto points = LoadAny(in);
+  if (!points.has_value() || points->size() < 2) {
+    std::fprintf(stderr, "error: cannot load dataset from %s\n", in.c_str());
+    return 1;
+  }
+  auto metric = MakeMetric(flags.Get("metric", "euclidean"));
+  if (metric == nullptr) {
+    std::fprintf(stderr, "error: unknown metric\n");
+    return 1;
+  }
+  DoublingEstimateOptions opts;
+  opts.num_centers = static_cast<size_t>(flags.GetInt("centers", 32));
+  opts.max_sample = static_cast<size_t>(flags.GetInt("sample", 2000));
+  DoublingEstimate est = EstimateDoublingDimension(*points, *metric, opts);
+  std::printf("points:            %zu\n", points->size());
+  std::printf("probes:            %zu\n", est.probes);
+  std::printf("worst cover size:  %zu\n", est.worst_cover_size);
+  std::printf("doubling dim est:  %.2f\n", est.dimension);
+  std::printf("suggested k'/k at eps=0.5 (MapReduce GMM, (8/eps)^D): %.0f\n",
+              std::pow(16.0, est.dimension));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  CliFlags flags(argc, argv, 2);
+  if (cmd == "solve") return RunSolve(flags);
+  if (cmd == "generate") return RunGenerate(flags);
+  if (cmd == "estimate") return RunEstimate(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace diverse
+
+int main(int argc, char** argv) { return diverse::Main(argc, argv); }

@@ -1,0 +1,45 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// The library does not use exceptions (per the project style rules); instead,
+// precondition violations abort the process with a diagnostic. CHECK-style
+// assertions are active in all build modes because the algorithms in this
+// library depend on invariants (anticover property, phase invariants of the
+// streaming doubling algorithm) whose silent violation would produce wrong
+// answers rather than crashes.
+
+#ifndef DIVERSE_UTIL_CHECK_H_
+#define DIVERSE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace diverse {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace diverse
+
+/// Aborts the process if `cond` is false.
+#define DIVERSE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::diverse::internal_check::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                                    \
+  } while (0)
+
+/// Binary comparison checks; print both operands' expression text.
+#define DIVERSE_CHECK_OP(a, op, b) DIVERSE_CHECK((a)op(b))
+#define DIVERSE_CHECK_EQ(a, b) DIVERSE_CHECK_OP(a, ==, b)
+#define DIVERSE_CHECK_NE(a, b) DIVERSE_CHECK_OP(a, !=, b)
+#define DIVERSE_CHECK_LT(a, b) DIVERSE_CHECK_OP(a, <, b)
+#define DIVERSE_CHECK_LE(a, b) DIVERSE_CHECK_OP(a, <=, b)
+#define DIVERSE_CHECK_GT(a, b) DIVERSE_CHECK_OP(a, >, b)
+#define DIVERSE_CHECK_GE(a, b) DIVERSE_CHECK_OP(a, >=, b)
+
+#endif  // DIVERSE_UTIL_CHECK_H_

@@ -1,0 +1,47 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diverse {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean =
+      mean_ + delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace diverse

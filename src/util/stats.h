@@ -1,0 +1,51 @@
+// Streaming statistics accumulator used by benchmark harnesses to report
+// mean/min/max/stddev of repeated runs (the paper averages >= 10 runs).
+
+#ifndef DIVERSE_UTIL_STATS_H_
+#define DIVERSE_UTIL_STATS_H_
+
+#include <cstddef>
+
+namespace diverse {
+
+/// Accumulates scalar samples with Welford's online algorithm, which is
+/// numerically stable for long runs.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one sample.
+  void Add(double x);
+
+  /// Number of samples added.
+  size_t count() const { return count_; }
+
+  /// Mean of the samples (0 if empty).
+  double Mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 if fewer than two samples).
+  double Variance() const;
+
+  /// Sample standard deviation.
+  double StdDev() const;
+
+  /// Smallest sample seen (0 if empty).
+  double Min() const { return count_ ? min_ : 0.0; }
+
+  /// Largest sample seen (0 if empty).
+  double Max() const { return count_ ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_STATS_H_

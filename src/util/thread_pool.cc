@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+#include "util/check.h"
+
+namespace diverse {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  DIVERSE_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DIVERSE_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Dynamic scheduling over a shared counter: tasks in this library have
+  // uneven cost (reducer partitions of different difficulty), so static
+  // striping would leave threads idle.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  size_t num_tasks = std::min(n, num_threads());
+  for (size_t t = 0; t < num_tasks; ++t) {
+    Submit([next, n, &fn] {
+      for (size_t i = (*next)++; i < n; i = (*next)++) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutting_down_ and no work left.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace diverse

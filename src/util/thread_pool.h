@@ -1,0 +1,59 @@
+// Fixed-size thread pool used by the MapReduce simulator to execute reducer
+// tasks in parallel, and by benches to parallelize independent runs.
+
+#ifndef DIVERSE_UTIL_THREAD_POOL_H_
+#define DIVERSE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diverse {
+
+/// A minimal work-queue thread pool.
+///
+/// Tasks are `std::function<void()>`; exceptions must not escape tasks (the
+/// library is exception-free). Destruction waits for all submitted tasks to
+/// finish.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Convenience: runs `fn(i)` for i in [0, n) across the pool and waits.
+  /// `fn` must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + running tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing helpers used by the benchmark harnesses and the
+// MapReduce/Streaming substrates to report running times and throughput.
+
+#ifndef DIVERSE_UTIL_TIMER_H_
+#define DIVERSE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace diverse {
+
+/// A simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_TIMER_H_

@@ -1,0 +1,165 @@
+#include "core/diversity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "core/mst.h"
+#include "core/tsp.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+// Four corners of the unit square — every measure has a closed form.
+DistanceMatrix UnitSquare() {
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense2(0, 0), Point::Dense2(1, 0),
+                  Point::Dense2(1, 1), Point::Dense2(0, 1)};
+  return DistanceMatrix(pts, m);
+}
+
+TEST(DiversityTest, ProblemNamesRoundTrip) {
+  for (DiversityProblem p : kAllProblems) {
+    auto parsed = ParseProblem(ProblemName(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(ParseProblem("bogus").has_value());
+}
+
+TEST(DiversityTest, InjectiveProxyClassification) {
+  EXPECT_FALSE(RequiresInjectiveProxies(DiversityProblem::kRemoteEdge));
+  EXPECT_FALSE(RequiresInjectiveProxies(DiversityProblem::kRemoteCycle));
+  EXPECT_TRUE(RequiresInjectiveProxies(DiversityProblem::kRemoteClique));
+  EXPECT_TRUE(RequiresInjectiveProxies(DiversityProblem::kRemoteStar));
+  EXPECT_TRUE(RequiresInjectiveProxies(DiversityProblem::kRemoteBipartition));
+  EXPECT_TRUE(RequiresInjectiveProxies(DiversityProblem::kRemoteTree));
+}
+
+TEST(DiversityTest, SequentialAlphasMatchTable1) {
+  EXPECT_DOUBLE_EQ(SequentialAlpha(DiversityProblem::kRemoteEdge), 2.0);
+  EXPECT_DOUBLE_EQ(SequentialAlpha(DiversityProblem::kRemoteClique), 2.0);
+  EXPECT_DOUBLE_EQ(SequentialAlpha(DiversityProblem::kRemoteStar), 2.0);
+  EXPECT_DOUBLE_EQ(SequentialAlpha(DiversityProblem::kRemoteBipartition), 3.0);
+  EXPECT_DOUBLE_EQ(SequentialAlpha(DiversityProblem::kRemoteTree), 4.0);
+  EXPECT_DOUBLE_EQ(SequentialAlpha(DiversityProblem::kRemoteCycle), 3.0);
+}
+
+TEST(DiversityTest, TermCountsMatchLemma7) {
+  EXPECT_DOUBLE_EQ(
+      DiversityTermCount(DiversityProblem::kRemoteClique, 5), 10.0);
+  EXPECT_DOUBLE_EQ(DiversityTermCount(DiversityProblem::kRemoteStar, 5), 4.0);
+  EXPECT_DOUBLE_EQ(DiversityTermCount(DiversityProblem::kRemoteTree, 5), 4.0);
+  EXPECT_DOUBLE_EQ(
+      DiversityTermCount(DiversityProblem::kRemoteBipartition, 5), 6.0);
+  EXPECT_DOUBLE_EQ(
+      DiversityTermCount(DiversityProblem::kRemoteBipartition, 6), 9.0);
+}
+
+TEST(DiversityTest, RemoteEdgeOnSquare) {
+  EXPECT_DOUBLE_EQ(
+      EvaluateDiversity(DiversityProblem::kRemoteEdge, UnitSquare()), 1.0);
+}
+
+TEST(DiversityTest, RemoteCliqueOnSquare) {
+  // 4 sides of length 1 + 2 diagonals of length sqrt(2).
+  EXPECT_NEAR(
+      EvaluateDiversity(DiversityProblem::kRemoteClique, UnitSquare()),
+      4.0 + 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(DiversityTest, RemoteStarOnSquare) {
+  // Any center: two sides + one diagonal.
+  EXPECT_NEAR(EvaluateDiversity(DiversityProblem::kRemoteStar, UnitSquare()),
+              2.0 + std::sqrt(2.0), 1e-9);
+}
+
+TEST(DiversityTest, RemoteBipartitionOnSquare) {
+  // Best balanced cut pairs opposite corners on each side:
+  // {(0,0),(1,1)} vs {(1,0),(0,1)} -> 4 unit edges;
+  // side cuts give 2 + 2*sqrt(2) > 4. Both exact and heuristic must agree.
+  DistanceMatrix d = UnitSquare();
+  EXPECT_NEAR(BipartitionWeightExact(d), 4.0, 1e-9);
+  EXPECT_NEAR(BipartitionWeightHeuristic(d), 4.0, 1e-9);
+  EXPECT_NEAR(
+      EvaluateDiversity(DiversityProblem::kRemoteBipartition, d), 4.0, 1e-9);
+}
+
+TEST(DiversityTest, RemoteTreeOnSquare) {
+  EXPECT_DOUBLE_EQ(
+      EvaluateDiversity(DiversityProblem::kRemoteTree, UnitSquare()), 3.0);
+}
+
+TEST(DiversityTest, RemoteCycleOnSquare) {
+  EXPECT_NEAR(EvaluateDiversity(DiversityProblem::kRemoteCycle, UnitSquare()),
+              4.0, 1e-9);
+}
+
+TEST(DiversityTest, SingletonAndPairEdgeCases) {
+  DistanceMatrix one(1);
+  for (DiversityProblem p : kAllProblems) {
+    EXPECT_DOUBLE_EQ(EvaluateDiversity(p, one), 0.0) << ProblemName(p);
+  }
+  DistanceMatrix two(2);
+  two.set(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateDiversity(DiversityProblem::kRemoteEdge, two), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateDiversity(DiversityProblem::kRemoteClique, two),
+                   3.0);
+  EXPECT_DOUBLE_EQ(EvaluateDiversity(DiversityProblem::kRemoteStar, two), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateDiversity(DiversityProblem::kRemoteTree, two), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateDiversity(DiversityProblem::kRemoteCycle, two),
+                   6.0);
+}
+
+TEST(DiversityTest, PointOverloadMatchesMatrixOverload) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(9, 2, /*seed=*/13);
+  DistanceMatrix d(pts, m);
+  for (DiversityProblem p : kAllProblems) {
+    EXPECT_DOUBLE_EQ(EvaluateDiversity(p, pts, m), EvaluateDiversity(p, d))
+        << ProblemName(p);
+  }
+}
+
+TEST(DiversityTest, BipartitionHeuristicNeverBeatsExact) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    PointSet pts = GenerateUniformCube(10, 2, seed);
+    DistanceMatrix d(pts, m);
+    // The heuristic searches the same space, so it can only find a cut of
+    // weight >= the true minimum.
+    EXPECT_GE(BipartitionWeightHeuristic(d) + 1e-9, BipartitionWeightExact(d))
+        << "seed " << seed;
+  }
+}
+
+TEST(DiversityTest, BipartitionHeuristicUsuallyExactOnSmallInstances) {
+  EuclideanMetric m;
+  int exact_hits = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    PointSet pts = GenerateUniformCube(12, 2, seed + 100);
+    DistanceMatrix d(pts, m);
+    if (std::abs(BipartitionWeightHeuristic(d) - BipartitionWeightExact(d)) <
+        1e-9) {
+      ++exact_hits;
+    }
+  }
+  EXPECT_GE(exact_hits, 8);  // multi-restart local search is strong here
+}
+
+// Monotonicity: adding a point can only decrease (or keep) the min-based
+// measures evaluated over the whole set.
+TEST(DiversityTest, MinMeasuresMonotoneUnderSuperset) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(10, 2, /*seed=*/77);
+  PointSet prefix(pts.begin(), pts.begin() + 6);
+  double edge_small =
+      EvaluateDiversity(DiversityProblem::kRemoteEdge, prefix, m);
+  double edge_big = EvaluateDiversity(DiversityProblem::kRemoteEdge, pts, m);
+  EXPECT_LE(edge_big, edge_small + 1e-12);
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,109 @@
+#include "core/exact.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+TEST(ExactTest, RemoteEdgeOnColinearPoints) {
+  // Points at 0, 1, 2, 10 on a line. k=2 -> {0, 10}, value 10;
+  // k=3 -> {0, 2?, 10}: best min pairwise = min(2, 8) = 2... check {0,2,10}
+  // gives 2; {0,1,10} gives 1; so value 2.
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense({0.0f}), Point::Dense({1.0f}),
+                  Point::Dense({2.0f}), Point::Dense({10.0f})};
+  DistanceMatrix d(pts, m);
+  auto r2 = ExactDiversityMaximization(DiversityProblem::kRemoteEdge, d, 2);
+  EXPECT_DOUBLE_EQ(r2.value, 10.0);
+  auto r3 = ExactDiversityMaximization(DiversityProblem::kRemoteEdge, d, 3);
+  EXPECT_DOUBLE_EQ(r3.value, 2.0);
+}
+
+TEST(ExactTest, RemoteCliqueSelectsSpreadPoints) {
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense2(0, 0), Point::Dense2(0.1f, 0),
+                  Point::Dense2(5, 0), Point::Dense2(0, 5)};
+  auto r = ExactDiversityMaximization(DiversityProblem::kRemoteClique, pts, m,
+                                      3);
+  // Best triple is {0, 2, 3} (or with the 0.1 twin, slightly less).
+  EXPECT_NEAR(r.value, 5.0 + 5.0 + 5.0 * std::sqrt(2.0), 1e-6);
+}
+
+TEST(ExactTest, BestSubsetHasRequestedSize) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(10, 2, /*seed=*/1);
+  for (DiversityProblem p : kAllProblems) {
+    auto r = ExactDiversityMaximization(p, pts, m, 4);
+    EXPECT_EQ(r.best_subset.size(), 4u) << ProblemName(p);
+    EXPECT_GT(r.value, 0.0) << ProblemName(p);
+  }
+}
+
+TEST(ExactTest, ValueMatchesReevaluation) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(9, 2, /*seed=*/2);
+  DistanceMatrix d(pts, m);
+  for (DiversityProblem p : kAllProblems) {
+    auto r = ExactDiversityMaximization(p, d, 3);
+    EXPECT_NEAR(r.value, EvaluateDiversity(p, d.Restrict(r.best_subset)),
+                1e-12)
+        << ProblemName(p);
+  }
+}
+
+TEST(ExactTest, KEqualsNReturnsWholeSet) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(6, 2, /*seed=*/3);
+  DistanceMatrix d(pts, m);
+  auto r = ExactDiversityMaximization(DiversityProblem::kRemoteEdge, d, 6);
+  EXPECT_EQ(r.best_subset.size(), 6u);
+  EXPECT_NEAR(r.value, EvaluateDiversity(DiversityProblem::kRemoteEdge, d),
+              1e-12);
+}
+
+TEST(ExactTest, OptimalRangeOnLine) {
+  // Points 0, 1, 2, 3 with k = 2: best centers {0 or 1, 2 or 3} -> range 1.
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense({0.0f}), Point::Dense({1.0f}),
+                  Point::Dense({2.0f}), Point::Dense({3.0f})};
+  DistanceMatrix d(pts, m);
+  EXPECT_DOUBLE_EQ(ExactOptimalRange(d, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ExactOptimalRange(d, 4), 0.0);
+}
+
+TEST(ExactTest, OptimalFarnessOnLine) {
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense({0.0f}), Point::Dense({1.0f}),
+                  Point::Dense({2.0f}), Point::Dense({3.0f})};
+  DistanceMatrix d(pts, m);
+  EXPECT_DOUBLE_EQ(ExactOptimalFarness(d, 2), 3.0);
+  // k=3: best is {0, 1.5?, 3} unavailable; {0,1,3} or {0,2,3} -> min gap 1.
+  EXPECT_DOUBLE_EQ(ExactOptimalFarness(d, 3), 1.0);
+}
+
+TEST(ExactTest, FarnessEqualsRemoteEdgeOptimum) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(11, 2, /*seed=*/4);
+  DistanceMatrix d(pts, m);
+  for (size_t k = 2; k <= 5; ++k) {
+    EXPECT_NEAR(
+        ExactOptimalFarness(d, k),
+        ExactDiversityMaximization(DiversityProblem::kRemoteEdge, d, k).value,
+        1e-12);
+  }
+}
+
+TEST(ExactDeathTest, RejectsOversizedInstance) {
+  DistanceMatrix d(30);
+  EXPECT_DEATH(
+      ExactDiversityMaximization(DiversityProblem::kRemoteEdge, d, 2),
+      "CHECK failed");
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,175 @@
+#include "core/gmm.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_matrix.h"
+#include "core/exact.h"
+#include "core/metric.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+TEST(GmmTest, SelectsRequestedCount) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(50, 2, /*seed=*/1);
+  GmmResult r = Gmm(pts, m, 7);
+  EXPECT_EQ(r.selected.size(), 7u);
+  std::set<size_t> unique(r.selected.begin(), r.selected.end());
+  EXPECT_EQ(unique.size(), 7u);
+}
+
+TEST(GmmTest, FirstPointIsStart) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(20, 2, /*seed=*/2);
+  GmmResult r = Gmm(pts, m, 3, /*first=*/5);
+  EXPECT_EQ(r.selected[0], 5u);
+}
+
+TEST(GmmTest, SelectionDistancesNonIncreasing) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(100, 3, /*seed=*/3);
+  GmmResult r = Gmm(pts, m, 20);
+  for (size_t j = 2; j < r.selection_distance.size(); ++j) {
+    EXPECT_LE(r.selection_distance[j], r.selection_distance[j - 1] + 1e-12);
+  }
+}
+
+TEST(GmmTest, RangeMatchesDirectComputation) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(60, 2, /*seed=*/4);
+  GmmResult r = Gmm(pts, m, 8);
+  double range = 0.0;
+  for (const Point& p : pts) {
+    double dist = 1e100;
+    for (size_t c : r.selected) {
+      dist = std::min(dist, m.Distance(p, pts[c]));
+    }
+    range = std::max(range, dist);
+  }
+  EXPECT_NEAR(r.range, range, 1e-12);
+}
+
+TEST(GmmTest, AssignmentIsNearestCenterWithEarliestTieBreak) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(40, 2, /*seed=*/5);
+  GmmResult r = Gmm(pts, m, 6);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double best = 1e100;
+    size_t best_j = 0;
+    for (size_t j = 0; j < r.selected.size(); ++j) {
+      double dist = m.Distance(pts[i], pts[r.selected[j]]);
+      if (dist < best - 1e-15) {
+        best = dist;
+        best_j = j;
+      }
+    }
+    EXPECT_EQ(r.assignment[i], best_j) << "point " << i;
+    EXPECT_NEAR(r.distance_to_selected[i], best, 1e-12);
+  }
+}
+
+// Anticover property (basis of Fact 1): the range of the selected set is at
+// most its farness: r_T <= rho_T.
+TEST(GmmTest, AnticoverProperty) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    PointSet pts = GenerateUniformCube(50, 2, seed);
+    GmmResult r = Gmm(pts, m, 5);
+    double rho = Farness(pts, m, r.selected);
+    EXPECT_LE(r.range, rho + 1e-9) << "seed " << seed;
+  }
+}
+
+// GMM is a 2-approximation for the k-center problem: r_T <= 2 r*_k.
+TEST(GmmTest, KCenterTwoApproximation) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    PointSet pts = GenerateUniformCube(14, 2, seed * 13);
+    DistanceMatrix d(pts, m);
+    for (size_t k = 2; k <= 5; ++k) {
+      GmmResult r = Gmm(pts, m, k);
+      double opt = ExactOptimalRange(d, k);
+      EXPECT_LE(r.range, 2.0 * opt + 1e-9)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+// GMM's k-prefix is a 2-approximation for remote-edge: rho_T >= rho*_k / 2.
+TEST(GmmTest, RemoteEdgeTwoApproximation) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    PointSet pts = GenerateUniformCube(14, 2, seed * 7);
+    DistanceMatrix d(pts, m);
+    for (size_t k = 2; k <= 5; ++k) {
+      GmmResult r = Gmm(pts, m, k);
+      double rho = Farness(pts, m, r.selected);
+      double opt = ExactOptimalFarness(d, k);
+      EXPECT_GE(rho, opt / 2.0 - 1e-9) << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+// Fact 1: r*_k <= rho*_k.
+TEST(GmmTest, Fact1OptimalRangeAtMostOptimalFarness) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    PointSet pts = GenerateUniformCube(12, 2, seed * 31);
+    DistanceMatrix d(pts, m);
+    for (size_t k = 2; k <= 5; ++k) {
+      EXPECT_LE(ExactOptimalRange(d, k), ExactOptimalFarness(d, k) + 1e-12)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(GmmTest, PlantedSphereRecoversFarPoints) {
+  // The k planted surface points are pairwise far; GMM with k' = k must
+  // achieve farness comparable to the planted separation.
+  EuclideanMetric m;
+  SphereDatasetOptions opts;
+  opts.n = 2000;
+  opts.k = 8;
+  opts.seed = 123;
+  PointSet pts = GenerateSphereDataset(opts);
+  GmmResult r = Gmm(pts, m, opts.k);
+  // Every selected point should be (nearly) on the outer shell: the planted
+  // points dominate all inner points in farthest-first order.
+  double planted_farness = Farness(pts, m, r.selected);
+  EXPECT_GT(planted_farness, 0.4);  // far larger than typical inner gaps
+}
+
+TEST(GmmTest, WorksWithKEqualN) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(10, 2, /*seed=*/6);
+  GmmResult r = Gmm(pts, m, 10);
+  EXPECT_EQ(r.selected.size(), 10u);
+  EXPECT_NEAR(r.range, 0.0, 1e-12);
+}
+
+TEST(GmmTest, SingleCenter) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(10, 2, /*seed=*/7);
+  GmmResult r = Gmm(pts, m, 1);
+  EXPECT_EQ(r.selected.size(), 1u);
+  EXPECT_GT(r.range, 0.0);
+}
+
+TEST(GmmDeathTest, RejectsKZero) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(5, 2, /*seed=*/8);
+  EXPECT_DEATH(Gmm(pts, m, 0), "CHECK failed");
+}
+
+TEST(GmmDeathTest, RejectsKBeyondN) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(5, 2, /*seed=*/9);
+  EXPECT_DEATH(Gmm(pts, m, 6), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace diverse

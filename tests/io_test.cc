@@ -1,0 +1,125 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/sparse_text.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+PointSet MixedPoints() {
+  PointSet pts = GenerateUniformCube(20, 3, /*seed=*/1);
+  SparseTextOptions opts;
+  opts.n = 20;
+  opts.vocab_size = 100;
+  opts.min_terms = 2;
+  opts.max_terms = 8;
+  opts.seed = 2;
+  PointSet docs = GenerateSparseTextDataset(opts);
+  pts.insert(pts.end(), docs.begin(), docs.end());
+  return pts;
+}
+
+TEST(IoTextTest, PointLineRoundTripDense) {
+  Point p = Point::Dense({1.5f, -2.25f, 0.0f});
+  auto back = PointFromTextLine(PointToTextLine(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == p);
+}
+
+TEST(IoTextTest, PointLineRoundTripSparse) {
+  Point p = Point::Sparse({2, 7, 90}, {1.0f, 0.5f, 3.0f}, 100);
+  auto back = PointFromTextLine(PointToTextLine(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == p);
+}
+
+TEST(IoTextTest, MalformedLinesRejected) {
+  EXPECT_FALSE(PointFromTextLine("").has_value());
+  EXPECT_FALSE(PointFromTextLine("x 1 2").has_value());
+  EXPECT_FALSE(PointFromTextLine("s").has_value());
+  EXPECT_FALSE(PointFromTextLine("s 10 nocolon").has_value());
+  EXPECT_FALSE(PointFromTextLine("s 10 5:1.0 3:2.0").has_value());  // unsorted
+  EXPECT_FALSE(PointFromTextLine("s 10 12:1.0").has_value());  // out of range
+  EXPECT_FALSE(PointFromTextLine("d 1.0 abc").has_value());
+}
+
+TEST(IoTextTest, FileRoundTripMixed) {
+  PointSet pts = MixedPoints();
+  std::string path = TempPath("points.txt");
+  ASSERT_TRUE(SavePointsText(pts, path));
+  auto loaded = LoadPointsText(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE((*loaded)[i] == pts[i]) << "point " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTextTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(LoadPointsText("/nonexistent/dir/file.txt").has_value());
+}
+
+TEST(IoBinaryTest, FileRoundTripMixed) {
+  PointSet pts = MixedPoints();
+  std::string path = TempPath("points.bin");
+  ASSERT_TRUE(SavePointsBinary(pts, path));
+  auto loaded = LoadPointsBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE((*loaded)[i] == pts[i]) << "point " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoBinaryTest, EmptySetRoundTrips) {
+  std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SavePointsBinary({}, path));
+  auto loaded = LoadPointsBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(IoBinaryTest, BadMagicRejected) {
+  std::string path = TempPath("garbage.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a point file at all";
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadPointsBinary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(IoBinaryTest, TruncatedFileRejected) {
+  PointSet pts = GenerateUniformCube(10, 3, /*seed=*/3);
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SavePointsBinary(pts, path));
+  // Truncate to half.
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  EXPECT_FALSE(LoadPointsBinary(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace diverse

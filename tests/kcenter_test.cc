@@ -1,0 +1,110 @@
+#include "core/kcenter.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_matrix.h"
+#include "core/exact.h"
+#include "core/metric.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+TEST(KCenterGmmTest, RadiusMatchesClusteringRadius) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(150, 2, /*seed=*/1);
+  KCenterResult r = SolveKCenterGmm(pts, m, 6);
+  ASSERT_EQ(r.centers.size(), 6u);
+  EXPECT_NEAR(r.radius, ClusteringRadius(pts, m, r.centers), 1e-12);
+}
+
+TEST(KCenterGmmTest, TwoApproximationAgainstExact) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    PointSet pts = GenerateUniformCube(14, 2, seed * 41);
+    DistanceMatrix d(pts, m);
+    for (size_t k = 2; k <= 5; ++k) {
+      KCenterResult r = SolveKCenterGmm(pts, m, k);
+      EXPECT_LE(r.radius, 2.0 * ExactOptimalRange(d, k) + 1e-9)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(KCenterGmmTest, AssignmentPointsToNearestCenter) {
+  EuclideanMetric m;
+  PointSet pts = GenerateGaussianBlobs(120, 4, 2, 0.02, /*seed=*/2);
+  KCenterResult r = SolveKCenterGmm(pts, m, 4);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double assigned = m.Distance(pts[i], pts[r.centers[r.assignment[i]]]);
+    for (size_t c : r.centers) {
+      EXPECT_LE(assigned, m.Distance(pts[i], pts[c]) + 1e-12);
+    }
+  }
+}
+
+TEST(KCenterDoublingTest, RadiusWithinEightOfOptimal) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    PointSet pts = GenerateUniformCube(16, 2, seed * 43);
+    DistanceMatrix d(pts, m);
+    for (size_t k = 2; k <= 5; ++k) {
+      KCenterResult r = SolveKCenterDoubling(pts, m, k);
+      ASSERT_LE(r.centers.size(), k);
+      EXPECT_LE(r.radius, 8.0 * ExactOptimalRange(d, k) + 1e-9)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(KCenterDoublingTest, GmmIsNoWorseOnAverage) {
+  // Section 7.2's rationale: GMM (2-approx) should beat the doubling
+  // algorithm (8-approx) in realized radius most of the time.
+  EuclideanMetric m;
+  int gmm_wins = 0, total = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    PointSet pts = GenerateUniformCube(400, 2, seed * 47);
+    KCenterResult gmm = SolveKCenterGmm(pts, m, 8);
+    KCenterResult dbl = SolveKCenterDoubling(pts, m, 8);
+    if (gmm.radius <= dbl.radius + 1e-12) ++gmm_wins;
+    ++total;
+  }
+  EXPECT_GE(gmm_wins * 2, total);  // GMM wins at least half the time
+}
+
+TEST(KCenterDoublingTest, TinyInputsReturnAllPoints) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(3, 2, /*seed=*/3);
+  KCenterResult r = SolveKCenterDoubling(pts, m, 3);
+  EXPECT_EQ(r.centers.size(), 3u);
+  EXPECT_NEAR(r.radius, 0.0, 1e-12);
+}
+
+TEST(KCenterDoublingTest, DuplicatePointsDoNotLoop) {
+  EuclideanMetric m;
+  PointSet pts(40, Point::Dense2(1, 1));
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back(Point::Dense2(static_cast<float>(i % 5), 2.0f));
+  }
+  KCenterResult r = SolveKCenterDoubling(pts, m, 4);
+  EXPECT_GE(r.centers.size(), 1u);
+  EXPECT_LE(r.centers.size(), 4u);
+}
+
+TEST(KCenterTest, CentersAreDistinct) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(200, 3, /*seed=*/4);
+  for (size_t k : {2u, 8u, 32u}) {
+    KCenterResult gmm = SolveKCenterGmm(pts, m, k);
+    std::set<size_t> unique(gmm.centers.begin(), gmm.centers.end());
+    EXPECT_EQ(unique.size(), gmm.centers.size());
+    KCenterResult dbl = SolveKCenterDoubling(pts, m, k);
+    std::set<size_t> unique2(dbl.centers.begin(), dbl.centers.end());
+    EXPECT_EQ(unique2.size(), dbl.centers.size());
+  }
+}
+
+}  // namespace
+}  // namespace diverse

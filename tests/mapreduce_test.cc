@@ -1,0 +1,57 @@
+#include "mapreduce/mapreduce.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace diverse {
+namespace {
+
+TEST(MapReduceSimulatorTest, RunsAllReducers) {
+  MapReduceSimulator sim(4);
+  std::vector<std::atomic<int>> hits(10);
+  sim.RunRound("test", 10, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(sim.num_rounds(), 1u);
+}
+
+TEST(MapReduceSimulatorTest, RecordsRoundStats) {
+  MapReduceSimulator sim(2);
+  sim.RunRoundWithSizes(
+      "sized", 3, [](size_t) {},
+      [](size_t i) { return 100 * (i + 1); },
+      [](size_t i) { return 10 * (i + 1); });
+  ASSERT_EQ(sim.rounds().size(), 1u);
+  const RoundStats& r = sim.rounds()[0];
+  EXPECT_EQ(r.name, "sized");
+  EXPECT_EQ(r.num_reducers, 3u);
+  EXPECT_EQ(r.MaxInputPoints(), 300u);
+  EXPECT_EQ(r.TotalOutputPoints(), 60u);
+  EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST(MapReduceSimulatorTest, MultipleRoundsAccumulate) {
+  MapReduceSimulator sim(2);
+  sim.RunRound("r1", 2, [](size_t) {});
+  sim.RunRound("r2", 5, [](size_t) {});
+  ASSERT_EQ(sim.num_rounds(), 2u);
+  EXPECT_EQ(sim.rounds()[0].name, "r1");
+  EXPECT_EQ(sim.rounds()[1].name, "r2");
+  EXPECT_EQ(sim.rounds()[1].num_reducers, 5u);
+}
+
+TEST(MapReduceSimulatorTest, MoreReducersThanWorkers) {
+  MapReduceSimulator sim(2);
+  std::atomic<int> counter{0};
+  sim.RunRound("over", 100, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(MapReduceSimulatorTest, WorkerCountExposed) {
+  MapReduceSimulator sim(7);
+  EXPECT_EQ(sim.num_workers(), 7u);
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,176 @@
+#include "core/metric.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/sparse_text.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace diverse {
+namespace {
+
+TEST(EuclideanMetricTest, KnownDistances) {
+  EuclideanMetric m;
+  EXPECT_DOUBLE_EQ(
+      m.Distance(Point::Dense2(0.0f, 0.0f), Point::Dense2(3.0f, 4.0f)), 5.0);
+  EXPECT_DOUBLE_EQ(
+      m.Distance(Point::Dense2(1.0f, 1.0f), Point::Dense2(1.0f, 1.0f)), 0.0);
+}
+
+TEST(ManhattanMetricTest, KnownDistances) {
+  ManhattanMetric m;
+  EXPECT_DOUBLE_EQ(
+      m.Distance(Point::Dense2(0.0f, 0.0f), Point::Dense2(3.0f, 4.0f)), 7.0);
+}
+
+TEST(CosineMetricTest, OrthogonalVectorsAtHalfPi) {
+  CosineMetric m;
+  Point x = Point::Dense2(1.0f, 0.0f);
+  Point y = Point::Dense2(0.0f, 2.0f);
+  EXPECT_NEAR(m.Distance(x, y), M_PI / 2.0, 1e-12);
+}
+
+TEST(CosineMetricTest, ParallelVectorsAtZero) {
+  CosineMetric m;
+  Point x = Point::Dense2(1.0f, 1.0f);
+  Point y = Point::Dense2(3.0f, 3.0f);
+  EXPECT_NEAR(m.Distance(x, y), 0.0, 1e-7);
+}
+
+TEST(CosineMetricTest, OppositeVectorsAtPi) {
+  CosineMetric m;
+  Point x = Point::Dense2(1.0f, 0.0f);
+  Point y = Point::Dense2(-2.0f, 0.0f);
+  EXPECT_NEAR(m.Distance(x, y), M_PI, 1e-7);
+}
+
+TEST(CosineMetricTest, ZeroVectorConventions) {
+  CosineMetric m;
+  Point zero = Point::Dense2(0.0f, 0.0f);
+  Point x = Point::Dense2(1.0f, 0.0f);
+  EXPECT_DOUBLE_EQ(m.Distance(zero, zero), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance(zero, x), M_PI / 2.0);
+}
+
+TEST(CosineMetricTest, SparseVectors) {
+  CosineMetric m;
+  Point a = Point::Sparse({0, 1}, {1.0f, 1.0f}, 4);
+  Point b = Point::Sparse({2, 3}, {1.0f, 1.0f}, 4);
+  EXPECT_NEAR(m.Distance(a, b), M_PI / 2.0, 1e-12);  // disjoint supports
+}
+
+TEST(JaccardMetricTest, KnownDistance) {
+  JaccardMetric m;
+  Point a = Point::Sparse({0, 1, 2}, {1.0f, 1.0f, 1.0f}, 8);
+  Point b = Point::Sparse({2, 3}, {1.0f, 1.0f}, 8);
+  // Intersection 1, union 4.
+  EXPECT_DOUBLE_EQ(m.Distance(a, b), 0.75);
+}
+
+TEST(CountingMetricTest, CountsAndDelegates) {
+  EuclideanMetric base;
+  CountingMetric counting(&base);
+  Point a = Point::Dense2(0.0f, 0.0f);
+  Point b = Point::Dense2(3.0f, 4.0f);
+  EXPECT_EQ(counting.count(), 0u);
+  EXPECT_DOUBLE_EQ(counting.Distance(a, b), 5.0);
+  counting.Distance(a, b);
+  EXPECT_EQ(counting.count(), 2u);
+  counting.Reset();
+  EXPECT_EQ(counting.count(), 0u);
+  EXPECT_EQ(counting.Name(), "counting(euclidean)");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: metric axioms on random point sets, for every metric and
+// both point representations where applicable.
+// ---------------------------------------------------------------------------
+
+struct MetricAxiomsCase {
+  std::string name;
+  // Factory for the metric under test and a generator of compatible points.
+  std::shared_ptr<const Metric> metric;
+  PointSet points;
+};
+
+class MetricAxiomsTest : public ::testing::TestWithParam<MetricAxiomsCase> {};
+
+TEST_P(MetricAxiomsTest, NonNegativityAndIdentity) {
+  const auto& c = GetParam();
+  // acos() amplifies float rounding near cosine 1 to ~1e-4 radians, so the
+  // angular distance cannot promise a tighter self-distance than that.
+  double identity_tol = c.metric->Name() == "cosine" ? 2e-4 : 1e-9;
+  for (const Point& p : c.points) {
+    EXPECT_NEAR(c.metric->Distance(p, p), 0.0, identity_tol);
+  }
+  for (size_t i = 0; i < c.points.size(); ++i) {
+    for (size_t j = i + 1; j < c.points.size(); ++j) {
+      EXPECT_GE(c.metric->Distance(c.points[i], c.points[j]), 0.0);
+    }
+  }
+}
+
+TEST_P(MetricAxiomsTest, Symmetry) {
+  const auto& c = GetParam();
+  for (size_t i = 0; i < c.points.size(); ++i) {
+    for (size_t j = i + 1; j < c.points.size(); ++j) {
+      EXPECT_NEAR(c.metric->Distance(c.points[i], c.points[j]),
+                  c.metric->Distance(c.points[j], c.points[i]), 1e-9);
+    }
+  }
+}
+
+TEST_P(MetricAxiomsTest, TriangleInequality) {
+  const auto& c = GetParam();
+  size_t n = c.points.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t k = 0; k < n; ++k) {
+        double dij = c.metric->Distance(c.points[i], c.points[j]);
+        double dik = c.metric->Distance(c.points[i], c.points[k]);
+        double dkj = c.metric->Distance(c.points[k], c.points[j]);
+        EXPECT_LE(dij, dik + dkj + 1e-7)
+            << "triangle violated at (" << i << "," << j << "," << k << ")";
+      }
+    }
+  }
+}
+
+std::vector<MetricAxiomsCase> MakeAxiomCases() {
+  std::vector<MetricAxiomsCase> cases;
+  PointSet dense = GenerateUniformCube(18, 4, /*seed=*/7);
+  SparseTextOptions sparse_opts;
+  sparse_opts.n = 18;
+  sparse_opts.vocab_size = 60;
+  sparse_opts.min_terms = 3;
+  sparse_opts.max_terms = 12;
+  sparse_opts.num_topics = 4;
+  sparse_opts.seed = 11;
+  PointSet sparse = GenerateSparseTextDataset(sparse_opts);
+
+  cases.push_back({"euclidean_dense",
+                   std::make_shared<EuclideanMetric>(), dense});
+  cases.push_back({"manhattan_dense",
+                   std::make_shared<ManhattanMetric>(), dense});
+  cases.push_back({"cosine_dense", std::make_shared<CosineMetric>(), dense});
+  cases.push_back({"euclidean_sparse",
+                   std::make_shared<EuclideanMetric>(), sparse});
+  cases.push_back({"cosine_sparse", std::make_shared<CosineMetric>(), sparse});
+  cases.push_back({"jaccard_sparse",
+                   std::make_shared<JaccardMetric>(), sparse});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricAxiomsTest, ::testing::ValuesIn(MakeAxiomCases()),
+    [](const ::testing::TestParamInfo<MetricAxiomsCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,109 @@
+#include "core/mst.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+TEST(MstTest, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(MstWeight(DistanceMatrix(0)), 0.0);
+  EXPECT_DOUBLE_EQ(MstWeight(DistanceMatrix(1)), 0.0);
+  EXPECT_TRUE(MstEdges(DistanceMatrix(1)).empty());
+}
+
+TEST(MstTest, TwoPoints) {
+  DistanceMatrix d(2);
+  d.set(0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(MstWeight(d), 7.0);
+  auto edges = MstEdges(d);
+  ASSERT_EQ(edges.size(), 1u);
+}
+
+TEST(MstTest, PathGraphStructure) {
+  // Points on a line at 0, 1, 3, 6: MST is the chain, weight 1+2+3 = 6.
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense({0.0f}), Point::Dense({1.0f}),
+                  Point::Dense({3.0f}), Point::Dense({6.0f})};
+  DistanceMatrix d(pts, m);
+  EXPECT_DOUBLE_EQ(MstWeight(d), 6.0);
+}
+
+TEST(MstTest, KnownSquare) {
+  // Unit square: MST = 3 sides of length 1.
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense2(0, 0), Point::Dense2(1, 0),
+                  Point::Dense2(1, 1), Point::Dense2(0, 1)};
+  EXPECT_DOUBLE_EQ(MstWeight(DistanceMatrix(pts, m)), 3.0);
+}
+
+TEST(MstTest, EdgesFormSpanningTree) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(20, 2, /*seed=*/3);
+  DistanceMatrix d(pts, m);
+  auto edges = MstEdges(d);
+  ASSERT_EQ(edges.size(), pts.size() - 1);
+  // Union-find connectivity check.
+  std::vector<size_t> parent(pts.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+  for (auto [a, b] : edges) {
+    size_t ra = find(a), rb = find(b);
+    EXPECT_NE(ra, rb) << "MST edge creates a cycle";
+    parent[ra] = rb;
+  }
+  for (size_t i = 1; i < pts.size(); ++i) EXPECT_EQ(find(0), find(i));
+}
+
+TEST(MstTest, WeightIsMinimalOnSmallInstanceByBruteForce) {
+  // Compare against brute force over all spanning trees via Cayley
+  // enumeration on 5 vertices (125 labeled trees via Prufer sequences).
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(5, 2, /*seed=*/9);
+  DistanceMatrix d(pts, m);
+  double best = 1e100;
+  // All Prufer sequences of length 3 over {0..4}.
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      for (int c = 0; c < 5; ++c) {
+        int prufer[3] = {a, b, c};
+        int degree[5];
+        for (int i = 0; i < 5; ++i) degree[i] = 1;
+        for (int x : prufer) degree[x]++;
+        double w = 0.0;
+        int deg[5];
+        std::copy(degree, degree + 5, deg);
+        bool used[5] = {false, false, false, false, false};
+        for (int x : prufer) {
+          for (int leaf = 0; leaf < 5; ++leaf) {
+            if (deg[leaf] == 1 && !used[leaf]) {
+              w += d.at(leaf, x);
+              used[leaf] = true;
+              deg[x]--;
+              break;
+            }
+          }
+        }
+        int last[2];
+        int cnt = 0;
+        for (int i = 0; i < 5; ++i) {
+          if (!used[i]) last[cnt++] = i;
+        }
+        w += d.at(last[0], last[1]);
+        best = std::min(best, w);
+      }
+    }
+  }
+  EXPECT_NEAR(MstWeight(d), best, 1e-9);
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,139 @@
+#include "mapreduce/partitioner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "data/sparse_text.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+// Every partition strategy must produce a balanced permutation of the input.
+class PartitionerTest : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(PartitionerTest, IsBalancedPermutation) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(103, 2, /*seed=*/1);
+  auto parts = PartitionPoints(pts, 8, GetParam(), /*seed=*/42, &m);
+  ASSERT_EQ(parts.size(), 8u);
+  size_t total = 0;
+  for (const PointSet& part : parts) {
+    EXPECT_GE(part.size(), 103u / 8);
+    EXPECT_LE(part.size(), 103u / 8 + 1);
+    total += part.size();
+  }
+  EXPECT_EQ(total, pts.size());
+  // Multiset equality via sorted coordinate dumps.
+  auto key = [](const Point& p) {
+    return std::make_pair(p.dense_values()[0], p.dense_values()[1]);
+  };
+  std::multiset<std::pair<float, float>> original, partitioned;
+  for (const Point& p : pts) original.insert(key(p));
+  for (const PointSet& part : parts) {
+    for (const Point& p : part) partitioned.insert(key(p));
+  }
+  EXPECT_EQ(original, partitioned);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PartitionerTest,
+    ::testing::Values(PartitionStrategy::kChunked, PartitionStrategy::kRandom,
+                      PartitionStrategy::kAdversarial),
+    [](const ::testing::TestParamInfo<PartitionStrategy>& info) {
+      return PartitionStrategyName(info.param);
+    });
+
+TEST(PartitionerTest, StrategyNames) {
+  EXPECT_EQ(PartitionStrategyName(PartitionStrategy::kChunked), "chunked");
+  EXPECT_EQ(PartitionStrategyName(PartitionStrategy::kRandom), "random");
+  EXPECT_EQ(PartitionStrategyName(PartitionStrategy::kAdversarial),
+            "adversarial");
+}
+
+TEST(PartitionerTest, ChunkedPreservesOrder) {
+  PointSet pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(Point::Dense({static_cast<float>(i)}));
+  }
+  auto parts = PartitionPoints(pts, 2, PartitionStrategy::kChunked, 0);
+  EXPECT_EQ(parts[0][0].dense_values()[0], 0.0f);
+  EXPECT_EQ(parts[0][4].dense_values()[0], 4.0f);
+  EXPECT_EQ(parts[1][0].dense_values()[0], 5.0f);
+}
+
+TEST(PartitionerTest, RandomIsSeedDeterministic) {
+  PointSet pts = GenerateUniformCube(50, 2, /*seed=*/2);
+  auto a = PartitionPoints(pts, 4, PartitionStrategy::kRandom, 7);
+  auto b = PartitionPoints(pts, 4, PartitionStrategy::kRandom, 7);
+  auto c = PartitionPoints(pts, 4, PartitionStrategy::kRandom, 8);
+  EXPECT_EQ(a[0][0].dense_values(), b[0][0].dense_values());
+  bool differs = false;
+  for (size_t i = 0; i < a[0].size() && !differs; ++i) {
+    differs = !(a[0][i] == c[0][i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PartitionerTest, AdversarialLocalizesDensePoints) {
+  // After lexicographic sorting, each part spans a narrow slab in the first
+  // coordinate; total first-coordinate spread of parts is much smaller than
+  // the full range for most parts.
+  PointSet pts = GenerateUniformCube(1000, 2, /*seed=*/3);
+  auto parts =
+      PartitionPoints(pts, 10, PartitionStrategy::kAdversarial, 0);
+  for (const PointSet& part : parts) {
+    float lo = 1e9f, hi = -1e9f;
+    for (const Point& p : part) {
+      lo = std::min(lo, p.dense_values()[0]);
+      hi = std::max(hi, p.dense_values()[0]);
+    }
+    EXPECT_LE(hi - lo, 0.25f);  // a slab of ~1/10 of the unit range + slack
+  }
+}
+
+TEST(PartitionerTest, AdversarialSparseUsesMetricShells) {
+  CosineMetric m;
+  SparseTextOptions opts;
+  opts.n = 60;
+  opts.vocab_size = 100;
+  opts.min_terms = 3;
+  opts.max_terms = 10;
+  opts.seed = 5;
+  PointSet pts = GenerateSparseTextDataset(opts);
+  auto parts =
+      PartitionPoints(pts, 4, PartitionStrategy::kAdversarial, 0, &m);
+  // Distance-to-pivot must be non-decreasing across part boundaries.
+  const Point& pivot = pts[0];
+  double prev_max = -1.0;
+  for (const PointSet& part : parts) {
+    double lo = 1e100, hi = -1.0;
+    for (const Point& p : part) {
+      double d = m.Distance(p, pivot);
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    EXPECT_GE(lo, prev_max - 1e-9);
+    prev_max = hi;
+  }
+}
+
+TEST(PartitionerTest, SinglePartIsWholeInput) {
+  PointSet pts = GenerateUniformCube(20, 2, /*seed=*/6);
+  auto parts = PartitionPoints(pts, 1, PartitionStrategy::kRandom, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), pts.size());
+}
+
+TEST(PartitionerDeathTest, MorePartsThanPointsRejected) {
+  PointSet pts = GenerateUniformCube(3, 2, /*seed=*/7);
+  EXPECT_DEATH(PartitionPoints(pts, 4, PartitionStrategy::kChunked, 0),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace diverse

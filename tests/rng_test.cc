@@ -1,0 +1,120 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace diverse {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsAboutHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(7);
+  const int kBuckets = 10, kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsAreStandard) {
+  Rng rng(9);
+  const int kDraws = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / kDraws;
+  double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(10);
+  Rng child = a.Split();
+  // Splitting again from the same origin seed reproduces both streams.
+  Rng b(10);
+  Rng child2 = b.Split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child.Next(), child2.Next());
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SplitStreamsDoNotCollide) {
+  Rng a(11);
+  Rng child = a.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == child.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngDeathTest, NextBoundedRejectsZero) {
+  Rng rng(12);
+  EXPECT_DEATH(rng.NextBounded(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,174 @@
+#include "streaming/sliding_window.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "core/sequential.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace diverse {
+namespace {
+
+SlidingWindowOptions Options(DiversityProblem p, size_t k, size_t k_prime,
+                             size_t window, size_t block) {
+  SlidingWindowOptions o;
+  o.problem = p;
+  o.k = k;
+  o.k_prime = k_prime;
+  o.window = window;
+  o.block = block;
+  return o;
+}
+
+TEST(SlidingWindowTest, QueryBeforeAnyPointIsEmpty) {
+  EuclideanMetric m;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteEdge, 4, 8, 100, 25));
+  StreamingResult r = sw.Query();
+  EXPECT_TRUE(r.solution.empty());
+  EXPECT_DOUBLE_EQ(r.diversity, 0.0);
+}
+
+TEST(SlidingWindowTest, ShortStreamActsLikeWholeStream) {
+  EuclideanMetric m;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteEdge, 4, 8, 1000, 250));
+  PointSet pts = GenerateUniformCube(50, 2, /*seed=*/1);
+  for (const Point& p : pts) sw.Update(p);
+  StreamingResult r = sw.Query();
+  EXPECT_EQ(r.solution.size(), 4u);
+  EXPECT_GT(r.diversity, 0.0);
+}
+
+TEST(SlidingWindowTest, OldPointsExpire) {
+  // Phase 1 of the stream contains far-apart "anchor" points; phase 2 is a
+  // tight cluster. Once phase 1 slides out of the window, the solution must
+  // consist only of phase-2 points (small diversity).
+  EuclideanMetric m;
+  size_t window = 400, block = 100;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteEdge, 3, 6, window, block));
+
+  for (int i = 0; i < 200; ++i) {
+    sw.Update(Point::Dense2(static_cast<float>(i % 4) * 100.0f, 0.0f));
+  }
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    sw.Update(Point::Dense2(static_cast<float>(rng.NextDouble()),
+                            static_cast<float>(rng.NextDouble())));
+  }
+  StreamingResult r = sw.Query();
+  ASSERT_EQ(r.solution.size(), 3u);
+  // All anchors are >= 100 apart; the cluster has diameter <= sqrt(2).
+  EXPECT_LT(r.diversity, 2.0);
+  for (const Point& p : r.solution) {
+    EXPECT_LE(p.dense_values()[0], 1.0f);  // no expired anchor survives
+  }
+}
+
+TEST(SlidingWindowTest, RecentFarPointIsFound) {
+  EuclideanMetric m;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteEdge, 2, 4, 300, 100));
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    sw.Update(Point::Dense2(static_cast<float>(rng.NextDouble()),
+                            static_cast<float>(rng.NextDouble())));
+  }
+  sw.Update(Point::Dense2(1000.0f, 1000.0f));  // recent outlier
+  StreamingResult r = sw.Query();
+  EXPECT_GT(r.diversity, 500.0);  // the outlier must be in the solution
+}
+
+TEST(SlidingWindowTest, MemoryIndependentOfStreamLength) {
+  EuclideanMetric m;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteEdge, 4, 8, 1000, 250));
+  Rng rng(4);
+  size_t peak = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sw.Update(Point::Dense2(static_cast<float>(rng.NextDouble()),
+                            static_cast<float>(rng.NextDouble())));
+    peak = std::max(peak, sw.StoredPoints());
+  }
+  // <= (max_blocks + 1 running engine) * ~2(k'+1) points, far below 20000.
+  EXPECT_LE(peak, 200u);
+  EXPECT_EQ(sw.points_processed(), 20000u);
+  EXPECT_LE(sw.retained_blocks(), 4u);
+}
+
+TEST(SlidingWindowTest, QualityTracksBatchSolveOnWindow) {
+  EuclideanMetric m;
+  size_t window = 2000, block = 500, k = 6;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteEdge, k, 4 * k, window, block));
+  SphereDatasetOptions dopts;
+  dopts.n = 10000;
+  dopts.k = k;
+  dopts.seed = 5;
+  SphereStream stream(dopts);
+  PointSet history;
+  while (stream.HasNext()) {
+    Point p = stream.Next();
+    history.push_back(p);
+    sw.Update(p);
+  }
+  StreamingResult r = sw.Query();
+  // Batch reference on the retained span (window rounded up to blocks).
+  size_t span = std::min(history.size(),
+                         window + block);  // block-granular slack
+  PointSet recent(history.end() - static_cast<ptrdiff_t>(span),
+                  history.end());
+  std::vector<size_t> ref = SolveSequential(DiversityProblem::kRemoteEdge,
+                                            recent, m, k);
+  PointSet ref_sol;
+  for (size_t idx : ref) ref_sol.push_back(recent[idx]);
+  double ref_div =
+      EvaluateDiversity(DiversityProblem::kRemoteEdge, ref_sol, m);
+  EXPECT_GE(r.diversity, 0.4 * ref_div);
+}
+
+TEST(SlidingWindowTest, InjectiveProblemsUseDelegates) {
+  EuclideanMetric m;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteClique, 5, 10, 800, 200));
+  PointSet pts = GenerateUniformCube(3000, 2, /*seed=*/6);
+  for (const Point& p : pts) sw.Update(p);
+  StreamingResult r = sw.Query();
+  EXPECT_EQ(r.solution.size(), 5u);
+  // Distinct points (delegate machinery supplies witnesses).
+  for (size_t i = 0; i < r.solution.size(); ++i) {
+    for (size_t j = i + 1; j < r.solution.size(); ++j) {
+      EXPECT_FALSE(r.solution[i] == r.solution[j]);
+    }
+  }
+  EXPECT_GT(r.diversity, 0.0);
+}
+
+TEST(SlidingWindowTest, AutoBlockSizing) {
+  EuclideanMetric m;
+  SlidingWindowOptions o;
+  o.problem = DiversityProblem::kRemoteEdge;
+  o.k = 4;
+  o.k_prime = 8;
+  o.window = 1000;
+  o.block = 0;  // auto: max(1000/8, 8) = 125
+  SlidingWindowDiversity sw(&m, o);
+  for (int i = 0; i < 2000; ++i) {
+    sw.Update(Point::Dense2(static_cast<float>(i), 0.0f));
+  }
+  EXPECT_EQ(sw.retained_blocks(), 8u);
+}
+
+TEST(SlidingWindowDeathTest, WindowSmallerThanBlockRejected) {
+  EuclideanMetric m;
+  EXPECT_DEATH(SlidingWindowDiversity(
+                   &m, Options(DiversityProblem::kRemoteEdge, 4, 8, 50, 100)),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace diverse

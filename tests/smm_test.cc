@@ -1,0 +1,220 @@
+#include "streaming/smm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+using internal_smm::SmmEngine;
+
+PointSet StreamOf(size_t n, uint64_t seed) {
+  return GenerateUniformCube(n, 2, seed);
+}
+
+TEST(SmmTest, ShortStreamKeepsEverything) {
+  EuclideanMetric m;
+  Smm smm(&m, 3, 8);
+  PointSet pts = StreamOf(5, 1);  // fewer than k'+1 = 9
+  for (const Point& p : pts) smm.Update(p);
+  PointSet coreset = smm.Finalize();
+  EXPECT_EQ(coreset.size(), 5u);
+}
+
+TEST(SmmTest, CoresetHasAtLeastKPoints) {
+  EuclideanMetric m;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Smm smm(&m, 8, 12);
+    for (const Point& p : StreamOf(500, seed)) smm.Update(p);
+    EXPECT_GE(smm.Finalize().size(), 8u) << "seed " << seed;
+  }
+}
+
+TEST(SmmTest, MemoryBoundedByKPrimePlusOne) {
+  EuclideanMetric m;
+  size_t k_prime = 16;
+  Smm smm(&m, 4, k_prime);
+  size_t peak_centers = 0;
+  for (const Point& p : StreamOf(2000, 3)) {
+    smm.Update(p);
+    peak_centers = std::max(peak_centers, smm.engine().Centers().size());
+  }
+  EXPECT_LE(peak_centers, k_prime + 1);
+}
+
+TEST(SmmTest, CoverageInvariant) {
+  // Every stream point must end up within CoverageRadiusBound of a center.
+  EuclideanMetric m;
+  PointSet pts = StreamOf(1000, 4);
+  Smm smm(&m, 4, 10);
+  for (const Point& p : pts) smm.Update(p);
+  PointSet centers = smm.engine().Centers();
+  double bound = smm.engine().CoverageRadiusBound();
+  for (const Point& p : pts) {
+    double dist = 1e100;
+    for (const Point& c : centers) dist = std::min(dist, m.Distance(p, c));
+    EXPECT_LE(dist, bound + 1e-9);
+  }
+}
+
+TEST(SmmTest, SeparationInvariant) {
+  // After each update, centers are pairwise more than d_i apart (invariant 2
+  // of the doubling algorithm).
+  EuclideanMetric m;
+  PointSet pts = StreamOf(800, 5);
+  Smm smm(&m, 4, 10);
+  for (const Point& p : pts) smm.Update(p);
+  PointSet centers = smm.engine().Centers();
+  double d_i = smm.engine().threshold();
+  for (size_t i = 0; i < centers.size(); ++i) {
+    for (size_t j = i + 1; j < centers.size(); ++j) {
+      EXPECT_GT(m.Distance(centers[i], centers[j]), d_i - 1e-9);
+    }
+  }
+}
+
+TEST(SmmTest, HandlesDuplicatePoints) {
+  EuclideanMetric m;
+  Smm smm(&m, 2, 4);
+  Point a = Point::Dense2(0, 0), b = Point::Dense2(1, 1);
+  for (int i = 0; i < 50; ++i) {
+    smm.Update(a);
+    smm.Update(b);
+  }
+  PointSet coreset = smm.Finalize();
+  EXPECT_GE(coreset.size(), 2u);
+}
+
+TEST(SmmTest, PhasesIncreaseWithStreamSpread) {
+  EuclideanMetric m;
+  Smm smm(&m, 4, 8);
+  // Exponentially growing coordinates force repeated threshold doubling.
+  for (int i = 0; i < 200; ++i) {
+    smm.Update(Point::Dense({static_cast<float>(std::pow(1.2, i % 60)),
+                             static_cast<float>(i % 7)}));
+  }
+  EXPECT_GE(smm.engine().phases(), 2u);
+}
+
+TEST(SmmExtTest, DelegateCountsBounded) {
+  EuclideanMetric m;
+  size_t k = 5, k_prime = 10;
+  SmmExt smm(&m, k, k_prime);
+  for (const Point& p : StreamOf(2000, 6)) smm.Update(p);
+  // Total delegates <= (k'+1) * k at any time.
+  EXPECT_LE(smm.engine().StoredPoints(), (k_prime + 1) * k);
+  PointSet coreset = smm.Finalize();
+  EXPECT_GE(coreset.size(), k);
+  EXPECT_LE(coreset.size(), (k_prime + 1) * k);
+}
+
+TEST(SmmExtTest, CoresetContainsOnlyStreamPoints) {
+  EuclideanMetric m;
+  PointSet pts = StreamOf(300, 7);
+  SmmExt smm(&m, 3, 6);
+  for (const Point& p : pts) smm.Update(p);
+  for (const Point& c : smm.Finalize()) {
+    bool found = std::any_of(pts.begin(), pts.end(),
+                             [&c](const Point& p) { return p == c; });
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SmmExtTest, DelegatesAreDistinctPoints) {
+  // Streams without duplicates must yield coresets without duplicates.
+  EuclideanMetric m;
+  PointSet pts = StreamOf(500, 8);
+  SmmExt smm(&m, 4, 8);
+  for (const Point& p : pts) smm.Update(p);
+  PointSet coreset = smm.Finalize();
+  for (size_t i = 0; i < coreset.size(); ++i) {
+    for (size_t j = i + 1; j < coreset.size(); ++j) {
+      EXPECT_FALSE(coreset[i] == coreset[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(SmmGenTest, MultiplicitiesBoundedByK) {
+  EuclideanMetric m;
+  size_t k = 6, k_prime = 12;
+  SmmGen smm(&m, k, k_prime);
+  for (const Point& p : StreamOf(2000, 9)) smm.Update(p);
+  GeneralizedCoreset gc = smm.Finalize();
+  EXPECT_LE(gc.size(), k_prime + 1);
+  for (const WeightedPoint& e : gc.entries()) {
+    EXPECT_GE(e.multiplicity, 1u);
+    EXPECT_LE(e.multiplicity, k);
+  }
+  EXPECT_GE(gc.ExpandedSize(), k);
+}
+
+TEST(SmmGenTest, StoresOnlyKernelPoints) {
+  EuclideanMetric m;
+  SmmGen smm(&m, 4, 8);
+  for (const Point& p : StreamOf(1000, 10)) smm.Update(p);
+  // Memory in counts mode = number of centers <= k'+1.
+  EXPECT_LE(smm.engine().StoredPoints(), 9u);
+}
+
+TEST(SmmGenTest, ExpandedSizeMatchesDelegateVariant) {
+  // On the same stream, SMM-GEN's total multiplicity equals SMM-EXT's
+  // delegate count: the two variants follow identical phase trajectories.
+  EuclideanMetric m;
+  PointSet pts = StreamOf(800, 11);
+  SmmExt ext(&m, 5, 9);
+  SmmGen gen(&m, 5, 9);
+  for (const Point& p : pts) {
+    ext.Update(p);
+    gen.Update(p);
+  }
+  EXPECT_EQ(ext.Finalize().size(), gen.Finalize().ExpandedSize());
+}
+
+TEST(SmmDeathTest, RequiresKPrimeAtLeastK) {
+  EuclideanMetric m;
+  EXPECT_DEATH(Smm(&m, 5, 4), "CHECK failed");
+}
+
+// Parameterized sweep: the coreset size grows with k' and the coverage
+// bound shrinks (better locality) across a range of configurations.
+class SmmSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(SmmSweepTest, InvariantsAcrossConfigurations) {
+  auto [k, mult] = GetParam();
+  size_t k_prime = k * mult;
+  EuclideanMetric m;
+  PointSet pts = StreamOf(1500, 17 + k + mult);
+  Smm smm(&m, k, k_prime);
+  for (const Point& p : pts) smm.Update(p);
+  PointSet coreset = smm.Finalize();
+  EXPECT_GE(coreset.size(), k);
+  EXPECT_LE(coreset.size(), k_prime + 1);
+  PointSet centers = smm.engine().Centers();
+  double bound = smm.engine().CoverageRadiusBound();
+  for (const Point& p : pts) {
+    double dist = 1e100;
+    for (const Point& c : centers) dist = std::min(dist, m.Distance(p, c));
+    ASSERT_LE(dist, bound + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SmmSweepTest,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_mult" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,115 @@
+#include "api/solve.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+TEST(SolveTest, BackendNamesRoundTrip) {
+  for (Backend b :
+       {Backend::kSequential, Backend::kStreaming, Backend::kStreamingTwoPass,
+        Backend::kMapReduce, Backend::kMapReduceRandomized,
+        Backend::kMapReduceGeneralized, Backend::kMapReduceRecursive}) {
+    bool ok = false;
+    EXPECT_EQ(ParseBackend(BackendName(b), &ok), b);
+    EXPECT_TRUE(ok);
+  }
+  bool ok = true;
+  ParseBackend("nope", &ok);
+  EXPECT_FALSE(ok);
+}
+
+// Every backend must return k points with positive diversity for every
+// problem it supports.
+struct SolveCase {
+  Backend backend;
+  DiversityProblem problem;
+};
+
+class SolveBackendTest : public ::testing::TestWithParam<SolveCase> {};
+
+TEST_P(SolveBackendTest, ProducesValidSolution) {
+  const SolveCase& c = GetParam();
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(800, 2, /*seed=*/11);
+  SolveOptions opts;
+  opts.problem = c.problem;
+  opts.backend = c.backend;
+  opts.k = 6;
+  SolveResult r = Solve(pts, metric, opts);
+  EXPECT_EQ(r.solution.size(), 6u);
+  EXPECT_GT(r.diversity, 0.0);
+  EXPECT_GE(r.seconds, 0.0);
+  if (c.backend != Backend::kSequential) {
+    EXPECT_GT(r.coreset_size, 0u);
+    EXPECT_GE(r.rounds_or_passes, 1u);
+  }
+}
+
+std::vector<SolveCase> MakeCases() {
+  std::vector<SolveCase> cases;
+  for (DiversityProblem p : kAllProblems) {
+    for (Backend b : {Backend::kSequential, Backend::kStreaming,
+                      Backend::kMapReduce, Backend::kMapReduceRandomized,
+                      Backend::kMapReduceRecursive}) {
+      cases.push_back({b, p});
+    }
+    if (RequiresInjectiveProxies(p)) {
+      cases.push_back({Backend::kStreamingTwoPass, p});
+      cases.push_back({Backend::kMapReduceGeneralized, p});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SolveBackendTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<SolveCase>& info) {
+      std::string name = BackendName(info.param.backend) + "_" +
+                         ProblemName(info.param.problem);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(SolveTest, AutoDefaultsApplied) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(200, 2, /*seed=*/12);
+  SolveOptions opts;
+  opts.backend = Backend::kMapReduce;
+  opts.k = 4;  // k_prime, partitions, workers all auto
+  SolveResult r = Solve(pts, metric, opts);
+  EXPECT_EQ(r.solution.size(), 4u);
+  // auto k' = 16, auto partitions = 8 -> coreset 8*16.
+  EXPECT_EQ(r.coreset_size, 128u);
+}
+
+TEST(SolveTest, SmallInputClampsKAndPartitions) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(3, 2, /*seed=*/13);
+  SolveOptions opts;
+  opts.backend = Backend::kMapReduce;
+  opts.k = 8;
+  opts.num_partitions = 16;
+  SolveResult r = Solve(pts, metric, opts);
+  EXPECT_EQ(r.solution.size(), 3u);  // whole input
+}
+
+TEST(SolveTest, SequentialMatchesDirectCall) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(100, 2, /*seed=*/14);
+  SolveOptions opts;
+  opts.problem = DiversityProblem::kRemoteEdge;
+  opts.k = 5;
+  SolveResult r = Solve(pts, metric, opts);
+  EXPECT_EQ(r.rounds_or_passes, 0u);
+  EXPECT_EQ(r.coreset_size, 0u);
+  EXPECT_EQ(r.solution.size(), 5u);
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,102 @@
+#include "data/sparse_text.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+
+namespace diverse {
+namespace {
+
+SparseTextOptions SmallCorpus(uint64_t seed) {
+  SparseTextOptions o;
+  o.n = 200;
+  o.vocab_size = 500;
+  o.min_terms = 10;
+  o.max_terms = 60;
+  o.num_topics = 8;
+  o.seed = seed;
+  return o;
+}
+
+TEST(SparseTextTest, BasicShape) {
+  PointSet docs = GenerateSparseTextDataset(SmallCorpus(1));
+  ASSERT_EQ(docs.size(), 200u);
+  for (const Point& d : docs) {
+    EXPECT_TRUE(d.is_sparse());
+    EXPECT_EQ(d.dim(), 500u);
+    EXPECT_GE(d.nnz(), 10u);
+    EXPECT_LE(d.nnz(), 60u);
+    for (float v : d.sparse_values()) EXPECT_GE(v, 1.0f);
+  }
+}
+
+TEST(SparseTextTest, SeedDeterminism) {
+  PointSet a = GenerateSparseTextDataset(SmallCorpus(2));
+  PointSet b = GenerateSparseTextDataset(SmallCorpus(2));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+TEST(SparseTextTest, ZipfMakesLowTermsFrequent) {
+  SparseTextOptions o = SmallCorpus(3);
+  o.num_topics = 0;  // pure background draws
+  o.n = 500;
+  PointSet docs = GenerateSparseTextDataset(o);
+  size_t low = 0, high = 0;
+  for (const Point& d : docs) {
+    for (uint32_t idx : d.sparse_indices()) {
+      if (idx < 50) ++low;
+      if (idx >= 450) ++high;
+    }
+  }
+  EXPECT_GT(low, 5 * high);  // head terms dominate tail terms
+}
+
+TEST(SparseTextTest, TopicsCreateFarApartDocuments) {
+  CosineMetric m;
+  PointSet docs = GenerateSparseTextDataset(SmallCorpus(4));
+  // There must exist pairs of documents nearly orthogonal (different
+  // topics): distance close to pi/2.
+  double max_dist = 0.0;
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = i + 1; j < 50; ++j) {
+      max_dist = std::max(max_dist, m.Distance(docs[i], docs[j]));
+    }
+  }
+  EXPECT_GT(max_dist, 1.2);  // close to pi/2 ~ 1.5708
+}
+
+TEST(SparseTextTest, MinTermsFilterHolds) {
+  SparseTextOptions o = SmallCorpus(5);
+  o.min_terms = 25;
+  o.max_terms = 40;
+  PointSet docs = GenerateSparseTextDataset(o);
+  for (const Point& d : docs) {
+    EXPECT_GE(d.nnz(), 25u);
+    EXPECT_LE(d.nnz(), 40u);
+  }
+}
+
+TEST(SparseTextTest, NoTopicsStillWorks) {
+  SparseTextOptions o = SmallCorpus(6);
+  o.num_topics = 0;
+  PointSet docs = GenerateSparseTextDataset(o);
+  EXPECT_EQ(docs.size(), o.n);
+}
+
+TEST(SparseTextTest, IndicesAreSortedAndInRange) {
+  PointSet docs = GenerateSparseTextDataset(SmallCorpus(7));
+  for (const Point& d : docs) {
+    const auto& idx = d.sparse_indices();
+    for (size_t i = 0; i + 1 < idx.size(); ++i) {
+      EXPECT_LT(idx[i], idx[i + 1]);
+    }
+    if (!idx.empty()) {
+      EXPECT_LT(idx.back(), 500u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace diverse

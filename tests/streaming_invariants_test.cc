@@ -1,0 +1,195 @@
+// Deep invariants of the SMM phase machinery across metrics and stream
+// shapes — the properties the correctness proofs of Section 4 rest on:
+// threshold monotonicity, center separation, coverage, and the bounded
+// memory the theorems charge for.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "data/sparse_text.h"
+#include "data/synthetic.h"
+#include "streaming/smm.h"
+#include "util/rng.h"
+
+namespace diverse {
+namespace {
+
+struct StreamCase {
+  std::string name;
+  std::shared_ptr<const Metric> metric;
+  PointSet stream;
+};
+
+std::vector<StreamCase> MakeStreams() {
+  std::vector<StreamCase> cases;
+  cases.push_back({"euclidean_cube", std::make_shared<EuclideanMetric>(),
+                   GenerateUniformCube(2000, 2, 51)});
+  {
+    SphereDatasetOptions o;
+    o.n = 2000;
+    o.k = 8;
+    o.seed = 52;
+    cases.push_back({"euclidean_sphere", std::make_shared<EuclideanMetric>(),
+                     GenerateSphereDataset(o)});
+  }
+  {
+    SparseTextOptions o;
+    o.n = 1500;
+    o.vocab_size = 400;
+    o.num_topics = 8;
+    o.seed = 53;
+    cases.push_back({"cosine_text", std::make_shared<CosineMetric>(),
+                     GenerateSparseTextDataset(o)});
+    cases.push_back({"jaccard_text", std::make_shared<JaccardMetric>(),
+                     GenerateSparseTextDataset(o)});
+  }
+  cases.push_back({"manhattan_blobs", std::make_shared<ManhattanMetric>(),
+                   GenerateGaussianBlobs(1800, 12, 3, 0.05, 54)});
+  return cases;
+}
+
+class SmmInvariantsTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(SmmInvariantsTest, ThresholdNeverDecreases) {
+  const auto& c = GetParam();
+  Smm smm(c.metric.get(), 8, 16);
+  double last = 0.0;
+  for (const Point& p : c.stream) {
+    smm.Update(p);
+    double t = smm.engine().threshold();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST_P(SmmInvariantsTest, CoverageHoldsThroughoutTheStream) {
+  // Check the coverage invariant at several prefixes, not just the end.
+  const auto& c = GetParam();
+  Smm smm(c.metric.get(), 8, 16);
+  size_t checkpoint = c.stream.size() / 4;
+  for (size_t i = 0; i < c.stream.size(); ++i) {
+    smm.Update(c.stream[i]);
+    if ((i + 1) % checkpoint == 0) {
+      PointSet centers = smm.engine().Centers();
+      double bound = smm.engine().CoverageRadiusBound();
+      for (size_t j = 0; j <= i; ++j) {
+        double dist = 1e100;
+        for (const Point& center : centers) {
+          dist = std::min(dist, c.metric->Distance(c.stream[j], center));
+        }
+        ASSERT_LE(dist, bound + 1e-9)
+            << c.name << " prefix " << i << " point " << j;
+      }
+    }
+  }
+}
+
+TEST_P(SmmInvariantsTest, SeparationHoldsThroughoutTheStream) {
+  const auto& c = GetParam();
+  Smm smm(c.metric.get(), 8, 16);
+  size_t checkpoint = c.stream.size() / 4;
+  for (size_t i = 0; i < c.stream.size(); ++i) {
+    smm.Update(c.stream[i]);
+    if ((i + 1) % checkpoint == 0) {
+      PointSet centers = smm.engine().Centers();
+      double d_i = smm.engine().threshold();
+      for (size_t a = 0; a < centers.size(); ++a) {
+        for (size_t b = a + 1; b < centers.size(); ++b) {
+          ASSERT_GT(c.metric->Distance(centers[a], centers[b]), d_i - 1e-9)
+              << c.name << " prefix " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SmmInvariantsTest, ExtMemoryWithinTheoremTwoBudget) {
+  const auto& c = GetParam();
+  size_t k = 6, k_prime = 12;
+  SmmExt smm(c.metric.get(), k, k_prime);
+  size_t peak = 0;
+  for (const Point& p : c.stream) {
+    smm.Update(p);
+    peak = std::max(peak, smm.engine().StoredPoints());
+  }
+  EXPECT_LE(peak, (k_prime + 1) * k) << c.name;
+  PointSet coreset = smm.Finalize();
+  EXPECT_GE(coreset.size(), std::min(c.stream.size(), k)) << c.name;
+}
+
+TEST_P(SmmInvariantsTest, GenExpandedSizeMatchesExtDelegateCount) {
+  const auto& c = GetParam();
+  SmmExt ext(c.metric.get(), 5, 10);
+  SmmGen gen(c.metric.get(), 5, 10);
+  for (const Point& p : c.stream) {
+    ext.Update(p);
+    gen.Update(p);
+  }
+  EXPECT_EQ(ext.Finalize().size(), gen.Finalize().ExpandedSize()) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStreams, SmmInvariantsTest, ::testing::ValuesIn(MakeStreams()),
+    [](const ::testing::TestParamInfo<StreamCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SmmStressTest, AdversarialGrowingScaleStream) {
+  // Exponentially growing coordinates force maximal threshold churn; the
+  // memory bound and coverage must survive.
+  EuclideanMetric m;
+  size_t k = 4, k_prime = 8;
+  Smm smm(&m, k, k_prime);
+  Rng rng(55);
+  PointSet stream;
+  for (int i = 0; i < 3000; ++i) {
+    double scale = std::pow(1.01, i);
+    stream.push_back(
+        Point::Dense2(static_cast<float>(scale * rng.NextDouble()),
+                      static_cast<float>(scale * rng.NextDouble())));
+  }
+  size_t peak = 0;
+  for (const Point& p : stream) {
+    smm.Update(p);
+    peak = std::max(peak, smm.engine().StoredPoints());
+  }
+  EXPECT_LE(peak, 2 * (k_prime + 1));
+  PointSet centers = smm.engine().Centers();
+  double bound = smm.engine().CoverageRadiusBound();
+  for (const Point& p : stream) {
+    double dist = 1e100;
+    for (const Point& c : centers) dist = std::min(dist, m.Distance(p, c));
+    ASSERT_LE(dist, bound + 1e-6);
+  }
+}
+
+TEST(SmmStressTest, DecreasingScaleStream) {
+  // The reverse: huge scales first, then fine detail. The doubling
+  // algorithm cannot refine past its committed threshold (one-pass
+  // limitation) but must remain covered and bounded.
+  EuclideanMetric m;
+  Smm smm(&m, 4, 8);
+  Rng rng(56);
+  PointSet stream;
+  for (int i = 0; i < 3000; ++i) {
+    double scale = std::pow(1.01, 3000 - i);
+    stream.push_back(
+        Point::Dense2(static_cast<float>(scale * rng.NextDouble()),
+                      static_cast<float>(scale * rng.NextDouble())));
+  }
+  for (const Point& p : stream) smm.Update(p);
+  PointSet centers = smm.engine().Centers();
+  double bound = smm.engine().CoverageRadiusBound();
+  for (const Point& p : stream) {
+    double dist = 1e100;
+    for (const Point& c : centers) dist = std::min(dist, m.Distance(p, c));
+    ASSERT_LE(dist, bound + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,145 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+
+namespace diverse {
+namespace {
+
+TEST(SphereDatasetTest, SizesAndLayout) {
+  SphereDatasetOptions opts;
+  opts.n = 100;
+  opts.k = 8;
+  opts.dim = 3;
+  opts.seed = 1;
+  PointSet pts = GenerateSphereDataset(opts);
+  ASSERT_EQ(pts.size(), 100u);
+  // First k points on the unit sphere surface.
+  for (size_t i = 0; i < opts.k; ++i) {
+    EXPECT_NEAR(pts[i].norm(), 1.0, 1e-5) << i;
+  }
+  // Remaining points inside radius 0.8.
+  for (size_t i = opts.k; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i].norm(), 0.8 + 1e-5) << i;
+  }
+}
+
+TEST(SphereDatasetTest, SeedDeterminism) {
+  SphereDatasetOptions opts;
+  opts.n = 50;
+  opts.k = 4;
+  opts.seed = 9;
+  PointSet a = GenerateSphereDataset(opts);
+  PointSet b = GenerateSphereDataset(opts);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  opts.seed = 10;
+  PointSet c = GenerateSphereDataset(opts);
+  EXPECT_FALSE(a[0] == c[0]);
+}
+
+TEST(SphereDatasetTest, CustomInnerRadiusAndDim) {
+  SphereDatasetOptions opts;
+  opts.n = 60;
+  opts.k = 2;
+  opts.dim = 5;
+  opts.inner_radius = 0.5;
+  opts.seed = 2;
+  PointSet pts = GenerateSphereDataset(opts);
+  for (size_t i = opts.k; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].dim(), 5u);
+    EXPECT_LE(pts[i].norm(), 0.5 + 1e-5);
+  }
+}
+
+TEST(SphereStreamTest, MatchesRequestedCountAndDistribution) {
+  SphereDatasetOptions opts;
+  opts.n = 1000;
+  opts.k = 10;
+  opts.seed = 3;
+  SphereStream stream(opts);
+  EXPECT_EQ(stream.size(), 1000u);
+  size_t surface = 0, produced = 0;
+  while (stream.HasNext()) {
+    Point p = stream.Next();
+    ++produced;
+    if (std::abs(p.norm() - 1.0) < 1e-5) ++surface;
+  }
+  EXPECT_EQ(produced, 1000u);
+  EXPECT_EQ(surface, 10u);  // exactly k planted points, scattered
+  EXPECT_FALSE(stream.HasNext());
+}
+
+TEST(SphereStreamTest, PlantedPointsAreScattered) {
+  SphereDatasetOptions opts;
+  opts.n = 10000;
+  opts.k = 20;
+  opts.seed = 4;
+  SphereStream stream(opts);
+  size_t idx = 0, first_planted = 0, last_planted = 0;
+  while (stream.HasNext()) {
+    Point p = stream.Next();
+    if (std::abs(p.norm() - 1.0) < 1e-5) {
+      if (first_planted == 0) first_planted = idx;
+      last_planted = idx;
+    }
+    ++idx;
+  }
+  // Not all at the front, and spread over a large portion of the stream.
+  EXPECT_GT(last_planted - first_planted, opts.n / 4);
+}
+
+TEST(UniformCubeTest, InBounds) {
+  PointSet pts = GenerateUniformCube(200, 4, /*seed=*/5);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const Point& p : pts) {
+    ASSERT_EQ(p.dim(), 4u);
+    for (float v : p.dense_values()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LT(v, 1.0f);
+    }
+  }
+}
+
+TEST(GaussianBlobsTest, ClustersAreTight) {
+  EuclideanMetric m;
+  PointSet pts = GenerateGaussianBlobs(300, 3, 2, 0.01, /*seed=*/6);
+  ASSERT_EQ(pts.size(), 300u);
+  // Points i, i+3, i+6 ... share a blob: intra-blob distances are small.
+  for (size_t i = 0; i + 3 < 30; ++i) {
+    EXPECT_LT(m.Distance(pts[i], pts[i + 3]), 0.2);
+  }
+}
+
+TEST(RandomSphereBallTest, RadiiAreRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    Point s = RandomSpherePoint(rng, 3, 2.5);
+    EXPECT_NEAR(s.norm(), 2.5, 1e-5);
+    Point b = RandomBallPoint(rng, 3, 2.5);
+    EXPECT_LE(b.norm(), 2.5 + 1e-5);
+  }
+}
+
+TEST(RandomBallTest, FillsTheVolumeNotJustTheShell) {
+  // In a uniform ball in 3d, P(r < R/2) = 1/8; check we see interior points.
+  Rng rng(8);
+  int inner = 0;
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (RandomBallPoint(rng, 3, 1.0).norm() < 0.5) ++inner;
+  }
+  EXPECT_NEAR(inner, kDraws / 8, kDraws / 20);
+}
+
+TEST(SphereDatasetDeathTest, RejectsKBeyondN) {
+  SphereDatasetOptions opts;
+  opts.n = 5;
+  opts.k = 6;
+  EXPECT_DEATH(GenerateSphereDataset(opts), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace diverse

@@ -1,0 +1,116 @@
+#include "core/tsp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.h"
+#include "core/mst.h"
+#include "data/synthetic.h"
+
+namespace diverse {
+namespace {
+
+TEST(TspTest, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(TspWeightExact(DistanceMatrix(0)), 0.0);
+  EXPECT_DOUBLE_EQ(TspWeightExact(DistanceMatrix(1)), 0.0);
+}
+
+TEST(TspTest, TwoPointsCountEdgeTwice) {
+  DistanceMatrix d(2);
+  d.set(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(TspWeightExact(d), 6.0);
+  EXPECT_DOUBLE_EQ(TourWeight(d, {0, 1}), 6.0);
+}
+
+TEST(TspTest, UnitSquareTourIsPerimeter) {
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense2(0, 0), Point::Dense2(1, 0),
+                  Point::Dense2(1, 1), Point::Dense2(0, 1)};
+  DistanceMatrix d(pts, m);
+  EXPECT_NEAR(TspWeightExact(d), 4.0, 1e-9);
+  EXPECT_NEAR(TspWeightHeuristic(d), 4.0, 1e-9);
+}
+
+TEST(TspTest, TourWeightOfExplicitOrder) {
+  EuclideanMetric m;
+  PointSet pts = {Point::Dense2(0, 0), Point::Dense2(1, 1),
+                  Point::Dense2(1, 0), Point::Dense2(0, 1)};
+  DistanceMatrix d(pts, m);
+  // The crossing order 0,1,2,3 is strictly worse than the perimeter.
+  EXPECT_GT(TourWeight(d, {0, 1, 2, 3}), 4.0);
+}
+
+TEST(TspTest, ExactMatchesPermutationBruteForce) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(8, 2, /*seed=*/17);
+  DistanceMatrix d(pts, m);
+  // Fix vertex 0 and enumerate the remaining permutations.
+  std::vector<size_t> perm(pts.size() - 1);
+  std::iota(perm.begin(), perm.end(), 1);
+  double best = 1e100;
+  do {
+    std::vector<size_t> tour = {0};
+    tour.insert(tour.end(), perm.begin(), perm.end());
+    best = std::min(best, TourWeight(d, tour));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(TspWeightExact(d), best, 1e-9);
+}
+
+TEST(TspTest, HeuristicVisitsEveryVertexOnce) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(40, 3, /*seed=*/21);
+  DistanceMatrix d(pts, m);
+  std::vector<size_t> tour = TspTourHeuristic(d);
+  ASSERT_EQ(tour.size(), pts.size());
+  std::vector<bool> seen(pts.size(), false);
+  for (size_t v : tour) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(TspTest, HeuristicWithinTwiceMstAndAboveIt) {
+  // Metric guarantees: w(MST) <= w(TSP_opt) <= heuristic <= 2 w(MST).
+  EuclideanMetric m;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    PointSet pts = GenerateUniformCube(60, 2, seed);
+    DistanceMatrix d(pts, m);
+    double mst = MstWeight(d);
+    double heur = TspWeightHeuristic(d);
+    EXPECT_GE(heur, mst - 1e-9);
+    EXPECT_LE(heur, 2.0 * mst + 1e-9);
+  }
+}
+
+TEST(TspTest, HeuristicCloseToExactOnSmallInstances) {
+  EuclideanMetric m;
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    PointSet pts = GenerateUniformCube(10, 2, seed);
+    DistanceMatrix d(pts, m);
+    double exact = TspWeightExact(d);
+    double heur = TspWeightHeuristic(d);
+    EXPECT_GE(heur, exact - 1e-9);
+    EXPECT_LE(heur, 1.3 * exact);  // 2-opt is near-optimal at this size
+  }
+}
+
+TEST(TspTest, AutoDispatch) {
+  EuclideanMetric m;
+  PointSet small = GenerateUniformCube(9, 2, /*seed=*/31);
+  DistanceMatrix ds(small, m);
+  EXPECT_DOUBLE_EQ(TspWeightAuto(ds), TspWeightExact(ds));
+  PointSet large = GenerateUniformCube(30, 2, /*seed=*/32);
+  DistanceMatrix dl(large, m);
+  EXPECT_DOUBLE_EQ(TspWeightAuto(dl), TspWeightHeuristic(dl));
+}
+
+TEST(TspDeathTest, ExactRejectsLargeInstances) {
+  DistanceMatrix d(kTspExactLimit + 1);
+  EXPECT_DEATH(TspWeightExact(d), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace diverse
