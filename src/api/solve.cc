@@ -79,22 +79,19 @@ SolveResult FromMr(const MrResult& r) {
 
 }  // namespace
 
-SolveResult Solve(const PointSet& points, const Metric& metric,
-                  const SolveOptions& options) {
-  DIVERSE_CHECK_GE(points.size(), 1u);
-  SolveOptions o = Normalize(options, points.size());
-  Timer timer;
-  SolveResult result;
+namespace {
 
+// The streaming and MapReduce backends consume value-typed points (the
+// stream engines copy what they keep; the MR drivers partition and re-lay
+// out per reducer), so both Solve overloads funnel through this helper
+// without forcing a columnar conversion of the whole input.
+SolveResult SolveStreamingOrMr(const PointSet& points, const Metric& metric,
+                               const SolveOptions& o) {
+  SolveResult result;
   switch (o.backend) {
-    case Backend::kSequential: {
-      size_t k = std::min(o.k, points.size());
-      std::vector<size_t> picked =
-          SolveSequential(o.problem, points, metric, k);
-      for (size_t idx : picked) result.solution.push_back(points[idx]);
-      result.diversity = EvaluateDiversity(o.problem, result.solution, metric);
+    case Backend::kSequential:
+      DIVERSE_CHECK(false);  // handled by the Solve overloads
       break;
-    }
     case Backend::kStreaming: {
       StreamingDiversity sd(&metric, o.problem, o.k, o.k_prime);
       for (const Point& p : points) sd.Update(p);
@@ -133,6 +130,42 @@ SolveResult Solve(const PointSet& points, const Metric& metric,
       }
       break;
     }
+  }
+  return result;
+}
+
+}  // namespace
+
+SolveResult Solve(const Dataset& data, const Metric& metric,
+                  const SolveOptions& options) {
+  DIVERSE_CHECK_GE(data.size(), 1u);
+  SolveOptions o = Normalize(options, data.size());
+  Timer timer;
+  SolveResult result;
+  if (o.backend == Backend::kSequential) {
+    size_t k = std::min(o.k, data.size());
+    std::vector<size_t> picked = SolveSequential(o.problem, data, metric, k);
+    for (size_t idx : picked) result.solution.push_back(data.point(idx));
+    result.diversity = EvaluateDiversity(o.problem, result.solution, metric);
+  } else {
+    result = SolveStreamingOrMr(data.points(), metric, o);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+SolveResult Solve(const PointSet& points, const Metric& metric,
+                  const SolveOptions& options) {
+  DIVERSE_CHECK_GE(points.size(), 1u);
+  Timer timer;
+  SolveResult result;
+  if (options.backend == Backend::kSequential) {
+    // Only the sequential backend runs directly on columnar storage; the
+    // shim's one copy happens here, inside the reported wall time.
+    result = Solve(Dataset::FromPoints(points), metric, options);
+  } else {
+    SolveOptions o = Normalize(options, points.size());
+    result = SolveStreamingOrMr(points, metric, o);
   }
   result.seconds = timer.Seconds();
   return result;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/dataset.h"
 #include "core/diversity.h"
 #include "core/metric.h"
 #include "core/point.h"
@@ -68,12 +69,18 @@ struct SolveResult {
   double seconds = 0.0;
 };
 
-/// Solves diversity maximization on `points` with the configured backend.
-/// `metric` must outlive the call. Requires points.size() >= 1.
+/// Solves diversity maximization on the rows of `data` with the configured
+/// backend. `metric` must outlive the call. Requires data.size() >= 1.
 /// Backends that need injective proxies reject remote-edge/remote-cycle
 /// inputs only where the paper's algorithm is undefined
 /// (kStreamingTwoPass and kMapReduceGeneralized); everything else accepts
-/// all six problems.
+/// all six problems. Every backend runs its distance-dominated loops on the
+/// columnar batch kernels; callers that solve repeatedly on one input
+/// should build the Dataset once and use this overload.
+SolveResult Solve(const Dataset& data, const Metric& metric,
+                  const SolveOptions& options);
+
+/// Shim: copies `points` into a Dataset and solves on it.
 SolveResult Solve(const PointSet& points, const Metric& metric,
                   const SolveOptions& options);
 

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/gmm.h"
 #include "core/metric.h"
 #include "core/point.h"
@@ -35,7 +36,10 @@ struct Coreset {
 };
 
 /// GMM core-set: the k' points selected by a farthest-first traversal of
-/// `points`. Requires 1 <= k_prime <= points.size().
+/// `data`. Requires 1 <= k_prime <= data.size().
+Coreset GmmCoreset(const Dataset& data, const Metric& metric, size_t k_prime);
+
+/// Shim: copies `points` into a Dataset and builds the core-set on it.
 Coreset GmmCoreset(std::span<const Point> points, const Metric& metric,
                    size_t k_prime);
 
@@ -46,6 +50,10 @@ Coreset GmmCoreset(std::span<const Point> points, const Metric& metric,
 /// is exactly the paper's GMM-EXT(S, k, k'); Theorem 7's randomized MR
 /// algorithm calls it with a smaller cap. Output size is at most
 /// k' * (1 + delegates_per_cluster).
+Coreset GmmExtCoreset(const Dataset& data, const Metric& metric,
+                      size_t k_prime, size_t delegates_per_cluster);
+
+/// Shim: copies `points` into a Dataset and builds the core-set on it.
 Coreset GmmExtCoreset(std::span<const Point> points, const Metric& metric,
                       size_t k_prime, size_t delegates_per_cluster);
 

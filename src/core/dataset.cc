@@ -1,0 +1,82 @@
+#include "core/dataset.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace diverse {
+
+Dataset::Dataset(PointSet points) {
+  points_.reserve(points.size());
+  rows_.reserve(points.size());
+  norms_.reserve(points.size());
+  for (Point& p : points) {
+    AppendColumnar(p);
+    points_.push_back(std::move(p));
+  }
+}
+
+Dataset Dataset::FromPoints(std::span<const Point> points) {
+  Dataset d;
+  d.points_.reserve(points.size());
+  d.rows_.reserve(points.size());
+  d.norms_.reserve(points.size());
+  for (const Point& p : points) {
+    d.AppendColumnar(p);
+    d.points_.push_back(p);
+  }
+  return d;
+}
+
+void Dataset::Append(const Point& p) {
+  AppendColumnar(p);
+  points_.push_back(p);
+}
+
+void Dataset::AppendColumnar(const Point& p) {
+  if (points_.empty()) {
+    dim_ = p.dim();
+  } else {
+    DIVERSE_CHECK_EQ(p.dim(), dim_);
+  }
+  RowRef r;
+  if (p.is_sparse()) {
+    const auto& idx = p.sparse_indices();
+    const auto& val = p.sparse_values();
+    r.start = csr_values_.size();
+    r.len = static_cast<uint32_t>(val.size());
+    r.sparse = 1;
+    csr_indices_.insert(csr_indices_.end(), idx.begin(), idx.end());
+    csr_values_.insert(csr_values_.end(), val.begin(), val.end());
+  } else {
+    const auto& val = p.dense_values();
+    r.start = dense_.size();
+    r.len = static_cast<uint32_t>(val.size());
+    r.sparse = 0;
+    dense_.insert(dense_.end(), val.begin(), val.end());
+  }
+  rows_.push_back(r);
+  norms_.push_back(p.norm());
+}
+
+void Dataset::Clear() {
+  points_.clear();
+  dense_.clear();
+  csr_indices_.clear();
+  csr_values_.clear();
+  rows_.clear();
+  norms_.clear();
+  dim_ = 0;
+}
+
+size_t Dataset::MemoryBytes() const {
+  size_t bytes = sizeof(Dataset) + dense_.capacity() * sizeof(float) +
+                 csr_indices_.capacity() * sizeof(uint32_t) +
+                 csr_values_.capacity() * sizeof(float) +
+                 rows_.capacity() * sizeof(RowRef) +
+                 norms_.capacity() * sizeof(double);
+  for (const Point& p : points_) bytes += p.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace diverse

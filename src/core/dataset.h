@@ -1,0 +1,119 @@
+// Columnar dataset storage — the memory layout the batched distance kernels
+// run on.
+//
+// `PointSet` (a vector of `Point`) is an array-of-structs: every point owns
+// its own heap-allocated coordinate vectors, so a distance sweep over n
+// points chases 2n pointers and takes a virtual call per evaluation. For the
+// O(k n)-evaluation hot loops (GMM, SMM updates, coreset rounds) that layout
+// is the dominant cost. `Dataset` stores the same points contiguously:
+//
+//   * dense rows in one row-major float array (`dim` floats per row);
+//   * sparse rows in CSR form (one shared indices array + values array, with
+//     per-row offsets);
+//   * precomputed Euclidean norms for all rows (the cosine kernel reads them
+//     on every evaluation).
+//
+// Rows may mix representations: each row keeps a dense-or-sparse tag, so a
+// dataset built from a mixed PointSet is still valid (dense rows sweep the
+// dense pool, sparse rows the CSR pool).
+//
+// A Dataset also retains the originating `Point`s (`points()`): algorithms
+// frequently need value-typed points for coresets, solutions, and shims, and
+// the retention is what makes the PointSet-based entry points thin wrappers
+// (construction copies the points once; no per-call conversions afterwards).
+// The columnar arrays add ~1x the coordinate storage on top — an explicit
+// space-for-time trade documented in the README.
+
+#ifndef DIVERSE_CORE_DATASET_H_
+#define DIVERSE_CORE_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/point.h"
+#include "core/vector_kernels.h"
+
+namespace diverse {
+
+/// Contiguous column-oriented storage for a point collection. Append-only;
+/// all rows must share one ambient dimension.
+class Dataset {
+ public:
+  /// An empty dataset. The first appended point fixes the dimension.
+  Dataset() = default;
+
+  /// Takes ownership of `points` and builds the columnar arrays.
+  explicit Dataset(PointSet points);
+
+  /// Builds from a span by copying the points.
+  static Dataset FromPoints(std::span<const Point> points);
+
+  /// Number of rows.
+  size_t size() const { return points_.size(); }
+
+  bool empty() const { return points_.empty(); }
+
+  /// Ambient dimension (0 while empty).
+  size_t dim() const { return dim_; }
+
+  /// The stored points, in row order.
+  const PointSet& points() const { return points_; }
+
+  /// Row i as a value-typed point.
+  const Point& point(size_t i) const { return points_[i]; }
+
+  /// True if row i uses the sparse representation.
+  bool row_is_sparse(size_t i) const { return rows_[i].sparse != 0; }
+
+  /// Kernel view of row i over the columnar arrays (not the Point's own
+  /// heap vectors), valid until the next Append/Clear.
+  kernels::VecView row(size_t i) const {
+    const RowRef& r = rows_[i];
+    kernels::VecView v;
+    if (r.sparse != 0) {
+      v.indices = csr_indices_.data() + r.start;
+      v.values = csr_values_.data() + r.start;
+    } else {
+      v.values = dense_.data() + r.start;
+    }
+    v.nnz = r.len;
+    v.dim = dim_;
+    v.norm = norms_[i];
+    return v;
+  }
+
+  /// Precomputed Euclidean norm of row i.
+  double norm(size_t i) const { return norms_[i]; }
+
+  /// Appends one row. The first row fixes dim(); later rows must match it.
+  void Append(const Point& p);
+
+  /// Removes all rows (dimension resets with the next Append).
+  void Clear();
+
+  /// Approximate heap footprint in bytes (points + columnar arrays).
+  size_t MemoryBytes() const;
+
+ private:
+  struct RowRef {
+    size_t start = 0;   // offset into dense_ or csr_{indices_,values_}
+    uint32_t len = 0;   // stored coordinates (== dim for dense rows)
+    uint8_t sparse = 0;
+  };
+
+  void AppendColumnar(const Point& p);
+
+  PointSet points_;
+  size_t dim_ = 0;
+  std::vector<float> dense_;
+  std::vector<uint32_t> csr_indices_;
+  std::vector<float> csr_values_;
+  std::vector<RowRef> rows_;
+  std::vector<double> norms_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_DATASET_H_

@@ -82,14 +82,14 @@ double EvaluateGeneralizedDiversity(DiversityProblem problem,
   return EvaluateDiversity(problem, ExpansionDistanceMatrix(expansion, metric));
 }
 
-GeneralizedCoreset GmmGenCoreset(std::span<const Point> points,
-                                 const Metric& metric, size_t k,
-                                 size_t k_prime, double* range_out) {
-  size_t n = points.size();
+GeneralizedCoreset GmmGenCoreset(const Dataset& data, const Metric& metric,
+                                 size_t k, size_t k_prime,
+                                 double* range_out) {
+  size_t n = data.size();
   DIVERSE_CHECK_GE(k, 1u);
   DIVERSE_CHECK_GE(k_prime, 1u);
   DIVERSE_CHECK_LE(k_prime, n);
-  GmmResult gmm = Gmm(points, metric, k_prime);
+  GmmResult gmm = Gmm(data, metric, k_prime);
   if (range_out != nullptr) *range_out = gmm.range;
 
   // m_{c_i} = |E_i| of GMM-EXT = min(|C_i|, k): the center plus up to k-1
@@ -99,9 +99,16 @@ GeneralizedCoreset GmmGenCoreset(std::span<const Point> points,
 
   GeneralizedCoreset out;
   for (size_t j = 0; j < k_prime; ++j) {
-    out.Add(points[gmm.selected[j]], std::min(cluster_size[j], k));
+    out.Add(data.point(gmm.selected[j]), std::min(cluster_size[j], k));
   }
   return out;
+}
+
+GeneralizedCoreset GmmGenCoreset(std::span<const Point> points,
+                                 const Metric& metric, size_t k,
+                                 size_t k_prime, double* range_out) {
+  return GmmGenCoreset(Dataset::FromPoints(points), metric, k, k_prime,
+                       range_out);
 }
 
 std::optional<PointSet> Instantiate(const GeneralizedCoreset& coreset,

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/distance_matrix.h"
 #include "core/diversity.h"
 #include "core/metric.h"
@@ -97,6 +98,11 @@ double EvaluateGeneralizedDiversity(DiversityProblem problem,
 /// If `range_out` is non-null it receives the kernel range
 /// r_T = max_p d(p, kernel) — the radius within which the instantiation
 /// round of Theorem 10 finds its delegates.
+GeneralizedCoreset GmmGenCoreset(const Dataset& data, const Metric& metric,
+                                 size_t k, size_t k_prime,
+                                 double* range_out = nullptr);
+
+/// Shim: copies `points` into a Dataset and builds the core-set on it.
 GeneralizedCoreset GmmGenCoreset(std::span<const Point> points,
                                  const Metric& metric, size_t k,
                                  size_t k_prime, double* range_out = nullptr);

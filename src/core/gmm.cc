@@ -7,8 +7,53 @@
 
 namespace diverse {
 
+GmmResult Gmm(const Dataset& data, const Metric& metric, size_t k,
+              size_t first) {
+  size_t n = data.size();
+  DIVERSE_CHECK_GE(k, 1u);
+  DIVERSE_CHECK_LE(k, n);
+  DIVERSE_CHECK_LT(first, n);
+
+  GmmResult result;
+  result.selected.reserve(k);
+  result.selection_distance.reserve(k);
+  result.assignment.assign(n, 0);
+  result.distance_to_selected.assign(n,
+                                     std::numeric_limits<double>::infinity());
+
+  size_t current = first;
+  result.selected.push_back(current);
+  result.selection_distance.push_back(
+      std::numeric_limits<double>::infinity());
+
+  std::span<double> dist(result.distance_to_selected);
+  std::span<size_t> assignment(result.assignment);
+  for (size_t step = 1; step <= k; ++step) {
+    // Relax distances against the most recently added center and pick the
+    // farthest point as the next center, in one fused batched sweep per
+    // step: exactly k * n evaluations total.
+    size_t farthest = metric.RelaxAndArgFarthest(
+        data.point(current), data, dist, assignment,
+        result.selected.size() - 1);
+    double farthest_dist = result.distance_to_selected[farthest];
+    if (step == k) {
+      result.range = farthest_dist;
+      break;
+    }
+    result.selected.push_back(farthest);
+    result.selection_distance.push_back(farthest_dist);
+    current = farthest;
+  }
+  return result;
+}
+
 GmmResult Gmm(std::span<const Point> points, const Metric& metric, size_t k,
               size_t first) {
+  return Gmm(Dataset::FromPoints(points), metric, k, first);
+}
+
+GmmResult GmmScalar(std::span<const Point> points, const Metric& metric,
+                    size_t k, size_t first) {
   size_t n = points.size();
   DIVERSE_CHECK_GE(k, 1u);
   DIVERSE_CHECK_LE(k, n);

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/metric.h"
 #include "core/point.h"
 
@@ -44,11 +45,27 @@ struct GmmResult {
   double range = 0.0;
 };
 
-/// Runs GMM for k steps on `points` under `metric`, starting from
-/// `points[first]`. Requires 1 <= k <= points.size() and
-/// first < points.size(). Cost: O(k * n) distance evaluations.
+/// Runs GMM for k steps on columnar `data` under `metric`, starting from
+/// row `first`. Requires 1 <= k <= data.size() and first < data.size().
+/// Cost: exactly k * n distance evaluations, executed as k fused
+/// relax-and-argmax sweeps (Metric::RelaxAndArgFarthest) — devirtualized
+/// over the columnar rows and parallelized for large n. The selected index
+/// sequence is deterministic and identical to the scalar reference at any
+/// thread count.
+GmmResult Gmm(const Dataset& data, const Metric& metric, size_t k,
+              size_t first = 0);
+
+/// Convenience shim: copies `points` into a Dataset and runs the batched
+/// GMM. Callers with a Dataset (or running GMM repeatedly on one input)
+/// should build it once and use the overload above.
 GmmResult Gmm(std::span<const Point> points, const Metric& metric, size_t k,
               size_t first = 0);
+
+/// Scalar reference implementation: the classic per-pair loop over
+/// Metric::Distance, with no Dataset, batching, or threading. Kept for
+/// equivalence tests and the scalar-vs-batched microbenchmarks.
+GmmResult GmmScalar(std::span<const Point> points, const Metric& metric,
+                    size_t k, size_t first = 0);
 
 /// Farness rho_T = min_{c in T} d(c, T \ {c}) of the rows `subset` of
 /// `points` (the remote-edge value of the subset).

@@ -8,14 +8,19 @@
 
 namespace diverse {
 
-KCenterResult SolveKCenterGmm(std::span<const Point> points,
-                              const Metric& metric, size_t k) {
-  GmmResult gmm = Gmm(points, metric, k);
+KCenterResult SolveKCenterGmm(const Dataset& data, const Metric& metric,
+                              size_t k) {
+  GmmResult gmm = Gmm(data, metric, k);
   KCenterResult result;
   result.centers = std::move(gmm.selected);
   result.assignment = std::move(gmm.assignment);
   result.radius = gmm.range;
   return result;
+}
+
+KCenterResult SolveKCenterGmm(std::span<const Point> points,
+                              const Metric& metric, size_t k) {
+  return SolveKCenterGmm(Dataset::FromPoints(points), metric, k);
 }
 
 namespace {
@@ -104,32 +109,35 @@ KCenterResult SolveKCenterDoubling(std::span<const Point> points,
   KCenterResult result;
   result.centers = std::move(centers);
   result.assignment.assign(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    for (size_t c = 0; c < result.centers.size(); ++c) {
-      double d = metric.Distance(points[i], points[result.centers[c]]);
-      if (d < best) {
-        best = d;
-        result.assignment[i] = c;
-      }
-    }
-    result.radius = std::max(result.radius, best);
+  // Final assignment: one batched relax sweep per center over the columnar
+  // rows, recording the rank of the first nearest center exactly like the
+  // scalar per-point loop did.
+  Dataset data = Dataset::FromPoints(points);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  size_t farthest = 0;
+  for (size_t c = 0; c < result.centers.size(); ++c) {
+    farthest = metric.RelaxAndArgFarthest(points[result.centers[c]], data,
+                                          dist, result.assignment, c);
   }
+  result.radius = dist[farthest];
   return result;
+}
+
+double ClusteringRadius(const Dataset& data, const Metric& metric,
+                        std::span<const size_t> centers) {
+  DIVERSE_CHECK(!centers.empty());
+  std::vector<double> dist(data.size(),
+                           std::numeric_limits<double>::infinity());
+  size_t farthest = 0;
+  for (size_t c : centers) {
+    farthest = metric.RelaxAndArgFarthest(data.point(c), data, dist);
+  }
+  return dist[farthest];
 }
 
 double ClusteringRadius(std::span<const Point> points, const Metric& metric,
                         std::span<const size_t> centers) {
-  DIVERSE_CHECK(!centers.empty());
-  double radius = 0.0;
-  for (const Point& p : points) {
-    double best = std::numeric_limits<double>::infinity();
-    for (size_t c : centers) {
-      best = std::min(best, metric.Distance(p, points[c]));
-    }
-    radius = std::max(radius, best);
-  }
-  return radius;
+  return ClusteringRadius(Dataset::FromPoints(points), metric, centers);
 }
 
 }  // namespace diverse

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/metric.h"
 #include "core/point.h"
 
@@ -30,8 +31,12 @@ struct KCenterResult {
   double radius = 0.0;
 };
 
-/// Gonzalez' farthest-first 2-approximation. O(k n) distances.
-/// Requires 1 <= k <= points.size().
+/// Gonzalez' farthest-first 2-approximation. O(k n) distances, run as
+/// batched sweeps over the columnar rows. Requires 1 <= k <= data.size().
+KCenterResult SolveKCenterGmm(const Dataset& data, const Metric& metric,
+                              size_t k);
+
+/// Shim: copies `points` into a Dataset and solves on it.
 KCenterResult SolveKCenterGmm(std::span<const Point> points,
                               const Metric& metric, size_t k);
 
@@ -43,8 +48,12 @@ KCenterResult SolveKCenterGmm(std::span<const Point> points,
 KCenterResult SolveKCenterDoubling(std::span<const Point> points,
                                    const Metric& metric, size_t k);
 
-/// Radius max_i d(points[i], {points[c] : c in centers}) of an explicit
-/// center set.
+/// Radius max_i d(data[i], {data[c] : c in centers}) of an explicit center
+/// set, computed as one batched relax sweep per center.
+double ClusteringRadius(const Dataset& data, const Metric& metric,
+                        std::span<const size_t> centers);
+
+/// Shim: copies `points` into a Dataset and evaluates on it.
 double ClusteringRadius(std::span<const Point> points, const Metric& metric,
                         std::span<const size_t> centers);
 

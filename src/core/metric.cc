@@ -2,29 +2,226 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/vector_kernels.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace diverse {
 
+namespace {
+
+// Rows per parallel range: aim for a fixed amount of coordinate work per
+// range so dispatch overhead stays negligible at any dimension, with a floor
+// that keeps ranges coarse for very high-dimensional rows. Range boundaries
+// depend only on (n, grain), never on scheduling, so per-range reductions
+// are deterministic at any thread count.
+constexpr size_t kGrainOps = 16384;
+constexpr size_t kMinGrainRows = 256;
+
+size_t GrainRows(const Dataset& data) {
+  size_t dim = std::max<size_t>(data.dim(), 1);
+  return std::max(kMinGrainRows, kGrainOps / dim);
+}
+
+// out[i] = row_distance(data.row(begin + i)) for all i, in parallel.
+template <typename RowFn>
+void BatchMap(const Dataset& data, size_t begin, std::span<double> out,
+              const RowFn& row_distance) {
+  DIVERSE_CHECK_LE(begin + out.size(), data.size());
+  GlobalThreadPool().ParallelForRanges(
+      out.size(), GrainRows(data), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          out[i] = row_distance(data.row(begin + i));
+        }
+      });
+}
+
+// The fused relax-and-argmax sweep shared by all metrics. Each range
+// records its first maximum; ranges combine in ascending order with a
+// strict comparison, which reproduces the scalar loop's first-max-wins
+// semantics exactly.
+template <typename RowFn>
+size_t BatchRelaxArgFarthest(const Dataset& data, std::span<double> dist,
+                             std::span<size_t> assignment, size_t center_rank,
+                             const RowFn& row_distance) {
+  size_t n = data.size();
+  DIVERSE_CHECK_EQ(dist.size(), n);
+  if (!assignment.empty()) DIVERSE_CHECK_EQ(assignment.size(), n);
+  if (n == 0) return 0;
+
+  size_t grain = GrainRows(data);
+  size_t num_ranges = (n + grain - 1) / grain;
+  // SIZE_MAX marks ranges a single inline call subsumed (the pool runs the
+  // whole sweep as one range when the work is small or it has one worker).
+  std::vector<size_t> range_best(num_ranges, SIZE_MAX);
+  GlobalThreadPool().ParallelForRanges(
+      n, grain, [&](size_t lo, size_t hi) {
+        size_t local_best = lo;
+        double local_val = -std::numeric_limits<double>::infinity();
+        for (size_t i = lo; i < hi; ++i) {
+          double d = row_distance(data.row(i));
+          if (d < dist[i]) {
+            dist[i] = d;
+            if (!assignment.empty()) assignment[i] = center_rank;
+          }
+          if (dist[i] > local_val) {
+            local_val = dist[i];
+            local_best = i;
+          }
+        }
+        range_best[lo / grain] = local_best;
+      });
+
+  size_t best = range_best[0];
+  DIVERSE_CHECK_LT(best, n);
+  for (size_t r = 1; r < num_ranges; ++r) {
+    size_t candidate = range_best[r];
+    if (candidate == SIZE_MAX) continue;
+    if (dist[candidate] > dist[best]) best = candidate;
+  }
+  return best;
+}
+
+kernels::VecView QueryView(const Point& query, const Dataset& data) {
+  if (!data.empty()) DIVERSE_CHECK_EQ(query.dim(), data.dim());
+  return query.View();
+}
+
+}  // namespace
+
+void Metric::DistanceToMany(const Point& query, const Dataset& data,
+                            size_t begin, std::span<double> out) const {
+  // Scalar fallback for metrics that do not provide a columnar kernel.
+  DIVERSE_CHECK_LE(begin + out.size(), data.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = Distance(query, data.point(begin + i));
+  }
+}
+
+size_t Metric::RelaxAndArgFarthest(const Point& query, const Dataset& data,
+                                   std::span<double> dist,
+                                   std::span<size_t> assignment,
+                                   size_t center_rank) const {
+  size_t n = data.size();
+  DIVERSE_CHECK_EQ(dist.size(), n);
+  if (!assignment.empty()) DIVERSE_CHECK_EQ(assignment.size(), n);
+  if (n == 0) return 0;
+  size_t best = 0;
+  double best_val = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    double d = Distance(query, data.point(i));
+    if (d < dist[i]) {
+      dist[i] = d;
+      if (!assignment.empty()) assignment[i] = center_rank;
+    }
+    if (dist[i] > best_val) {
+      best_val = dist[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
 double EuclideanMetric::Distance(const Point& a, const Point& b) const {
   return std::sqrt(a.SquaredEuclideanDistanceTo(b));
+}
+
+void EuclideanMetric::DistanceToMany(const Point& query, const Dataset& data,
+                                     size_t begin,
+                                     std::span<double> out) const {
+  kernels::VecView q = QueryView(query, data);
+  BatchMap(data, begin, out, [&q](const kernels::VecView& row) {
+    return kernels::Euclidean(row, q);
+  });
+}
+
+size_t EuclideanMetric::RelaxAndArgFarthest(const Point& query,
+                                            const Dataset& data,
+                                            std::span<double> dist,
+                                            std::span<size_t> assignment,
+                                            size_t center_rank) const {
+  kernels::VecView q = QueryView(query, data);
+  return BatchRelaxArgFarthest(data, dist, assignment, center_rank,
+                               [&q](const kernels::VecView& row) {
+                                 return kernels::Euclidean(row, q);
+                               });
 }
 
 double ManhattanMetric::Distance(const Point& a, const Point& b) const {
   return a.L1DistanceTo(b);
 }
 
+void ManhattanMetric::DistanceToMany(const Point& query, const Dataset& data,
+                                     size_t begin,
+                                     std::span<double> out) const {
+  kernels::VecView q = QueryView(query, data);
+  BatchMap(data, begin, out, [&q](const kernels::VecView& row) {
+    return kernels::L1(row, q);
+  });
+}
+
+size_t ManhattanMetric::RelaxAndArgFarthest(const Point& query,
+                                            const Dataset& data,
+                                            std::span<double> dist,
+                                            std::span<size_t> assignment,
+                                            size_t center_rank) const {
+  kernels::VecView q = QueryView(query, data);
+  return BatchRelaxArgFarthest(
+      data, dist, assignment, center_rank,
+      [&q](const kernels::VecView& row) { return kernels::L1(row, q); });
+}
+
 double CosineMetric::Distance(const Point& a, const Point& b) const {
-  double na = a.norm(), nb = b.norm();
-  if (na == 0.0 && nb == 0.0) return 0.0;
-  if (na == 0.0 || nb == 0.0) return M_PI / 2.0;
-  double c = a.Dot(b) / (na * nb);
-  // Guard against rounding pushing the cosine outside [-1, 1].
-  c = std::clamp(c, -1.0, 1.0);
-  return std::acos(c);
+  DIVERSE_CHECK_EQ(a.dim(), b.dim());
+  return kernels::AngularCosine(a.View(), b.View());
+}
+
+void CosineMetric::DistanceToMany(const Point& query, const Dataset& data,
+                                  size_t begin, std::span<double> out) const {
+  kernels::VecView q = QueryView(query, data);
+  BatchMap(data, begin, out, [&q](const kernels::VecView& row) {
+    return kernels::AngularCosine(row, q);
+  });
+}
+
+size_t CosineMetric::RelaxAndArgFarthest(const Point& query,
+                                         const Dataset& data,
+                                         std::span<double> dist,
+                                         std::span<size_t> assignment,
+                                         size_t center_rank) const {
+  kernels::VecView q = QueryView(query, data);
+  return BatchRelaxArgFarthest(data, dist, assignment, center_rank,
+                               [&q](const kernels::VecView& row) {
+                                 return kernels::AngularCosine(row, q);
+                               });
 }
 
 double JaccardMetric::Distance(const Point& a, const Point& b) const {
   return a.SupportJaccardDistanceTo(b);
+}
+
+void JaccardMetric::DistanceToMany(const Point& query, const Dataset& data,
+                                   size_t begin, std::span<double> out) const {
+  kernels::VecView q = QueryView(query, data);
+  BatchMap(data, begin, out, [&q](const kernels::VecView& row) {
+    return kernels::SupportJaccard(row, q);
+  });
+}
+
+size_t JaccardMetric::RelaxAndArgFarthest(const Point& query,
+                                          const Dataset& data,
+                                          std::span<double> dist,
+                                          std::span<size_t> assignment,
+                                          size_t center_rank) const {
+  kernels::VecView q = QueryView(query, data);
+  return BatchRelaxArgFarthest(data, dist, assignment, center_rank,
+                               [&q](const kernels::VecView& row) {
+                                 return kernels::SupportJaccard(row, q);
+                               });
 }
 
 }  // namespace diverse

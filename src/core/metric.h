@@ -13,25 +13,63 @@
 #define DIVERSE_CORE_METRIC_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/point.h"
 
 namespace diverse {
 
+class Dataset;
+
 /// Interface for a distance function over `Point`s.
 ///
 /// Implementations must satisfy the metric axioms: nonnegativity,
 /// d(x,x) = 0, symmetry, and the triangle inequality (property-tested in
 /// tests/metric_test.cc).
+///
+/// Besides the scalar `Distance`, metrics expose *batched* kernels over
+/// columnar `Dataset` storage (core/dataset.h). The batch-kernel contract:
+///   * out[i] == Distance(query, data.point(begin + i)) bit-for-bit — the
+///     batch path runs the same shared kernels (core/vector_kernels.h) in
+///     the same order as the scalar path;
+///   * exactly as many distance evaluations are performed as the signature
+///     implies (out.size(), resp. data.size()) — CountingMetric relies on
+///     this to keep work accounting machine-independent;
+///   * results are deterministic at any thread count: rows are partitioned
+///     into ranges that depend only on the input size, and reductions
+///     combine ranges in ascending order.
+/// The concrete metrics below override the batch kernels with devirtualized
+/// loops over the columnar rows, parallelized on GlobalThreadPool() for
+/// large sweeps; the base-class implementations are scalar fallbacks so
+/// user-defined metrics stay correct without overriding anything.
 class Metric {
  public:
   virtual ~Metric() = default;
 
   /// Distance between two points. Must be thread-safe.
   virtual double Distance(const Point& a, const Point& b) const = 0;
+
+  /// Batched kernel: out[i] = Distance(query, data.point(begin + i)) for
+  /// i in [0, out.size()). Requires begin + out.size() <= data.size().
+  virtual void DistanceToMany(const Point& query, const Dataset& data,
+                              size_t begin, std::span<double> out) const;
+
+  /// Fused one-vs-rest relax-and-argmax — one GMM / k-center step in a
+  /// single sweep. For every row i:
+  ///   d = Distance(query, data.point(i));
+  ///   if (d < dist[i]) { dist[i] = d; if assignment given:
+  ///                      assignment[i] = center_rank; }
+  /// Returns the smallest index maximizing the post-update dist[] (the
+  /// farthest point from the center set dist[] summarizes). Requires
+  /// dist.size() == data.size(), and assignment empty or the same size.
+  virtual size_t RelaxAndArgFarthest(const Point& query, const Dataset& data,
+                                     std::span<double> dist,
+                                     std::span<size_t> assignment = {},
+                                     size_t center_rank = 0) const;
 
   /// Human-readable metric name, e.g. "euclidean".
   virtual std::string Name() const = 0;
@@ -41,6 +79,12 @@ class Metric {
 class EuclideanMetric final : public Metric {
  public:
   double Distance(const Point& a, const Point& b) const override;
+  void DistanceToMany(const Point& query, const Dataset& data, size_t begin,
+                      std::span<double> out) const override;
+  size_t RelaxAndArgFarthest(const Point& query, const Dataset& data,
+                             std::span<double> dist,
+                             std::span<size_t> assignment = {},
+                             size_t center_rank = 0) const override;
   std::string Name() const override { return "euclidean"; }
 };
 
@@ -48,6 +92,12 @@ class EuclideanMetric final : public Metric {
 class ManhattanMetric final : public Metric {
  public:
   double Distance(const Point& a, const Point& b) const override;
+  void DistanceToMany(const Point& query, const Dataset& data, size_t begin,
+                      std::span<double> out) const override;
+  size_t RelaxAndArgFarthest(const Point& query, const Dataset& data,
+                             std::span<double> dist,
+                             std::span<size_t> assignment = {},
+                             size_t center_rank = 0) const override;
   std::string Name() const override { return "manhattan"; }
 };
 
@@ -59,6 +109,12 @@ class ManhattanMetric final : public Metric {
 class CosineMetric final : public Metric {
  public:
   double Distance(const Point& a, const Point& b) const override;
+  void DistanceToMany(const Point& query, const Dataset& data, size_t begin,
+                      std::span<double> out) const override;
+  size_t RelaxAndArgFarthest(const Point& query, const Dataset& data,
+                             std::span<double> dist,
+                             std::span<size_t> assignment = {},
+                             size_t center_rank = 0) const override;
   std::string Name() const override { return "cosine"; }
 };
 
@@ -67,12 +123,22 @@ class CosineMetric final : public Metric {
 class JaccardMetric final : public Metric {
  public:
   double Distance(const Point& a, const Point& b) const override;
+  void DistanceToMany(const Point& query, const Dataset& data, size_t begin,
+                      std::span<double> out) const override;
+  size_t RelaxAndArgFarthest(const Point& query, const Dataset& data,
+                             std::span<double> dist,
+                             std::span<size_t> assignment = {},
+                             size_t center_rank = 0) const override;
   std::string Name() const override { return "jaccard"; }
 };
 
 /// Decorator that counts distance evaluations. The count is the standard
 /// machine-independent cost measure for diversity/clustering algorithms and
 /// is used by tests (complexity assertions) and benches (work accounting).
+/// Batched kernels count the exact number of evaluations they perform
+/// (out.size() / data.size() per the batch-kernel contract), so the counter
+/// agrees with the scalar path for identical work regardless of batching or
+/// thread count.
 class CountingMetric final : public Metric {
  public:
   /// Wraps `base`, which must outlive this object.
@@ -81,6 +147,21 @@ class CountingMetric final : public Metric {
   double Distance(const Point& a, const Point& b) const override {
     count_.fetch_add(1, std::memory_order_relaxed);
     return base_->Distance(a, b);
+  }
+
+  void DistanceToMany(const Point& query, const Dataset& data, size_t begin,
+                      std::span<double> out) const override {
+    count_.fetch_add(out.size(), std::memory_order_relaxed);
+    base_->DistanceToMany(query, data, begin, out);
+  }
+
+  size_t RelaxAndArgFarthest(const Point& query, const Dataset& data,
+                             std::span<double> dist,
+                             std::span<size_t> assignment = {},
+                             size_t center_rank = 0) const override {
+    count_.fetch_add(dist.size(), std::memory_order_relaxed);
+    return base_->RelaxAndArgFarthest(query, data, dist, assignment,
+                                      center_rank);
   }
 
   std::string Name() const override { return "counting(" + base_->Name() + ")"; }

@@ -57,173 +57,28 @@ void Point::ComputeNorm() {
   norm_ = std::sqrt(s);
 }
 
-namespace {
-
-// Iterates the sparse-sparse intersection of two sorted index arrays,
-// invoking `both` on common coordinates and `only_a`/`only_b` elsewhere.
-template <typename FBoth, typename FOnlyA, typename FOnlyB>
-void MergeSparse(const std::vector<uint32_t>& ia, const std::vector<float>& va,
-                 const std::vector<uint32_t>& ib, const std::vector<float>& vb,
-                 FBoth both, FOnlyA only_a, FOnlyB only_b) {
-  size_t a = 0, b = 0;
-  while (a < ia.size() && b < ib.size()) {
-    if (ia[a] == ib[b]) {
-      both(va[a], vb[b]);
-      ++a;
-      ++b;
-    } else if (ia[a] < ib[b]) {
-      only_a(va[a]);
-      ++a;
-    } else {
-      only_b(vb[b]);
-      ++b;
-    }
-  }
-  for (; a < ia.size(); ++a) only_a(va[a]);
-  for (; b < ib.size(); ++b) only_b(vb[b]);
-}
-
-}  // namespace
+// The representation dispatch and accumulation order live in
+// core/vector_kernels.h, shared with the batched columnar kernels so the two
+// paths stay bit-identical.
 
 double Point::Dot(const Point& other) const {
   DIVERSE_CHECK_EQ(dim_, other.dim_);
-  if (!is_sparse_ && !other.is_sparse_) {
-    double s = 0.0;
-    for (size_t i = 0; i < values_.size(); ++i) {
-      s += static_cast<double>(values_[i]) * other.values_[i];
-    }
-    return s;
-  }
-  if (is_sparse_ && other.is_sparse_) {
-    double s = 0.0;
-    MergeSparse(
-        indices_, values_, other.indices_, other.values_,
-        [&s](float x, float y) { s += static_cast<double>(x) * y; },
-        [](float) {}, [](float) {});
-    return s;
-  }
-  // Mixed: iterate the sparse one.
-  const Point& sparse = is_sparse_ ? *this : other;
-  const Point& dense = is_sparse_ ? other : *this;
-  double s = 0.0;
-  for (size_t i = 0; i < sparse.indices_.size(); ++i) {
-    s += static_cast<double>(sparse.values_[i]) *
-         dense.values_[sparse.indices_[i]];
-  }
-  return s;
+  return kernels::Dot(View(), other.View());
 }
 
 double Point::SquaredEuclideanDistanceTo(const Point& other) const {
   DIVERSE_CHECK_EQ(dim_, other.dim_);
-  if (!is_sparse_ && !other.is_sparse_) {
-    double s = 0.0;
-    for (size_t i = 0; i < values_.size(); ++i) {
-      double d = static_cast<double>(values_[i]) - other.values_[i];
-      s += d * d;
-    }
-    return s;
-  }
-  if (is_sparse_ && other.is_sparse_) {
-    // Direct coordinate merge: exact (no cancellation), unlike the
-    // ||a||^2 + ||b||^2 - 2 a.b identity, which loses ~1e-7 of relative
-    // precision and breaks d(p, p) == 0.
-    double s = 0.0;
-    MergeSparse(
-        indices_, values_, other.indices_, other.values_,
-        [&s](float x, float y) {
-          double d = static_cast<double>(x) - y;
-          s += d * d;
-        },
-        [&s](float x) { s += static_cast<double>(x) * x; },
-        [&s](float y) { s += static_cast<double>(y) * y; });
-    return s;
-  }
-  // Mixed dense/sparse: walk the dense values with a sparse cursor.
-  const Point& sp = is_sparse_ ? *this : other;
-  const Point& de = is_sparse_ ? other : *this;
-  double s = 0.0;
-  size_t j = 0;
-  for (size_t i = 0; i < de.values_.size(); ++i) {
-    double sparse_v = 0.0;
-    if (j < sp.indices_.size() && sp.indices_[j] == i) {
-      sparse_v = sp.values_[j];
-      ++j;
-    }
-    double d = static_cast<double>(de.values_[i]) - sparse_v;
-    s += d * d;
-  }
-  return s;
+  return kernels::SquaredEuclidean(View(), other.View());
 }
 
 double Point::L1DistanceTo(const Point& other) const {
   DIVERSE_CHECK_EQ(dim_, other.dim_);
-  double s = 0.0;
-  if (!is_sparse_ && !other.is_sparse_) {
-    for (size_t i = 0; i < values_.size(); ++i) {
-      s += std::abs(static_cast<double>(values_[i]) - other.values_[i]);
-    }
-    return s;
-  }
-  if (is_sparse_ && other.is_sparse_) {
-    MergeSparse(
-        indices_, values_, other.indices_, other.values_,
-        [&s](float x, float y) { s += std::abs(static_cast<double>(x) - y); },
-        [&s](float x) { s += std::abs(static_cast<double>(x)); },
-        [&s](float y) { s += std::abs(static_cast<double>(y)); });
-    return s;
-  }
-  const Point& sp = is_sparse_ ? *this : other;
-  const Point& de = is_sparse_ ? other : *this;
-  size_t j = 0;
-  for (size_t i = 0; i < de.values_.size(); ++i) {
-    float sparse_v = 0.0f;
-    if (j < sp.indices_.size() && sp.indices_[j] == i) {
-      sparse_v = sp.values_[j];
-      ++j;
-    }
-    s += std::abs(static_cast<double>(de.values_[i]) - sparse_v);
-  }
-  return s;
+  return kernels::L1(View(), other.View());
 }
-
-namespace {
-
-// Number of nonzero coordinates of a dense value array.
-size_t DenseSupportSize(const std::vector<float>& values) {
-  size_t n = 0;
-  for (float v : values) n += (v != 0.0f);
-  return n;
-}
-
-}  // namespace
 
 double Point::SupportJaccardDistanceTo(const Point& other) const {
   DIVERSE_CHECK_EQ(dim_, other.dim_);
-  size_t inter = 0, size_a = 0, size_b = 0;
-  if (is_sparse_ && other.is_sparse_) {
-    size_a = indices_.size();
-    size_b = other.indices_.size();
-    MergeSparse(
-        indices_, values_, other.indices_, other.values_,
-        [&inter](float, float) { ++inter; }, [](float) {}, [](float) {});
-  } else if (!is_sparse_ && !other.is_sparse_) {
-    size_a = DenseSupportSize(values_);
-    size_b = DenseSupportSize(other.values_);
-    for (size_t i = 0; i < values_.size(); ++i) {
-      inter += (values_[i] != 0.0f && other.values_[i] != 0.0f);
-    }
-  } else {
-    const Point& sp = is_sparse_ ? *this : other;
-    const Point& de = is_sparse_ ? other : *this;
-    size_a = sp.indices_.size();
-    size_b = DenseSupportSize(de.values_);
-    for (size_t i = 0; i < sp.indices_.size(); ++i) {
-      inter += (de.values_[sp.indices_[i]] != 0.0f);
-    }
-  }
-  size_t uni = size_a + size_b - inter;
-  if (uni == 0) return 0.0;  // both points are all-zero: identical supports
-  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+  return kernels::SupportJaccard(View(), other.View());
 }
 
 bool Point::operator==(const Point& other) const {

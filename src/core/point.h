@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "core/vector_kernels.h"
+
 namespace diverse {
 
 /// An immutable point: either a dense vector of floats, or a sparse vector
@@ -59,6 +61,18 @@ class Point {
 
   /// Euclidean (L2) norm, precomputed.
   double norm() const { return norm_; }
+
+  /// Non-owning kernel view of this point's coordinates, for the shared
+  /// distance kernels of core/vector_kernels.h. Valid while the point lives.
+  kernels::VecView View() const {
+    kernels::VecView v;
+    v.indices = is_sparse_ ? indices_.data() : nullptr;
+    v.values = values_.data();
+    v.nnz = values_.size();
+    v.dim = dim_;
+    v.norm = norm_;
+    return v;
+  }
 
   /// Inner product with another point. Both points may be dense or sparse in
   /// any combination, but must share the same `dim()`.

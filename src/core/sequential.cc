@@ -85,9 +85,9 @@ std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k) {
   return chosen;
 }
 
-std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
-                                           const Metric& metric, size_t k) {
-  size_t n = points.size();
+std::vector<size_t> GreedyMatchingOnDataset(const Dataset& data,
+                                            const Metric& metric, size_t k) {
+  size_t n = data.size();
   DIVERSE_CHECK_GE(k, 1u);
   DIVERSE_CHECK_LE(k, n);
 
@@ -109,13 +109,26 @@ std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
   const size_t buffer_cap = std::max<size_t>(4 * k * k, 64);
   std::vector<Pair> heap;  // min-heap of the current top pairs
   heap.reserve(buffer_cap + 1);
+  std::vector<double> row_dist(n > 0 ? n - 1 : 0);
   auto scan = [&] {
     heap.clear();
+    // The initial scan (no rows used yet) runs as batched suffix sweeps:
+    // distances from row i to all rows j > i in one devirtualized pass over
+    // the columnar storage. Rare refill scans fall back to the scalar
+    // skip-used loop so no distances to dead rows are evaluated (or
+    // counted) — exactly the pre-batching cost.
+    bool batched = chosen.empty();
     for (size_t i = 0; i < n; ++i) {
       if (used[i]) continue;
+      std::span<double> suffix(row_dist.data(), n - i - 1);
+      if (batched) {
+        metric.DistanceToMany(data.point(i), data, i + 1, suffix);
+      }
       for (size_t j = i + 1; j < n; ++j) {
         if (used[j]) continue;
-        double dist = metric.Distance(points[i], points[j]);
+        double dist = batched
+                          ? suffix[j - i - 1]
+                          : metric.Distance(data.point(i), data.point(j));
         if (heap.size() < buffer_cap) {
           heap.push_back({dist, i, j});
           std::push_heap(heap.begin(), heap.end(),
@@ -156,7 +169,9 @@ std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
     for (size_t i = 0; i < n; ++i) {
       if (used[i]) continue;
       double s = 0.0;
-      for (size_t c : chosen) s += metric.Distance(points[i], points[c]);
+      for (size_t c : chosen) {
+        s += metric.Distance(data.point(i), data.point(c));
+      }
       if (s > best) {
         best = s;
         best_i = i;
@@ -166,6 +181,11 @@ std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
     chosen.push_back(best_i);
   }
   return chosen;
+}
+
+std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
+                                           const Metric& metric, size_t k) {
+  return GreedyMatchingOnDataset(Dataset::FromPoints(points), metric, k);
 }
 
 std::vector<size_t> SolveSequentialOnMatrix(DiversityProblem problem,
@@ -185,19 +205,25 @@ std::vector<size_t> SolveSequentialOnMatrix(DiversityProblem problem,
 }
 
 std::vector<size_t> SolveSequential(DiversityProblem problem,
-                                    std::span<const Point> points,
-                                    const Metric& metric, size_t k) {
+                                    const Dataset& data, const Metric& metric,
+                                    size_t k) {
   switch (problem) {
     case DiversityProblem::kRemoteEdge:
     case DiversityProblem::kRemoteTree:
     case DiversityProblem::kRemoteCycle:
-      return Gmm(points, metric, k).selected;
+      return Gmm(data, metric, k).selected;
     case DiversityProblem::kRemoteClique:
     case DiversityProblem::kRemoteStar:
     case DiversityProblem::kRemoteBipartition:
-      return GreedyMatchingOnPoints(points, metric, k);
+      return GreedyMatchingOnDataset(data, metric, k);
   }
   return {};
+}
+
+std::vector<size_t> SolveSequential(DiversityProblem problem,
+                                    std::span<const Point> points,
+                                    const Metric& metric, size_t k) {
+  return SolveSequential(problem, Dataset::FromPoints(points), metric, k);
 }
 
 std::vector<size_t> LocalSearchRemoteClique(std::span<const Point> points,

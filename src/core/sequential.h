@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/distance_matrix.h"
 #include "core/diversity.h"
 #include "core/generalized_coreset.h"
@@ -38,8 +39,12 @@ std::vector<size_t> GmmOnMatrix(const DistanceMatrix& d, size_t k,
 std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k);
 
 /// Greedy heaviest-pair matching evaluated on the fly (no matrix storage),
-/// for point sets too large to materialize n^2 distances. O(k n^2) distance
-/// evaluations.
+/// for point sets too large to materialize n^2 distances. The pair scans
+/// run as batched per-row suffix sweeps over the columnar storage.
+std::vector<size_t> GreedyMatchingOnDataset(const Dataset& data,
+                                            const Metric& metric, size_t k);
+
+/// Shim: copies `points` into a Dataset and matches on it.
 std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
                                            const Metric& metric, size_t k);
 
@@ -48,9 +53,14 @@ std::vector<size_t> GreedyMatchingOnPoints(std::span<const Point> points,
 std::vector<size_t> SolveSequentialOnMatrix(DiversityProblem problem,
                                             const DistanceMatrix& d, size_t k);
 
-/// Solves the problem on `points`, returning k indices into `points`.
+/// Solves the problem on the rows of `data`, returning k row indices.
 /// GMM-family problems cost O(k n) distances; matching-family O(k n^2).
-/// Requires k <= points.size().
+/// Both run on the columnar batch kernels. Requires k <= data.size().
+std::vector<size_t> SolveSequential(DiversityProblem problem,
+                                    const Dataset& data, const Metric& metric,
+                                    size_t k);
+
+/// Shim: copies `points` into a Dataset and solves on it.
 std::vector<size_t> SolveSequential(DiversityProblem problem,
                                     std::span<const Point> points,
                                     const Metric& metric, size_t k);

@@ -169,4 +169,16 @@ std::optional<PointSet> LoadPointsBinary(const std::string& path) {
   return points;
 }
 
+std::optional<Dataset> LoadDatasetText(const std::string& path) {
+  std::optional<PointSet> points = LoadPointsText(path);
+  if (!points.has_value()) return std::nullopt;
+  return Dataset(std::move(*points));
+}
+
+std::optional<Dataset> LoadDatasetBinary(const std::string& path) {
+  std::optional<PointSet> points = LoadPointsBinary(path);
+  if (!points.has_value()) return std::nullopt;
+  return Dataset(std::move(*points));
+}
+
 }  // namespace diverse

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "core/dataset.h"
 #include "core/point.h"
 
 namespace diverse {
@@ -33,6 +34,14 @@ bool SavePointsBinary(const PointSet& points, const std::string& path);
 
 /// Reads a binary-format file. Returns nullopt on I/O or format failure.
 std::optional<PointSet> LoadPointsBinary(const std::string& path);
+
+/// Reads a text-format file directly into columnar Dataset storage, ready
+/// for the batched kernels. Returns nullopt on I/O or parse failure.
+std::optional<Dataset> LoadDatasetText(const std::string& path);
+
+/// Reads a binary-format file directly into columnar Dataset storage.
+/// Returns nullopt on I/O or format failure.
+std::optional<Dataset> LoadDatasetBinary(const std::string& path);
 
 /// Serializes one point to its text-format line (no trailing newline).
 std::string PointToTextLine(const Point& point);

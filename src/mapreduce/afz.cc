@@ -59,18 +59,20 @@ MrResult RunAfz(const PointSet& input, const Metric& metric,
       [&](size_t i) { return parts[i].size(); },
       [&](size_t i) { return coresets[i].size(); });
 
-  PointSet aggregate;
+  Dataset aggregate;
   PointSet solution;
   sim.RunRoundWithSizes(
       "afz-solve", 1,
       [&](size_t) {
+        PointSet united;
         for (const PointSet& c : coresets) {
-          aggregate.insert(aggregate.end(), c.begin(), c.end());
+          united.insert(united.end(), c.begin(), c.end());
         }
+        aggregate = Dataset(std::move(united));
         size_t k = std::min(options.k, aggregate.size());
         std::vector<size_t> picked =
             SolveSequential(problem, aggregate, metric, k);
-        for (size_t idx : picked) solution.push_back(aggregate[idx]);
+        for (size_t idx : picked) solution.push_back(aggregate.point(idx));
       },
       [&](size_t) { return aggregate.size(); },
       [&](size_t) { return solution.size(); });

@@ -34,9 +34,12 @@ void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result) {
 
 PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
                                               size_t input_size) const {
+  // One columnar re-layout per partition; the GMM sweeps inside the
+  // core-set constructions then run on the batched kernels.
+  Dataset part_data = Dataset::FromPoints(part);
   size_t k_prime = std::min(options_.k_prime, part.size());
   if (!RequiresInjectiveProxies(problem_)) {
-    return GmmCoreset(part, *metric_, k_prime).points;
+    return GmmCoreset(part_data, *metric_, k_prime).points;
   }
   size_t delegates = options_.k - 1;
   if (options_.randomized_delegate_cap) {
@@ -50,7 +53,7 @@ PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
         (options_.k + options_.num_partitions - 1) / options_.num_partitions;
     delegates = std::min(options_.k - 1, std::max(log_n, k_over_l));
   }
-  return GmmExtCoreset(part, *metric_, k_prime, delegates).points;
+  return GmmExtCoreset(part_data, *metric_, k_prime, delegates).points;
 }
 
 MrResult MapReduceDiversity::Run(const PointSet& input) const {
@@ -71,21 +74,23 @@ MrResult MapReduceDiversity::Run(const PointSet& input) const {
       [&](size_t i) { return parts[i].size(); },
       [&](size_t i) { return coresets[i].size(); });
 
-  // Round 2: a single reducer aggregates T = union of core-sets and runs the
-  // sequential approximation algorithm.
-  PointSet aggregate;
+  // Round 2: a single reducer aggregates T = union of core-sets into one
+  // columnar dataset and runs the sequential approximation algorithm on it.
+  Dataset aggregate;
   PointSet solution;
   sim.RunRoundWithSizes(
       "solve", 1,
       [&](size_t) {
+        PointSet united;
         for (const PointSet& c : coresets) {
-          aggregate.insert(aggregate.end(), c.begin(), c.end());
+          united.insert(united.end(), c.begin(), c.end());
         }
+        aggregate = Dataset(std::move(united));
         size_t k = std::min(options_.k, aggregate.size());
         std::vector<size_t> picked =
             SolveSequential(problem_, aggregate, *metric_, k);
         solution.reserve(picked.size());
-        for (size_t idx : picked) solution.push_back(aggregate[idx]);
+        for (size_t idx : picked) solution.push_back(aggregate.point(idx));
       },
       [&](size_t) { return aggregate.size(); },
       [&](size_t) { return solution.size(); });
@@ -117,8 +122,8 @@ MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
       "gen-coreset", parts.size(),
       [&](size_t i) {
         size_t k_prime = std::min(options_.k_prime, parts[i].size());
-        gens[i] = GmmGenCoreset(parts[i], *metric_, options_.k, k_prime,
-                                &ranges[i]);
+        gens[i] = GmmGenCoreset(Dataset::FromPoints(parts[i]), *metric_,
+                                options_.k, k_prime, &ranges[i]);
       },
       [&](size_t i) { return parts[i].size(); },
       [&](size_t i) { return gens[i].size(); });
@@ -220,9 +225,10 @@ MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
   sim.RunRoundWithSizes(
       "solve", 1,
       [&](size_t) {
+        Dataset current_data = Dataset::FromPoints(current);
         size_t k = std::min(options_.k, current.size());
         std::vector<size_t> picked =
-            SolveSequential(problem_, current, *metric_, k);
+            SolveSequential(problem_, current_data, *metric_, k);
         for (size_t idx : picked) solution.push_back(current[idx]);
       },
       [&](size_t) { return current.size(); },

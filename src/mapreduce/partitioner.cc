@@ -60,6 +60,8 @@ std::vector<PointSet> PartitionPoints(std::span<const Point> points,
         });
       } else {
         DIVERSE_CHECK(metric != nullptr);
+        // Scalar pivot-distance sweep: a one-shot columnar re-layout would
+        // cost more (n point copies) than the n virtual calls it saves.
         const Point& pivot = points[0];
         std::vector<double> key(n);
         for (size_t i = 0; i < n; ++i) {

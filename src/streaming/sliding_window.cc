@@ -80,10 +80,15 @@ StreamingResult SlidingWindowDiversity::Query() const {
   if (united.empty()) return result;
 
   size_t k = std::min(options_.k, united.size());
+  // Solve on a columnar re-layout of the union so the sequential step runs
+  // on the batched kernels.
+  Dataset united_data(std::move(united));
   std::vector<size_t> picked =
-      SolveSequential(options_.problem, united, *metric_, k);
+      SolveSequential(options_.problem, united_data, *metric_, k);
   result.solution.reserve(picked.size());
-  for (size_t idx : picked) result.solution.push_back(united[idx]);
+  for (size_t idx : picked) {
+    result.solution.push_back(united_data.point(idx));
+  }
   result.diversity =
       EvaluateDiversity(options_.problem, result.solution, *metric_);
   return result;

@@ -22,6 +22,7 @@ void SmmEngine::Update(const Point& p) {
     e.center = p;
     if (mode_ == Mode::kDelegates) e.delegates.push_back(p);
     centers_.push_back(std::move(e));
+    centers_columnar_.Append(p);
     if (centers_.size() == k_prime_ + 1) {
       // d_1 = min pairwise distance among the first k'+1 points.
       double d1 = std::numeric_limits<double>::infinity();
@@ -38,13 +39,15 @@ void SmmEngine::Update(const Point& p) {
     return;
   }
 
-  // Update step of the current phase.
+  // Update step of the current phase: one batched sweep over the columnar
+  // center mirror replaces the per-center virtual Distance loop.
+  center_dist_.resize(centers_.size());
+  metric_->DistanceToMany(p, centers_columnar_, 0, center_dist_);
   size_t closest = 0;
   double closest_dist = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < centers_.size(); ++i) {
-    double dist = metric_->Distance(p, centers_[i].center);
-    if (dist < closest_dist) {
-      closest_dist = dist;
+  for (size_t i = 0; i < center_dist_.size(); ++i) {
+    if (center_dist_[i] < closest_dist) {
+      closest_dist = center_dist_[i];
       closest = i;
     }
   }
@@ -53,6 +56,7 @@ void SmmEngine::Update(const Point& p) {
     e.center = p;
     if (mode_ == Mode::kDelegates) e.delegates.push_back(p);
     centers_.push_back(std::move(e));
+    centers_columnar_.Append(p);
     if (centers_.size() == k_prime_ + 1) {
       threshold_ *= 2.0;
       MergeUntilBelowCapacity();
@@ -137,6 +141,9 @@ void SmmEngine::MergeStep() {
     }
   }
   centers_ = std::move(kept);
+  // Rebuild the columnar mirror to match the surviving centers.
+  centers_columnar_.Clear();
+  for (const Entry& e : centers_) centers_columnar_.Append(e.center);
 }
 
 size_t SmmEngine::StoredPoints() const {

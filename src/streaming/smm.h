@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/generalized_coreset.h"
 #include "core/metric.h"
 #include "core/point.h"
@@ -102,6 +103,12 @@ class SmmEngine {
   Mode mode_;
 
   std::vector<Entry> centers_;
+  // Columnar mirror of the centers in `centers_` (same order), so the
+  // per-update nearest-center scan runs as one batched devirtualized sweep
+  // instead of |T| virtual Distance calls. Appended to on insertion,
+  // rebuilt after merges.
+  Dataset centers_columnar_;
+  std::vector<double> center_dist_;  // scratch for the batched sweep
   PointSet removed_;  // M: points dropped in the current phase's merges
   double threshold_ = 0.0;
   bool initializing_ = true;

@@ -29,6 +29,10 @@ void StreamingDiversity::Update(const Point& p) {
   }
 }
 
+void StreamingDiversity::UpdateAll(const Dataset& data) {
+  for (const Point& p : data.points()) Update(p);
+}
+
 StreamingResult StreamingDiversity::Finalize() {
   StreamingResult result;
   PointSet coreset = smm_ ? smm_->Finalize() : smm_ext_->Finalize();
@@ -39,10 +43,13 @@ StreamingResult StreamingDiversity::Finalize() {
 
   size_t k = std::min(k_, coreset.size());
   if (k == 0) return result;
+  Dataset coreset_data(std::move(coreset));
   std::vector<size_t> picked =
-      SolveSequential(problem_, coreset, *metric_, k);
+      SolveSequential(problem_, coreset_data, *metric_, k);
   result.solution.reserve(picked.size());
-  for (size_t idx : picked) result.solution.push_back(coreset[idx]);
+  for (size_t idx : picked) {
+    result.solution.push_back(coreset_data.point(idx));
+  }
   result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
   return result;
 }
@@ -61,6 +68,14 @@ void TwoPassStreamingDiversity::UpdateFirstPass(const Point& p) {
   DIVERSE_CHECK(!first_pass_done_);
   smm_gen_.Update(p);
   peak_memory_ = std::max(peak_memory_, smm_gen_.engine().StoredPoints());
+}
+
+void TwoPassStreamingDiversity::UpdateAllFirstPass(const Dataset& data) {
+  for (const Point& p : data.points()) UpdateFirstPass(p);
+}
+
+void TwoPassStreamingDiversity::UpdateAllSecondPass(const Dataset& data) {
+  for (const Point& p : data.points()) UpdateSecondPass(p);
 }
 
 void TwoPassStreamingDiversity::EndFirstPass() {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/diversity.h"
 #include "core/generalized_coreset.h"
 #include "core/metric.h"
@@ -54,7 +55,12 @@ class StreamingDiversity {
   /// Processes one stream point.
   void Update(const Point& p);
 
-  /// Ends the stream: solves on the core-set and returns the solution.
+  /// Streams every row of a columnar dataset through Update().
+  void UpdateAll(const Dataset& data);
+
+  /// Ends the stream: solves on the core-set (itself re-laid out as a
+  /// columnar Dataset for the batched sequential solve) and returns the
+  /// solution.
   StreamingResult Finalize();
 
   /// Peak in-memory points so far (exposed for Table 3 accounting).
@@ -82,11 +88,17 @@ class TwoPassStreamingDiversity {
 
   void UpdateFirstPass(const Point& p);
 
+  /// Streams every row of a columnar dataset through UpdateFirstPass().
+  void UpdateAllFirstPass(const Dataset& data);
+
   /// Solves the multiset problem on the generalized core-set, fixing the
   /// kernel points and multiplicities the second pass must instantiate.
   void EndFirstPass();
 
   void UpdateSecondPass(const Point& p);
+
+  /// Streams every row of a columnar dataset through UpdateSecondPass().
+  void UpdateAllSecondPass(const Dataset& data);
 
   /// Returns the instantiated solution (k distinct input points).
   StreamingResult Finalize();

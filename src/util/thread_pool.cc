@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 #include <utility>
 
 #include "util/check.h"
@@ -39,19 +42,92 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+// Per-call completion state so concurrent parallel loops on one pool only
+// wait for their own tasks.
+struct LoopState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t num_tasks = 0;
+  std::mutex mu;
+  std::condition_variable finished;
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   // Dynamic scheduling over a shared counter: tasks in this library have
   // uneven cost (reducer partitions of different difficulty), so static
   // striping would leave threads idle.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  size_t num_tasks = std::min(n, num_threads());
-  for (size_t t = 0; t < num_tasks; ++t) {
-    Submit([next, n, &fn] {
-      for (size_t i = (*next)++; i < n; i = (*next)++) fn(i);
+  auto state = std::make_shared<LoopState>();
+  state->num_tasks = std::min(n, num_threads());
+  for (size_t t = 0; t < state->num_tasks; ++t) {
+    Submit([state, n, &fn] {
+      for (size_t i = state->next++; i < n; i = state->next++) fn(i);
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (++state->done == state->num_tasks) state->finished.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->finished.wait(lock,
+                       [&] { return state->done == state->num_tasks; });
+}
+
+void ThreadPool::ParallelForRanges(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(grain, 1);
+  if (n <= grain || num_threads() == 1) {
+    fn(0, n);
+    return;
+  }
+  size_t num_ranges = (n + grain - 1) / grain;
+  auto state = std::make_shared<LoopState>();
+  state->num_tasks = std::min(num_ranges, num_threads());
+  for (size_t t = 0; t < state->num_tasks; ++t) {
+    Submit([state, n, grain, num_ranges, &fn] {
+      for (size_t r = state->next++; r < num_ranges; r = state->next++) {
+        size_t begin = r * grain;
+        fn(begin, std::min(n, begin + grain));
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (++state->done == state->num_tasks) state->finished.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->finished.wait(lock,
+                       [&] { return state->done == state->num_tasks; });
+}
+
+namespace {
+
+size_t DefaultGlobalThreads() {
+  if (const char* env = std::getenv("DIVERSE_THREADS")) {
+    long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<size_t>(parsed);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+std::mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::unique_lock<std::mutex> lock(g_global_pool_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultGlobalThreads());
+  }
+  return *g_global_pool;
+}
+
+void SetGlobalThreadPoolSize(size_t num_threads) {
+  std::unique_lock<std::mutex> lock(g_global_pool_mu);
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -40,7 +40,19 @@ class ThreadPool {
 
   /// Convenience: runs `fn(i)` for i in [0, n) across the pool and waits.
   /// `fn` must be safe to invoke concurrently for distinct indices.
+  /// Completion is tracked per call, so concurrent ParallelFor calls from
+  /// different threads (e.g. batched kernels running inside MapReduce
+  /// reducers) do not wait on each other's tasks.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over disjoint ranges covering [0, n), each of
+  /// roughly `grain` indices, across the pool, and waits. Runs inline on the
+  /// calling thread when the work is too small to amortize dispatch
+  /// (n <= grain) or the pool has a single worker. Range boundaries depend
+  /// only on (n, grain) — never on scheduling — so deterministic per-range
+  /// reductions combine identically at any thread count.
+  void ParallelForRanges(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();
@@ -53,6 +65,18 @@ class ThreadPool {
   size_t in_flight_ = 0;  // queued + running tasks
   bool shutting_down_ = false;
 };
+
+/// Process-wide pool used by the batched distance kernels (core/metric.h).
+/// Lazily created on first use with `DIVERSE_THREADS` workers if that
+/// environment variable is set, otherwise std::thread::hardware_concurrency.
+/// Distinct from any MapReduce simulator pool, so reducers can issue batched
+/// kernels without self-deadlock.
+ThreadPool& GlobalThreadPool();
+
+/// Replaces the global pool with one of `num_threads` workers. Intended for
+/// benches and tests that compare thread counts; must not race with
+/// concurrent GlobalThreadPool() users.
+void SetGlobalThreadPoolSize(size_t num_threads);
 
 }  // namespace diverse
 
