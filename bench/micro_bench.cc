@@ -1,17 +1,31 @@
 // Kernel microbenchmarks (google-benchmark): distance evaluations, GMM
-// steps, SMM updates, diversity evaluators, and scalar-vs-batched kernel
-// comparisons. These track the constants behind the throughput numbers of
-// Figure 3 and measure (rather than assert) the speedup of the columnar
-// Dataset + batched-kernel path over the scalar virtual-dispatch loop.
+// steps, SMM updates, diversity evaluators, and scalar-vs-batched/tiled
+// kernel comparisons. These track the constants behind the throughput
+// numbers of Figure 3 and measure (rather than assert) the speedup of the
+// columnar Dataset + batched/tiled kernel paths over the scalar
+// virtual-dispatch loops.
+//
+// Besides the usual console output, the binary writes a machine-readable
+// BENCH_micro.json (override the path with the BENCH_MICRO_JSON environment
+// variable): one record {op, n, dim, threads, metric, ns_per_op} per
+// benchmark, so the perf trajectory can be tracked across commits.
+// Benchmarks report n / dim / threads through counters of those names and
+// the metric through the label.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "core/coreset.h"
 #include "core/dataset.h"
+#include "core/distance_matrix.h"
 #include "core/diversity.h"
 #include "core/gmm.h"
+#include "core/kcenter.h"
 #include "core/metric.h"
 #include "core/sequential.h"
 #include "data/sparse_text.h"
@@ -28,6 +42,9 @@ void BM_EuclideanDistanceDense3(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(m.Distance(pts[0], pts[1]));
   }
+  state.counters["n"] = 2;
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_EuclideanDistanceDense3);
 
@@ -42,6 +59,9 @@ void BM_CosineDistanceSparse(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(m.Distance(docs[0], docs[1]));
   }
+  state.counters["n"] = 2;
+  state.counters["dim"] = static_cast<double>(opts.max_terms);
+  state.SetLabel("cosine");
 }
 BENCHMARK(BM_CosineDistanceSparse)->Arg(20)->Arg(60)->Arg(120);
 
@@ -55,6 +75,9 @@ void BM_Gmm(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_Gmm)->Args({10000, 32})->Args({10000, 128})->Args({50000, 32});
 
@@ -64,6 +87,9 @@ void BM_GmmExtCoreset(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(GmmExtCoreset(pts, m, 64, 15));
   }
+  state.counters["n"] = 10000;
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_GmmExtCoreset);
 
@@ -77,6 +103,9 @@ void BM_SmmUpdate(benchmark::State& state) {
     smm.Update(pts[i++ % pts.size()]);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["n"] = static_cast<double>(k_prime);
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_SmmUpdate)->Arg(32)->Arg(128)->Arg(512);
 
@@ -105,6 +134,9 @@ void BM_GreedyMatching(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(GreedyMatchingOnPoints(pts, m, 8));
   }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_GreedyMatching)->Arg(500)->Arg(2000);
 
@@ -126,6 +158,9 @@ void BM_DistanceSweepScalar(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_DistanceSweepScalar)->Args({50000, 3})->Args({50000, 64});
 
@@ -144,6 +179,9 @@ void BM_DistanceSweepBatched(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_DistanceSweepBatched)->Args({50000, 3})->Args({50000, 64});
 
@@ -157,6 +195,9 @@ void BM_GmmScalar50k(benchmark::State& state) {
     benchmark::DoNotOptimize(GmmScalar(pts, m, 32));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 50000);
+  state.counters["n"] = 50000;
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
 }
 BENCHMARK(BM_GmmScalar50k)->Unit(benchmark::kMillisecond);
 
@@ -169,11 +210,290 @@ void BM_GmmBatched50k(benchmark::State& state) {
     benchmark::DoNotOptimize(Gmm(data, m, 32));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 50000);
-  state.SetLabel(std::to_string(threads) + " thread(s)");
+  state.counters["n"] = 50000;
+  state.counters["dim"] = 3;
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel("euclidean");
   SetGlobalThreadPoolSize(1);
 }
 BENCHMARK(BM_GmmBatched50k)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// --- Per-center sweeps vs blocked multi-center tiles ---------------------
+// The acceptance workload of the tile layer: dense k-center assignment of
+// k=64 centers over n=50k points, single-threaded. The per-center variant
+// is the PR 1 path (one RelaxAndArgFarthest sweep per center, n rows
+// streamed k times); the tiled variant loads each row block once for all
+// centers (RelaxTilesAndArgFarthest).
+
+constexpr size_t kAssignN = 50000;
+constexpr size_t kAssignK = 64;
+constexpr size_t kAssignDim = 3;
+
+void BM_KCenterAssignPerCenter(benchmark::State& state) {
+  EuclideanMetric m;
+  SetGlobalThreadPoolSize(1);
+  Dataset data =
+      Dataset::FromPoints(GenerateUniformCube(kAssignN, kAssignDim, 9));
+  std::vector<size_t> centers = Gmm(data, m, kAssignK).selected;
+  std::vector<double> dist;
+  std::vector<size_t> assignment(kAssignN);
+  for (auto _ : state) {
+    dist.assign(kAssignN, std::numeric_limits<double>::infinity());
+    size_t farthest = 0;
+    for (size_t c = 0; c < centers.size(); ++c) {
+      farthest = m.RelaxAndArgFarthest(data.point(centers[c]), data, dist,
+                                       assignment, c);
+    }
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAssignN * kAssignK));
+  state.counters["n"] = static_cast<double>(kAssignN);
+  state.counters["dim"] = static_cast<double>(kAssignDim);
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_KCenterAssignPerCenter)->Unit(benchmark::kMillisecond);
+
+void BM_KCenterAssignTiled(benchmark::State& state) {
+  EuclideanMetric m;
+  SetGlobalThreadPoolSize(1);
+  Dataset data =
+      Dataset::FromPoints(GenerateUniformCube(kAssignN, kAssignDim, 9));
+  Dataset center_rows;
+  for (size_t c : Gmm(data, m, kAssignK).selected) {
+    center_rows.Append(data.point(c));
+  }
+  std::vector<double> dist;
+  std::vector<size_t> assignment(kAssignN);
+  for (auto _ : state) {
+    dist.assign(kAssignN, std::numeric_limits<double>::infinity());
+    size_t farthest = RelaxTilesAndArgFarthest(
+        m, center_rows, 0, center_rows.size(), 0, data, dist, assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAssignN * kAssignK));
+  state.counters["n"] = static_cast<double>(kAssignN);
+  state.counters["dim"] = static_cast<double>(kAssignDim);
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_KCenterAssignTiled)->Unit(benchmark::kMillisecond);
+
+// One Q x R distance tile against the equivalent per-query DistanceToMany
+// sweeps, dense rows.
+void BM_DistanceTile(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = 4096;
+  size_t q = static_cast<size_t>(state.range(0));
+  size_t dim = static_cast<size_t>(state.range(1));
+  SetGlobalThreadPoolSize(1);
+  Dataset data = Dataset::FromPoints(GenerateUniformCube(n, dim, 10));
+  std::vector<double> out(q * n);
+  for (auto _ : state) {
+    m.DistanceTile(data, 0, q, data, 0, n, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(q * n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_DistanceTile)->Args({16, 3})->Args({16, 64})->Args({64, 16});
+
+void BM_DistanceTilePerQuery(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = 4096;
+  size_t q = static_cast<size_t>(state.range(0));
+  size_t dim = static_cast<size_t>(state.range(1));
+  SetGlobalThreadPoolSize(1);
+  Dataset data = Dataset::FromPoints(GenerateUniformCube(n, dim, 10));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < q; ++i) {
+      m.DistanceToMany(data.point(i), data, 0, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(q * n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_DistanceTilePerQuery)
+    ->Args({16, 3})
+    ->Args({16, 64})
+    ->Args({64, 16});
+
+// Full pairwise matrix build: tiled columnar path vs scalar per-pair loop.
+void BM_DistanceMatrixTiled(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  Dataset data = Dataset::FromPoints(GenerateUniformCube(n, 3, 11));
+  for (auto _ : state) {
+    DistanceMatrix d(data, m);
+    benchmark::DoNotOptimize(d.at(0, n - 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * (n - 1) / 2));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_DistanceMatrixTiled)->Arg(2000);
+
+void BM_DistanceMatrixScalar(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  PointSet pts = GenerateUniformCube(n, 3, 11);
+  const Metric& metric = m;  // virtual dispatch, as the pre-tile build
+  for (auto _ : state) {
+    DistanceMatrix d(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        d.set(i, j, metric.Distance(pts[i], pts[j]));
+      }
+    }
+    benchmark::DoNotOptimize(d.at(0, n - 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * (n - 1) / 2));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 3;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_DistanceMatrixScalar)->Arg(2000);
+
+// ParallelForRanges dispatch overhead: a near-empty body over a mid-size
+// index space, so the arena's no-allocation dispatch dominates the timing.
+void BM_ParallelForRangesDispatch(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(threads);
+  std::vector<double> sink(16384, 1.0);
+  for (auto _ : state) {
+    GlobalThreadPool().ParallelForRanges(
+        sink.size(), 256, [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) s += sink[i];
+          benchmark::DoNotOptimize(s);
+        });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["n"] = static_cast<double>(sink.size());
+  state.counters["threads"] = static_cast<double>(threads);
+  SetGlobalThreadPoolSize(1);
+}
+BENCHMARK(BM_ParallelForRangesDispatch)->Arg(2)->Arg(4);
+
 }  // namespace
 }  // namespace diverse
+
+namespace {
+
+// Console reporter that also collects one {op, n, dim, metric, ns_per_op}
+// record per iteration run and writes them as BENCH_micro.json.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string op;
+    double n = 0.0;
+    double dim = 0.0;
+    double threads = 0.0;
+    std::string metric;
+    double ns_per_op = 0.0;
+  };
+
+  // google-benchmark < 1.8 reports failures via Run::error_occurred; 1.8
+  // replaced it with Run::skipped. Probe for whichever member exists so the
+  // reporter compiles against both.
+  template <typename R>
+  static bool RunFailedOrSkipped(const R& run) {
+    if constexpr (requires { run.error_occurred; }) {
+      if (run.error_occurred) return true;
+    }
+    if constexpr (requires { run.skipped; }) {
+      if (static_cast<int>(run.skipped) != 0) return true;
+    }
+    return false;
+  }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || RunFailedOrSkipped(run)) {
+        continue;
+      }
+      Entry e;
+      e.op = run.benchmark_name();
+      auto n_it = run.counters.find("n");
+      if (n_it != run.counters.end()) e.n = n_it->second.value;
+      auto dim_it = run.counters.find("dim");
+      if (dim_it != run.counters.end()) e.dim = dim_it->second.value;
+      auto t_it = run.counters.find("threads");
+      if (t_it != run.counters.end()) e.threads = t_it->second.value;
+      e.metric = run.report_label;
+      if (run.iterations > 0) {
+        e.ns_per_op =
+            run.real_accumulated_time / static_cast<double>(run.iterations) *
+            1e9;
+      }
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "  {\"op\": \"%s\", \"n\": %.0f, \"dim\": %.0f, "
+                   "\"threads\": %.0f, \"metric\": \"%s\", "
+                   "\"ns_per_op\": %.3f}%s\n",
+                   Escaped(e.op).c_str(), e.n, e.dim, e.threads,
+                   Escaped(e.metric).c_str(), e.ns_per_op,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("BENCH_MICRO_JSON");
+  std::string out = path != nullptr ? path : "BENCH_micro.json";
+  if (!reporter.WriteJson(out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+  return 0;
+}

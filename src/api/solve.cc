@@ -146,7 +146,9 @@ SolveResult Solve(const Dataset& data, const Metric& metric,
     size_t k = std::min(o.k, data.size());
     std::vector<size_t> picked = SolveSequential(o.problem, data, metric, k);
     for (size_t idx : picked) result.solution.push_back(data.point(idx));
-    result.diversity = EvaluateDiversity(o.problem, result.solution, metric);
+    // Evaluate straight off the dataset rows (tiled restricted matrix);
+    // bit-identical to evaluating the copied solution PointSet.
+    result.diversity = EvaluateDiversitySubset(o.problem, data, picked, metric);
   } else {
     result = SolveStreamingOrMr(data.points(), metric, o);
   }

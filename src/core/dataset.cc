@@ -18,13 +18,7 @@ Dataset::Dataset(PointSet points) {
 
 Dataset Dataset::FromPoints(std::span<const Point> points) {
   Dataset d;
-  d.points_.reserve(points.size());
-  d.rows_.reserve(points.size());
-  d.norms_.reserve(points.size());
-  for (const Point& p : points) {
-    d.AppendColumnar(p);
-    d.points_.push_back(p);
-  }
+  d.Assign(points);
   return d;
 }
 
@@ -57,6 +51,17 @@ void Dataset::AppendColumnar(const Point& p) {
   }
   rows_.push_back(r);
   norms_.push_back(p.norm());
+}
+
+void Dataset::Assign(std::span<const Point> points) {
+  Clear();
+  points_.reserve(points.size());
+  rows_.reserve(points.size());
+  norms_.reserve(points.size());
+  for (const Point& p : points) {
+    AppendColumnar(p);
+    points_.push_back(p);
+  }
 }
 
 void Dataset::Clear() {

@@ -75,6 +75,7 @@ class Dataset {
     if (r.sparse != 0) {
       v.indices = csr_indices_.data() + r.start;
       v.values = csr_values_.data() + r.start;
+      v.sparse = true;
     } else {
       v.values = dense_.data() + r.start;
     }
@@ -89,6 +90,13 @@ class Dataset {
 
   /// Appends one row. The first row fixes dim(); later rows must match it.
   void Append(const Point& p);
+
+  /// Replaces the contents with `points`: Clear() + Append for each point,
+  /// reusing the existing columnar array capacity. This is the scratch-reuse
+  /// path for per-partition re-layouts (MapReduce reducers rebuild a Dataset
+  /// per partition; assigning into one scratch avoids re-allocating the
+  /// dense/CSR/norm arrays every round).
+  void Assign(std::span<const Point> points);
 
   /// Removes all rows (dimension resets with the next Append).
   void Clear();

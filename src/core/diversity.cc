@@ -230,4 +230,12 @@ double EvaluateDiversity(DiversityProblem problem,
   return EvaluateDiversity(problem, DistanceMatrix(solution, metric));
 }
 
+double EvaluateDiversitySubset(DiversityProblem problem, const Dataset& data,
+                               std::span<const size_t> rows,
+                               const Metric& metric) {
+  Dataset subset;
+  for (size_t idx : rows) subset.Append(data.point(idx));
+  return EvaluateDiversity(problem, DistanceMatrix(subset, metric));
+}
+
 }  // namespace diverse

@@ -77,6 +77,15 @@ double EvaluateDiversity(DiversityProblem problem, const DistanceMatrix& d);
 double EvaluateDiversity(DiversityProblem problem,
                          std::span<const Point> solution, const Metric& metric);
 
+/// Evaluates div over the subset `rows` of `data`: re-lays the selected rows
+/// out columnar and builds the restricted pairwise matrix through the
+/// blocked tile kernels (bit-identical values to the span overload on the
+/// same points). The efficient path when the solution is already a set of
+/// Dataset row indices — no intermediate PointSet.
+double EvaluateDiversitySubset(DiversityProblem problem, const Dataset& data,
+                               std::span<const size_t> rows,
+                               const Metric& metric);
+
 /// Maximum set size for exact remote-bipartition evaluation by enumeration.
 inline constexpr size_t kBipartitionExactLimit = 20;
 

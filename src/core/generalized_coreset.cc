@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/dataset.h"
 #include "core/gmm.h"
+#include "core/vector_kernels.h"
 #include "util/check.h"
 
 namespace diverse {
@@ -142,21 +144,52 @@ std::optional<PointSet> Instantiate(const GeneralizedCoreset& coreset,
       }
     }
   }
-  std::vector<std::pair<double, size_t>> candidates;
+  // Delegate search: one blocked multi-center tile sweep over the columnar
+  // rows instead of one full scan per entry. Entries still in need are
+  // processed in lane-sized chunks; each chunk makes a single pass over the
+  // points, collecting its in-radius candidates from Q x R distance tiles,
+  // and then serves the chunk's entries in order. Distances are independent
+  // of the used[] bookkeeping, and candidates are filtered against used[] at
+  // consumption time, so the chosen delegates are identical to the
+  // scan-per-entry loop this replaces.
+  std::vector<size_t> pending;
   for (size_t e = 0; e < entries.size(); ++e) {
-    if (needed[e] == 0) continue;
-    candidates.clear();
-    for (size_t i = 0; i < points.size(); ++i) {
-      if (used[i]) continue;
-      double dist = metric.Distance(points[i], entries[e].point);
-      if (dist <= delta) candidates.emplace_back(dist, i);
-    }
-    std::sort(candidates.begin(), candidates.end());
-    for (const auto& [dist, i] : candidates) {
-      if (needed[e] == 0) break;
-      used[i] = true;
-      chosen.push_back(points[i]);
-      --needed[e];
+    if (needed[e] > 0) pending.push_back(e);
+  }
+  if (!pending.empty()) {
+    Dataset data = Dataset::FromPoints(points);
+    constexpr size_t kChunk = kernels::kTileLanes;
+    constexpr size_t kRowBlock = 256;
+    std::vector<double> tile(kChunk * kRowBlock);
+    std::vector<std::vector<std::pair<double, size_t>>> candidates(kChunk);
+    for (size_t c0 = 0; c0 < pending.size(); c0 += kChunk) {
+      size_t cn = std::min(kChunk, pending.size() - c0);
+      Dataset queries;
+      for (size_t q = 0; q < cn; ++q) {
+        queries.Append(entries[pending[c0 + q]].point);
+        candidates[q].clear();
+      }
+      for (size_t rb = 0; rb < data.size(); rb += kRowBlock) {
+        size_t rn = std::min(kRowBlock, data.size() - rb);
+        metric.DistanceTile(queries, 0, cn, data, rb, rn, tile.data(), rn);
+        for (size_t q = 0; q < cn; ++q) {
+          for (size_t r = 0; r < rn; ++r) {
+            double dist = tile[q * rn + r];
+            if (dist <= delta) candidates[q].emplace_back(dist, rb + r);
+          }
+        }
+      }
+      for (size_t q = 0; q < cn; ++q) {
+        size_t e = pending[c0 + q];
+        std::sort(candidates[q].begin(), candidates[q].end());
+        for (const auto& [dist, i] : candidates[q]) {
+          if (needed[e] == 0) break;
+          if (used[i]) continue;
+          used[i] = true;
+          chosen.push_back(points[i]);
+          --needed[e];
+        }
+      }
     }
   }
   for (size_t e = 0; e < entries.size(); ++e) {

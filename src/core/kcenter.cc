@@ -109,16 +109,17 @@ KCenterResult SolveKCenterDoubling(std::span<const Point> points,
   KCenterResult result;
   result.centers = std::move(centers);
   result.assignment.assign(n, 0);
-  // Final assignment: one batched relax sweep per center over the columnar
-  // rows, recording the rank of the first nearest center exactly like the
-  // scalar per-point loop did.
+  // Final assignment: one blocked multi-center tile pass over the columnar
+  // rows (every row block is loaded once for all centers instead of once per
+  // center), recording the rank of the first nearest center exactly like the
+  // per-center relax sweeps did.
   Dataset data = Dataset::FromPoints(points);
+  Dataset center_rows;
+  for (size_t c : result.centers) center_rows.Append(points[c]);
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  size_t farthest = 0;
-  for (size_t c = 0; c < result.centers.size(); ++c) {
-    farthest = metric.RelaxAndArgFarthest(points[result.centers[c]], data,
-                                          dist, result.assignment, c);
-  }
+  size_t farthest =
+      RelaxTilesAndArgFarthest(metric, center_rows, 0, center_rows.size(), 0,
+                               data, dist, result.assignment);
   result.radius = dist[farthest];
   return result;
 }
@@ -126,12 +127,12 @@ KCenterResult SolveKCenterDoubling(std::span<const Point> points,
 double ClusteringRadius(const Dataset& data, const Metric& metric,
                         std::span<const size_t> centers) {
   DIVERSE_CHECK(!centers.empty());
+  Dataset center_rows;
+  for (size_t c : centers) center_rows.Append(data.point(c));
   std::vector<double> dist(data.size(),
                            std::numeric_limits<double>::infinity());
-  size_t farthest = 0;
-  for (size_t c : centers) {
-    farthest = metric.RelaxAndArgFarthest(data.point(c), data, dist);
-  }
+  size_t farthest = RelaxTilesAndArgFarthest(metric, center_rows, 0,
+                                             center_rows.size(), 0, data, dist);
   return dist[farthest];
 }
 

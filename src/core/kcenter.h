@@ -49,7 +49,8 @@ KCenterResult SolveKCenterDoubling(std::span<const Point> points,
                                    const Metric& metric, size_t k);
 
 /// Radius max_i d(data[i], {data[c] : c in centers}) of an explicit center
-/// set, computed as one batched relax sweep per center.
+/// set, computed as one blocked multi-center tile pass
+/// (RelaxTilesAndArgFarthest) over the columnar rows.
 double ClusteringRadius(const Dataset& data, const Metric& metric,
                         std::span<const size_t> centers);
 

@@ -91,6 +91,75 @@ kernels::VecView QueryView(const Point& query, const Dataset& data) {
   return query.View();
 }
 
+// --- Blocked many-vs-many tiles ------------------------------------------
+
+void CheckTileArgs(const Dataset& queries, size_t q_begin, size_t nq,
+                   const Dataset& data, size_t r_begin, size_t nr,
+                   size_t out_stride) {
+  DIVERSE_CHECK_LE(q_begin + nq, queries.size());
+  DIVERSE_CHECK_LE(r_begin + nr, data.size());
+  DIVERSE_CHECK_GE(out_stride, nr);
+  if (nq > 0 && nr > 0) DIVERSE_CHECK_EQ(queries.dim(), data.dim());
+}
+
+// Shared tile driver for the four concrete metrics. Queries are processed in
+// lane blocks of kernels::kTileLanes: every all-dense lane block is
+// transposed once up front, and each data row is then fetched a single time
+// and streamed through the lane kernel of every block (`lanes`,
+// bit-identical per lane to the scalar kernel); any sparse row on either
+// side falls back to the exact per-pair scalar kernel (`pair`).
+// `finish_lanes` turns a block of lane accumulators into the metric's
+// distances in place (batched SQRTPD for Euclidean, the angular-cosine
+// postprocess, nothing for L1).
+template <typename PairFn, typename LaneFn, typename FinishLanesFn>
+void BatchTile(const Dataset& queries, size_t q_begin, size_t nq,
+               const Dataset& data, size_t r_begin, size_t nr, double* out,
+               size_t out_stride, const PairFn& pair, const LaneFn& lanes,
+               const FinishLanesFn& finish_lanes) {
+  CheckTileArgs(queries, q_begin, nq, data, r_begin, nr, out_stride);
+  // Empty tiles are legal no-ops; bail before packing query lanes (the
+  // lane pack walks data.dim() coordinates of each query, which is only
+  // validated against the query dimension for nonempty tiles).
+  if (nq == 0 || nr == 0) return;
+  size_t dim = data.dim();
+  thread_local std::vector<float> qt;  // transposed lane block
+  kernels::VecView qv[kernels::kTileLanes];
+  double lane_out[kernels::kTileLanes];
+  for (size_t q0 = 0; q0 < nq; q0 += kernels::kTileLanes) {
+    size_t qn = std::min(kernels::kTileLanes, nq - q0);
+    bool lanes_ok = dim > 0;
+    for (size_t lane = 0; lane < qn; ++lane) {
+      qv[lane] = queries.row(q_begin + q0 + lane);
+      lanes_ok = lanes_ok && !qv[lane].is_sparse();
+    }
+    if (lanes_ok) {
+      qt.resize(dim * kernels::kTileLanes);
+      kernels::PackQueryLanes(qv, qn, dim, qt.data());
+      for (size_t r = 0; r < nr; ++r) {
+        kernels::VecView row = data.row(r_begin + r);
+        if (!row.is_sparse()) {
+          lanes(qt.data(), row.values, dim, lane_out);
+          finish_lanes(lane_out, qv, row, qn);
+          for (size_t lane = 0; lane < qn; ++lane) {
+            out[(q0 + lane) * out_stride + r] = lane_out[lane];
+          }
+        } else {
+          for (size_t lane = 0; lane < qn; ++lane) {
+            out[(q0 + lane) * out_stride + r] = pair(qv[lane], row);
+          }
+        }
+      }
+    } else {
+      for (size_t lane = 0; lane < qn; ++lane) {
+        for (size_t r = 0; r < nr; ++r) {
+          out[(q0 + lane) * out_stride + r] =
+              pair(qv[lane], data.row(r_begin + r));
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void Metric::DistanceToMany(const Point& query, const Dataset& data,
@@ -100,6 +169,95 @@ void Metric::DistanceToMany(const Point& query, const Dataset& data,
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = Distance(query, data.point(begin + i));
   }
+}
+
+void Metric::DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
+                          const Dataset& data, size_t r_begin, size_t nr,
+                          double* out, size_t out_stride) const {
+  // Scalar fallback for metrics that do not provide a columnar kernel.
+  CheckTileArgs(queries, q_begin, nq, data, r_begin, nr, out_stride);
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t r = 0; r < nr; ++r) {
+      out[q * out_stride + r] =
+          Distance(queries.point(q_begin + q), data.point(r_begin + r));
+    }
+  }
+}
+
+size_t RelaxTilesAndArgFarthest(const Metric& metric, const Dataset& queries,
+                                size_t q_begin, size_t nq, size_t rank_base,
+                                const Dataset& data, std::span<double> dist,
+                                std::span<size_t> assignment) {
+  size_t n = data.size();
+  DIVERSE_CHECK_GE(nq, 1u);
+  DIVERSE_CHECK_LE(q_begin + nq, queries.size());
+  DIVERSE_CHECK_EQ(dist.size(), n);
+  if (!assignment.empty()) DIVERSE_CHECK_EQ(assignment.size(), n);
+  if (n == 0) return 0;
+
+  // Row block per tile: small enough that a kQChunk x kRowBlock tile stays
+  // cache-resident (the relax pass re-reads every tile entry right after it
+  // is written), large enough to amortize the per-block query transpose.
+  constexpr size_t kRowBlock = 256;
+  // Centers per tile: bounds the scratch to kQChunk * kRowBlock doubles
+  // (128 KiB); within one DistanceTile call each data row is fetched once
+  // for all kQChunk centers.
+  constexpr size_t kQChunk = 64;
+
+  size_t grain = GrainRows(data);
+  size_t num_ranges = (n + grain - 1) / grain;
+  std::vector<size_t> range_best(num_ranges, SIZE_MAX);
+  GlobalThreadPool().ParallelForRanges(n, grain, [&](size_t lo, size_t hi) {
+    thread_local std::vector<double> tile;
+    size_t local_best = lo;
+    double local_val = -std::numeric_limits<double>::infinity();
+    for (size_t rb = lo; rb < hi; rb += kRowBlock) {
+      size_t rn = std::min(kRowBlock, hi - rb);
+      for (size_t qc = 0; qc < nq; qc += kQChunk) {
+        size_t qn = std::min(kQChunk, nq - qc);
+        tile.resize(qn * rn);
+        metric.DistanceTile(queries, q_begin + qc, qn, data, rb, rn,
+                            tile.data(), rn);
+        // Relax centers in ascending rank order: identical to the
+        // sequential one-center-at-a-time relax loop, including ties
+        // (strictly smaller wins, earliest rank kept). Center-major order
+        // streams the tile sequentially while the block's dist (and
+        // assignment) slices stay cache-resident.
+        for (size_t q = 0; q < qn; ++q) {
+          const double* tile_row = tile.data() + q * rn;
+          if (assignment.empty()) {
+            for (size_t i = 0; i < rn; ++i) {
+              if (tile_row[i] < dist[rb + i]) dist[rb + i] = tile_row[i];
+            }
+          } else {
+            size_t rank = rank_base + qc + q;
+            for (size_t i = 0; i < rn; ++i) {
+              if (tile_row[i] < dist[rb + i]) {
+                dist[rb + i] = tile_row[i];
+                assignment[rb + i] = rank;
+              }
+            }
+          }
+        }
+      }
+      for (size_t i = rb; i < rb + rn; ++i) {
+        if (dist[i] > local_val) {
+          local_val = dist[i];
+          local_best = i;
+        }
+      }
+    }
+    range_best[lo / grain] = local_best;
+  });
+
+  size_t best = range_best[0];
+  DIVERSE_CHECK_LT(best, n);
+  for (size_t r = 1; r < num_ranges; ++r) {
+    size_t candidate = range_best[r];
+    if (candidate == SIZE_MAX) continue;
+    if (dist[candidate] > dist[best]) best = candidate;
+  }
+  return best;
 }
 
 size_t Metric::RelaxAndArgFarthest(const Point& query, const Dataset& data,
@@ -151,6 +309,20 @@ size_t EuclideanMetric::RelaxAndArgFarthest(const Point& query,
                                });
 }
 
+void EuclideanMetric::DistanceTile(const Dataset& queries, size_t q_begin,
+                                   size_t nq, const Dataset& data,
+                                   size_t r_begin, size_t nr, double* out,
+                                   size_t out_stride) const {
+  BatchTile(
+      queries, q_begin, nq, data, r_begin, nr, out, out_stride,
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return kernels::Euclidean(row, q);
+      },
+      kernels::SquaredEuclideanLanes,
+      [](double* vals, const kernels::VecView*, const kernels::VecView&,
+         size_t qn) { kernels::SqrtLanes(vals, qn); });
+}
+
 double ManhattanMetric::Distance(const Point& a, const Point& b) const {
   return a.L1DistanceTo(b);
 }
@@ -173,6 +345,20 @@ size_t ManhattanMetric::RelaxAndArgFarthest(const Point& query,
   return BatchRelaxArgFarthest(
       data, dist, assignment, center_rank,
       [&q](const kernels::VecView& row) { return kernels::L1(row, q); });
+}
+
+void ManhattanMetric::DistanceTile(const Dataset& queries, size_t q_begin,
+                                   size_t nq, const Dataset& data,
+                                   size_t r_begin, size_t nr, double* out,
+                                   size_t out_stride) const {
+  BatchTile(
+      queries, q_begin, nq, data, r_begin, nr, out, out_stride,
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return kernels::L1(row, q);
+      },
+      kernels::L1Lanes,
+      [](double*, const kernels::VecView*, const kernels::VecView&, size_t) {
+      });
 }
 
 double CosineMetric::Distance(const Point& a, const Point& b) const {
@@ -200,6 +386,36 @@ size_t CosineMetric::RelaxAndArgFarthest(const Point& query,
                                });
 }
 
+void CosineMetric::DistanceTile(const Dataset& queries, size_t q_begin,
+                                size_t nq, const Dataset& data, size_t r_begin,
+                                size_t nr, double* out,
+                                size_t out_stride) const {
+  BatchTile(
+      queries, q_begin, nq, data, r_begin, nr, out, out_stride,
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return kernels::AngularCosine(row, q);
+      },
+      kernels::DotLanes,
+      // Same postprocess as kernels::AngularCosine, with the lane-computed
+      // dot products: identical zero-norm conventions, product, clamp, acos.
+      [](double* vals, const kernels::VecView* qv, const kernels::VecView& row,
+         size_t qn) {
+        double na = row.norm;
+        for (size_t lane = 0; lane < qn; ++lane) {
+          double nb = qv[lane].norm;
+          if (na == 0.0 && nb == 0.0) {
+            vals[lane] = 0.0;
+          } else if (na == 0.0 || nb == 0.0) {
+            vals[lane] = M_PI / 2.0;
+          } else {
+            double c = vals[lane] / (na * nb);
+            c = c < -1.0 ? -1.0 : (c > 1.0 ? 1.0 : c);
+            vals[lane] = std::acos(c);
+          }
+        }
+      });
+}
+
 double JaccardMetric::Distance(const Point& a, const Point& b) const {
   return a.SupportJaccardDistanceTo(b);
 }
@@ -222,6 +438,23 @@ size_t JaccardMetric::RelaxAndArgFarthest(const Point& query,
                                [&q](const kernels::VecView& row) {
                                  return kernels::SupportJaccard(row, q);
                                });
+}
+
+void JaccardMetric::DistanceTile(const Dataset& queries, size_t q_begin,
+                                 size_t nq, const Dataset& data,
+                                 size_t r_begin, size_t nr, double* out,
+                                 size_t out_stride) const {
+  // Support counting is integer-exact in any order; the devirtualized
+  // per-pair loop over cache-resident blocks is already the win here, so no
+  // lane kernel — every pair runs the shared scalar merge.
+  CheckTileArgs(queries, q_begin, nq, data, r_begin, nr, out_stride);
+  for (size_t q = 0; q < nq; ++q) {
+    kernels::VecView qv = queries.row(q_begin + q);
+    for (size_t r = 0; r < nr; ++r) {
+      out[q * out_stride + r] =
+          kernels::SupportJaccard(data.row(r_begin + r), qv);
+    }
+  }
 }
 
 }  // namespace diverse

@@ -71,9 +71,44 @@ class Metric {
                                      std::span<size_t> assignment = {},
                                      size_t center_rank = 0) const;
 
+  /// Blocked many-vs-many kernel: a Q x R tile of distances,
+  ///   out[q * out_stride + r] =
+  ///       Distance(queries.point(q_begin + q), data.point(r_begin + r))
+  /// for q in [0, nq), r in [0, nr). Requires q_begin + nq <= queries.size(),
+  /// r_begin + nr <= data.size(), and out_stride >= nr (out_stride lets
+  /// callers write tiles directly into a larger row-major matrix).
+  ///
+  /// The concrete metrics compute dense x dense blocks with the multi-query
+  /// lane kernels of core/vector_kernels.h (bit-identical to the scalar
+  /// kernels, SIMD or not) and fall back to the exact scalar merge kernels
+  /// whenever either side of a pair is sparse. Evaluation count is exactly
+  /// nq * nr. The tile is computed on the calling thread: callers that want
+  /// parallelism partition their work into tiles across the thread pool
+  /// (see RelaxTilesAndArgFarthest / DistanceMatrix), which keeps nested
+  /// kernel calls deadlock-free and results independent of thread count.
+  virtual void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
+                            const Dataset& data, size_t r_begin, size_t nr,
+                            double* out, size_t out_stride) const;
+
   /// Human-readable metric name, e.g. "euclidean".
   virtual std::string Name() const = 0;
 };
+
+/// Fused multi-center relax-and-argmax over blocked tiles: exactly
+/// equivalent to calling
+///   metric.RelaxAndArgFarthest(queries.point(q_begin + q), data, dist,
+///                              assignment, rank_base + q)
+/// once per q in ascending order and keeping the last return value, but
+/// executed as one blocked pass over `data` (each row block is loaded once
+/// for all nq centers instead of once per center). Parallelized over row
+/// ranges on GlobalThreadPool(); range boundaries and the first-max argmax
+/// combination depend only on the input sizes, so results are deterministic
+/// at any thread count. Costs exactly nq * data.size() evaluations through
+/// metric.DistanceTile. Requires nq >= 1 and dist.size() == data.size().
+size_t RelaxTilesAndArgFarthest(const Metric& metric, const Dataset& queries,
+                                size_t q_begin, size_t nq, size_t rank_base,
+                                const Dataset& data, std::span<double> dist,
+                                std::span<size_t> assignment = {});
 
 /// Standard Euclidean (L2) distance.
 class EuclideanMetric final : public Metric {
@@ -85,6 +120,9 @@ class EuclideanMetric final : public Metric {
                              std::span<double> dist,
                              std::span<size_t> assignment = {},
                              size_t center_rank = 0) const override;
+  void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
+                    const Dataset& data, size_t r_begin, size_t nr,
+                    double* out, size_t out_stride) const override;
   std::string Name() const override { return "euclidean"; }
 };
 
@@ -98,6 +136,9 @@ class ManhattanMetric final : public Metric {
                              std::span<double> dist,
                              std::span<size_t> assignment = {},
                              size_t center_rank = 0) const override;
+  void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
+                    const Dataset& data, size_t r_begin, size_t nr,
+                    double* out, size_t out_stride) const override;
   std::string Name() const override { return "manhattan"; }
 };
 
@@ -115,6 +156,9 @@ class CosineMetric final : public Metric {
                              std::span<double> dist,
                              std::span<size_t> assignment = {},
                              size_t center_rank = 0) const override;
+  void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
+                    const Dataset& data, size_t r_begin, size_t nr,
+                    double* out, size_t out_stride) const override;
   std::string Name() const override { return "cosine"; }
 };
 
@@ -129,6 +173,9 @@ class JaccardMetric final : public Metric {
                              std::span<double> dist,
                              std::span<size_t> assignment = {},
                              size_t center_rank = 0) const override;
+  void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
+                    const Dataset& data, size_t r_begin, size_t nr,
+                    double* out, size_t out_stride) const override;
   std::string Name() const override { return "jaccard"; }
 };
 
@@ -162,6 +209,14 @@ class CountingMetric final : public Metric {
     count_.fetch_add(dist.size(), std::memory_order_relaxed);
     return base_->RelaxAndArgFarthest(query, data, dist, assignment,
                                       center_rank);
+  }
+
+  void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
+                    const Dataset& data, size_t r_begin, size_t nr,
+                    double* out, size_t out_stride) const override {
+    count_.fetch_add(nq * nr, std::memory_order_relaxed);
+    base_->DistanceTile(queries, q_begin, nq, data, r_begin, nr, out,
+                        out_stride);
   }
 
   std::string Name() const override { return "counting(" + base_->Name() + ")"; }

@@ -71,6 +71,7 @@ class Point {
     v.nnz = values_.size();
     v.dim = dim_;
     v.norm = norm_;
+    v.sparse = is_sparse_;
     return v;
   }
 

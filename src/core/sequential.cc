@@ -23,8 +23,11 @@ std::vector<size_t> GmmOnMatrix(const DistanceMatrix& d, size_t k,
   while (selected.size() < k) {
     size_t farthest = current;
     double farthest_dist = -1.0;
+    // Stream the current center's row (d is symmetric) instead of probing
+    // the strided column.
+    std::span<const double> row = d.row(current);
     for (size_t i = 0; i < n; ++i) {
-      dist[i] = std::min(dist[i], d.at(i, current));
+      dist[i] = std::min(dist[i], row[i]);
       if (dist[i] > farthest_dist) {
         farthest_dist = dist[i];
         farthest = i;
@@ -36,34 +39,157 @@ std::vector<size_t> GmmOnMatrix(const DistanceMatrix& d, size_t k,
   return selected;
 }
 
+namespace {
+
+// A candidate pair for the heaviest-pair greedy matching. `Heavier` is the
+// total order the matching consumes pairs in: by distance descending, ties
+// by (i, j) ascending — the same pair the row-major first-strict-max scan
+// of the pre-buffered implementation selected. Because the order is total,
+// the surviving top-`cap` buffer and the selection are independent of the
+// order in which a scan emits pairs (and hence of tile shapes).
+struct HeavyPair {
+  double dist;
+  size_t i, j;
+};
+
+bool Heavier(const HeavyPair& a, const HeavyPair& b) {
+  if (a.dist != b.dist) return a.dist > b.dist;
+  if (a.i != b.i) return a.i < b.i;
+  return a.j < b.j;
+}
+
+// Greedy heaviest-pair matching core shared by the matrix and dataset
+// variants. `scan(emit)` must call emit(i, j, dist) exactly once for every
+// unordered pair (i < j) of currently unused rows, in any order. One scan
+// collects the heaviest `buffer_cap` pairs; the greedy loop then consumes
+// them in `Heavier` order. Exact: a chosen pair only removes 2 points, so
+// the next heaviest *surviving* pair is the true global maximum; if the
+// buffer runs dry (pathological overlap among the top pairs), it is
+// refilled with a fresh scan over the unused rows only. This turns k/2
+// quadratic scans into ~1.
+template <typename ScanFn>
+std::vector<size_t> GreedyHeaviestPairs(size_t n, size_t k,
+                                        std::vector<bool>& used,
+                                        const ScanFn& scan) {
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  // Clamp to the number of pairs that can ever exist so large k on small n
+  // does not preallocate an oversized buffer.
+  size_t max_pairs = n >= 2 ? n * (n - 1) / 2 : 1;
+  const size_t buffer_cap =
+      std::min(std::max<size_t>(4 * k * k, 64), max_pairs);
+  std::vector<HeavyPair> heap;  // min-heap: front() = lightest kept pair
+  heap.reserve(buffer_cap + 1);
+  auto lighter_on_top = [](const HeavyPair& a, const HeavyPair& b) {
+    return Heavier(a, b);
+  };
+  auto rescan = [&] {
+    heap.clear();
+    scan([&](size_t i, size_t j, double dist) {
+      HeavyPair e{dist, i, j};
+      if (heap.size() < buffer_cap) {
+        heap.push_back(e);
+        std::push_heap(heap.begin(), heap.end(), lighter_on_top);
+      } else if (Heavier(e, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), lighter_on_top);
+        heap.back() = e;
+        std::push_heap(heap.begin(), heap.end(), lighter_on_top);
+      }
+    });
+    std::sort(heap.begin(), heap.end(), Heavier);  // heaviest first
+  };
+  if (k < 2) return chosen;  // no pairs to pick; skip the scan entirely
+  rescan();
+  size_t cursor = 0;
+  while (chosen.size() + 1 < k) {
+    while (cursor < heap.size() &&
+           (used[heap[cursor].i] || used[heap[cursor].j])) {
+      ++cursor;
+    }
+    if (cursor == heap.size()) {
+      rescan();
+      cursor = 0;
+      DIVERSE_CHECK_LT(cursor, heap.size());
+      continue;
+    }
+    used[heap[cursor].i] = used[heap[cursor].j] = true;
+    chosen.push_back(heap[cursor].i);
+    chosen.push_back(heap[cursor].j);
+  }
+  return chosen;
+}
+
+// Emits all live pairs of `data` under `metric` through blocked tiles.
+// When some rows are already used (a refill scan), the live rows are first
+// compacted into a scratch Dataset so the tile sweeps touch no dead row and
+// the evaluation count is exactly live*(live-1)/2 — used rows' distances
+// are never recomputed.
+template <typename EmitFn>
+void ScanLivePairsTiled(const Dataset& data, const Metric& metric,
+                        const std::vector<bool>& used, const EmitFn& emit) {
+  size_t n = data.size();
+  std::vector<size_t> live;
+  live.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!used[i]) live.push_back(i);
+  }
+  Dataset compact;
+  const Dataset* src = &data;
+  if (live.size() < n) {
+    for (size_t idx : live) compact.Append(data.point(idx));
+    src = &compact;
+  }
+  size_t m = live.size();
+  constexpr size_t kQBlock = 64;   // pair-scan tile: kQBlock x kRBlock
+  constexpr size_t kRBlock = 256;
+  std::vector<double> tile(std::max(kQBlock * kRBlock, kQBlock));
+  for (size_t ib = 0; ib < m; ib += kQBlock) {
+    size_t in = std::min(kQBlock, m - ib);
+    // Triangular corner within the block: per-row suffix sweeps keep the
+    // evaluation count at i < j pairs exactly.
+    for (size_t i = ib; i + 1 < ib + in; ++i) {
+      std::span<double> out(tile.data(), ib + in - i - 1);
+      metric.DistanceToMany(src->point(i), *src, i + 1, out);
+      for (size_t j = i + 1; j < ib + in; ++j) {
+        emit(live[i], live[j], out[j - i - 1]);
+      }
+    }
+    // Rectangular panels to the right of the block.
+    for (size_t jb = ib + in; jb < m; jb += kRBlock) {
+      size_t jn = std::min(kRBlock, m - jb);
+      metric.DistanceTile(*src, ib, in, *src, jb, jn, tile.data(), jn);
+      for (size_t q = 0; q < in; ++q) {
+        for (size_t r = 0; r < jn; ++r) {
+          emit(live[ib + q], live[jb + r], tile[q * jn + r]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k) {
   size_t n = d.size();
   DIVERSE_CHECK_GE(k, 1u);
   DIVERSE_CHECK_LE(k, n);
 
-  std::vector<size_t> chosen;
-  chosen.reserve(k);
   std::vector<bool> used(n, false);
-  while (chosen.size() + 1 < k) {
-    // Heaviest unused pair.
-    size_t best_i = n, best_j = n;
-    double best = -1.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      for (size_t j = i + 1; j < n; ++j) {
-        if (used[j]) continue;
-        if (d.at(i, j) > best) {
-          best = d.at(i, j);
-          best_i = i;
-          best_j = j;
+  // Stream whole matrix rows through the buffered core: one O(n^2) scan
+  // (plus rare refills over live rows only) replaces the former k/2 full
+  // argmax rescans, and rows are consumed as contiguous memory instead of
+  // per-element at(i, j) probes.
+  std::vector<size_t> chosen =
+      GreedyHeaviestPairs(n, k, used, [&](auto&& emit) {
+        for (size_t i = 0; i < n; ++i) {
+          if (used[i]) continue;
+          std::span<const double> row = d.row(i);
+          for (size_t j = i + 1; j < n; ++j) {
+            if (used[j]) continue;
+            emit(i, j, row[j]);
+          }
         }
-      }
-    }
-    DIVERSE_CHECK_LT(best_i, n);
-    used[best_i] = used[best_j] = true;
-    chosen.push_back(best_i);
-    chosen.push_back(best_j);
-  }
+      });
   if (chosen.size() < k) {
     // Odd k: add the unused point with the largest distance sum to the
     // chosen set (any point preserves the approximation bound; this choice
@@ -73,7 +199,8 @@ std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k) {
     for (size_t i = 0; i < n; ++i) {
       if (used[i]) continue;
       double s = 0.0;
-      for (size_t c : chosen) s += d.at(i, c);
+      std::span<const double> row = d.row(i);
+      for (size_t c : chosen) s += row[c];
       if (s > best) {
         best = s;
         best_i = i;
@@ -91,78 +218,11 @@ std::vector<size_t> GreedyMatchingOnDataset(const Dataset& data,
   DIVERSE_CHECK_GE(k, 1u);
   DIVERSE_CHECK_LE(k, n);
 
-  std::vector<size_t> chosen;
-  chosen.reserve(k);
   std::vector<bool> used(n, false);
-
-  // One O(n^2) scan collects the heaviest kBuffer pairs; the greedy loop
-  // then consumes the heaviest pair whose endpoints are both unused. Exact:
-  // a chosen pair only removes 2 points, so the next heaviest *surviving*
-  // pair is the true global maximum; if the buffer runs dry (pathological
-  // overlap among the top pairs), it is refilled with a fresh scan over the
-  // unused points. This turns k/2 quadratic scans into ~1.
-  struct Pair {
-    double dist;
-    size_t i, j;
-    bool operator<(const Pair& other) const { return dist < other.dist; }
-  };
-  const size_t buffer_cap = std::max<size_t>(4 * k * k, 64);
-  std::vector<Pair> heap;  // min-heap of the current top pairs
-  heap.reserve(buffer_cap + 1);
-  std::vector<double> row_dist(n > 0 ? n - 1 : 0);
-  auto scan = [&] {
-    heap.clear();
-    // The initial scan (no rows used yet) runs as batched suffix sweeps:
-    // distances from row i to all rows j > i in one devirtualized pass over
-    // the columnar storage. Rare refill scans fall back to the scalar
-    // skip-used loop so no distances to dead rows are evaluated (or
-    // counted) — exactly the pre-batching cost.
-    bool batched = chosen.empty();
-    for (size_t i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      std::span<double> suffix(row_dist.data(), n - i - 1);
-      if (batched) {
-        metric.DistanceToMany(data.point(i), data, i + 1, suffix);
-      }
-      for (size_t j = i + 1; j < n; ++j) {
-        if (used[j]) continue;
-        double dist = batched
-                          ? suffix[j - i - 1]
-                          : metric.Distance(data.point(i), data.point(j));
-        if (heap.size() < buffer_cap) {
-          heap.push_back({dist, i, j});
-          std::push_heap(heap.begin(), heap.end(),
-                         [](const Pair& a, const Pair& b) { return b < a; });
-        } else if (dist > heap.front().dist) {
-          std::pop_heap(heap.begin(), heap.end(),
-                        [](const Pair& a, const Pair& b) { return b < a; });
-          heap.back() = {dist, i, j};
-          std::push_heap(heap.begin(), heap.end(),
-                         [](const Pair& a, const Pair& b) { return b < a; });
-        }
-      }
-    }
-    // Sort descending by distance for in-order consumption.
-    std::sort(heap.begin(), heap.end(),
-              [](const Pair& a, const Pair& b) { return b < a; });
-  };
-  scan();
-  size_t cursor = 0;
-  while (chosen.size() + 1 < k) {
-    while (cursor < heap.size() &&
-           (used[heap[cursor].i] || used[heap[cursor].j])) {
-      ++cursor;
-    }
-    if (cursor == heap.size()) {
-      scan();
-      cursor = 0;
-      DIVERSE_CHECK_LT(cursor, heap.size());
-      continue;
-    }
-    used[heap[cursor].i] = used[heap[cursor].j] = true;
-    chosen.push_back(heap[cursor].i);
-    chosen.push_back(heap[cursor].j);
-  }
+  std::vector<size_t> chosen =
+      GreedyHeaviestPairs(n, k, used, [&](auto&& emit) {
+        ScanLivePairsTiled(data, metric, used, emit);
+      });
   if (chosen.size() < k) {
     size_t best_i = n;
     double best = -1.0;

@@ -35,12 +35,18 @@ std::vector<size_t> GmmOnMatrix(const DistanceMatrix& d, size_t k,
 
 /// Greedy heaviest-pair matching on a distance matrix: repeatedly picks the
 /// farthest pair among unused rows until k points are chosen; for odd k the
-/// last point maximizes its distance sum to the chosen set. O(k n^2).
+/// last point maximizes its distance sum to the chosen set. One streaming
+/// O(n^2) row scan fills a top-pair buffer that the greedy loop consumes
+/// (plus rare refill scans over live rows), so the former k/2 full rescans
+/// are gone: ~O(n^2 + k^2 log k) total.
 std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k);
 
 /// Greedy heaviest-pair matching evaluated on the fly (no matrix storage),
 /// for point sets too large to materialize n^2 distances. The pair scans
-/// run as batched per-row suffix sweeps over the columnar storage.
+/// stream blocked Q x R distance tiles over the columnar storage; refill
+/// scans first compact the live rows into a scratch Dataset so used rows'
+/// distances are never recomputed (exactly live*(live-1)/2 evaluations per
+/// refill).
 std::vector<size_t> GreedyMatchingOnDataset(const Dataset& data,
                                             const Metric& metric, size_t k);
 
@@ -54,8 +60,9 @@ std::vector<size_t> SolveSequentialOnMatrix(DiversityProblem problem,
                                             const DistanceMatrix& d, size_t k);
 
 /// Solves the problem on the rows of `data`, returning k row indices.
-/// GMM-family problems cost O(k n) distances; matching-family O(k n^2).
-/// Both run on the columnar batch kernels. Requires k <= data.size().
+/// GMM-family problems cost O(k n) distances; matching-family ~n^2/2 (one
+/// buffered pair scan plus rare refills). Both run on the columnar batch
+/// kernels. Requires k <= data.size().
 std::vector<size_t> SolveSequential(DiversityProblem problem,
                                     const Dataset& data, const Metric& metric,
                                     size_t k);

@@ -20,6 +20,17 @@
 #include <cstddef>
 #include <cstdint>
 
+#if defined(DIVERSE_ENABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DIVERSE_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#elif defined(__x86_64__) && defined(__SSE2__)
+#define DIVERSE_HAVE_AVX2_KERNELS 0
+#include <emmintrin.h>
+#else
+#define DIVERSE_HAVE_AVX2_KERNELS 0
+#endif
+
 namespace diverse {
 namespace kernels {
 
@@ -30,8 +41,14 @@ struct VecView {
   size_t nnz = 0;  // stored coordinates; == dim for dense
   size_t dim = 0;
   double norm = 0.0;  // precomputed Euclidean norm
+  // Explicit representation tag. A sparse vector with zero stored
+  // coordinates has indices == nullptr (an empty array has no storage), so
+  // the pointer alone cannot distinguish it from a dense vector — and a
+  // dense kernel would then walk the other operand's `dim` values against a
+  // null values pointer.
+  bool sparse = false;
 
-  bool is_sparse() const { return indices != nullptr; }
+  bool is_sparse() const { return sparse; }
 };
 
 namespace internal {
@@ -212,6 +229,209 @@ inline double AngularCosine(const VecView& a, const VecView& b) {
 /// Euclidean distance |a - b|.
 inline double Euclidean(const VecView& a, const VecView& b) {
   return std::sqrt(SquaredEuclidean(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query tile lane kernels (dense rows only).
+//
+// The blocked many-vs-many kernels (Metric::DistanceTile, core/metric.cc)
+// vectorize *across queries*, not within a row: a block of up to kTileLanes
+// dense queries is transposed into a [dim][kTileLanes] lane layout, and each
+// data row is streamed once while every lane accumulates its own distance in
+// coordinate order. Because each lane performs exactly the operations of the
+// scalar kernels above, in the same order, with the same double-precision
+// intermediates (sub, mul, add — deliberately no FMA), the lane kernels are
+// bit-identical to the scalar reference. The optional AVX2 variants
+// (DIVERSE_ENABLE_AVX2 + runtime CPU check) keep this property: 8 lanes are
+// two 4-wide double vectors and every vector op maps 1:1 onto the scalar
+// sequence. Sparse or mixed rows never reach these kernels — the tile layer
+// falls back to the exact scalar merge kernels above.
+
+/// Queries per transposed lane block.
+inline constexpr size_t kTileLanes = 8;
+
+/// Packs `nq` (<= kTileLanes) dense query views into the transposed lane
+/// layout qt[d * kTileLanes + lane]; unused lanes are zero-filled. `qt` must
+/// hold dim * kTileLanes floats.
+inline void PackQueryLanes(const VecView* queries, size_t nq, size_t dim,
+                           float* qt) {
+  for (size_t d = 0; d < dim; ++d) {
+    for (size_t lane = 0; lane < kTileLanes; ++lane) {
+      qt[d * kTileLanes + lane] =
+          lane < nq ? queries[lane].values[d] : 0.0f;
+    }
+  }
+}
+
+namespace internal {
+
+inline void SquaredEuclideanLanesGeneric(const float* qt, const float* row,
+                                         size_t dim, double* out) {
+  double acc[kTileLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t d = 0; d < dim; ++d) {
+    double rv = row[d];
+    const float* q = qt + d * kTileLanes;
+    for (size_t lane = 0; lane < kTileLanes; ++lane) {
+      double diff = static_cast<double>(q[lane]) - rv;
+      acc[lane] += diff * diff;
+    }
+  }
+  for (size_t lane = 0; lane < kTileLanes; ++lane) out[lane] = acc[lane];
+}
+
+inline void L1LanesGeneric(const float* qt, const float* row, size_t dim,
+                           double* out) {
+  double acc[kTileLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t d = 0; d < dim; ++d) {
+    double rv = row[d];
+    const float* q = qt + d * kTileLanes;
+    for (size_t lane = 0; lane < kTileLanes; ++lane) {
+      acc[lane] += std::abs(static_cast<double>(q[lane]) - rv);
+    }
+  }
+  for (size_t lane = 0; lane < kTileLanes; ++lane) out[lane] = acc[lane];
+}
+
+inline void DotLanesGeneric(const float* qt, const float* row, size_t dim,
+                            double* out) {
+  double acc[kTileLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t d = 0; d < dim; ++d) {
+    double rv = row[d];
+    const float* q = qt + d * kTileLanes;
+    for (size_t lane = 0; lane < kTileLanes; ++lane) {
+      acc[lane] += static_cast<double>(q[lane]) * rv;
+    }
+  }
+  for (size_t lane = 0; lane < kTileLanes; ++lane) out[lane] = acc[lane];
+}
+
+#if DIVERSE_HAVE_AVX2_KERNELS
+
+// The AVX2 lane kernels mirror the generic ones vector-op for scalar-op
+// (sub/mul/add, no FMA contraction), so each lane's result is bit-identical
+// to the scalar kernels regardless of which variant ran.
+
+__attribute__((target("avx2"))) inline void SquaredEuclideanLanesAvx2(
+    const float* qt, const float* row, size_t dim, double* out) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  for (size_t d = 0; d < dim; ++d) {
+    __m256d rv = _mm256_set1_pd(static_cast<double>(row[d]));
+    __m256 q8 = _mm256_loadu_ps(qt + d * kTileLanes);
+    __m256d q0 = _mm256_cvtps_pd(_mm256_castps256_ps128(q8));
+    __m256d q1 = _mm256_cvtps_pd(_mm256_extractf128_ps(q8, 1));
+    __m256d d0 = _mm256_sub_pd(q0, rv);
+    __m256d d1 = _mm256_sub_pd(q1, rv);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+  }
+  _mm256_storeu_pd(out, acc0);
+  _mm256_storeu_pd(out + 4, acc1);
+}
+
+__attribute__((target("avx2"))) inline void L1LanesAvx2(const float* qt,
+                                                        const float* row,
+                                                        size_t dim,
+                                                        double* out) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  for (size_t d = 0; d < dim; ++d) {
+    __m256d rv = _mm256_set1_pd(static_cast<double>(row[d]));
+    __m256 q8 = _mm256_loadu_ps(qt + d * kTileLanes);
+    __m256d q0 = _mm256_cvtps_pd(_mm256_castps256_ps128(q8));
+    __m256d q1 = _mm256_cvtps_pd(_mm256_extractf128_ps(q8, 1));
+    acc0 = _mm256_add_pd(acc0, _mm256_and_pd(_mm256_sub_pd(q0, rv), abs_mask));
+    acc1 = _mm256_add_pd(acc1, _mm256_and_pd(_mm256_sub_pd(q1, rv), abs_mask));
+  }
+  _mm256_storeu_pd(out, acc0);
+  _mm256_storeu_pd(out + 4, acc1);
+}
+
+__attribute__((target("avx2"))) inline void DotLanesAvx2(const float* qt,
+                                                         const float* row,
+                                                         size_t dim,
+                                                         double* out) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  for (size_t d = 0; d < dim; ++d) {
+    __m256d rv = _mm256_set1_pd(static_cast<double>(row[d]));
+    __m256 q8 = _mm256_loadu_ps(qt + d * kTileLanes);
+    __m256d q0 = _mm256_cvtps_pd(_mm256_castps256_ps128(q8));
+    __m256d q1 = _mm256_cvtps_pd(_mm256_extractf128_ps(q8, 1));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(q0, rv));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(q1, rv));
+  }
+  _mm256_storeu_pd(out, acc0);
+  _mm256_storeu_pd(out + 4, acc1);
+}
+
+#endif  // DIVERSE_HAVE_AVX2_KERNELS
+
+}  // namespace internal
+
+/// True when the AVX2 lane kernels are compiled in and the CPU supports
+/// them. Informational: lane results are bit-identical either way.
+inline bool TileSimdEnabled() {
+#if DIVERSE_HAVE_AVX2_KERNELS
+  static const bool enabled = __builtin_cpu_supports("avx2") != 0;
+  return enabled;
+#else
+  return false;
+#endif
+}
+
+/// out[lane] = |q_lane - row|^2 for each packed query lane, bit-identical
+/// per lane to SquaredEuclidean on the same pair.
+inline void SquaredEuclideanLanes(const float* qt, const float* row,
+                                  size_t dim, double* out) {
+#if DIVERSE_HAVE_AVX2_KERNELS
+  if (TileSimdEnabled()) {
+    internal::SquaredEuclideanLanesAvx2(qt, row, dim, out);
+    return;
+  }
+#endif
+  internal::SquaredEuclideanLanesGeneric(qt, row, dim, out);
+}
+
+/// out[lane] = |q_lane - row|_1, bit-identical per lane to L1.
+inline void L1Lanes(const float* qt, const float* row, size_t dim,
+                    double* out) {
+#if DIVERSE_HAVE_AVX2_KERNELS
+  if (TileSimdEnabled()) {
+    internal::L1LanesAvx2(qt, row, dim, out);
+    return;
+  }
+#endif
+  internal::L1LanesGeneric(qt, row, dim, out);
+}
+
+/// In-place sqrt over `count` doubles. Uses packed SQRTPD where available:
+/// IEEE 754 square root is correctly rounded, so the packed instruction is
+/// bit-identical to std::sqrt on every element.
+inline void SqrtLanes(double* vals, size_t count) {
+#if defined(__x86_64__) && defined(__SSE2__)
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    _mm_storeu_pd(vals + i, _mm_sqrt_pd(_mm_loadu_pd(vals + i)));
+  }
+  for (; i < count; ++i) vals[i] = std::sqrt(vals[i]);
+#else
+  for (size_t i = 0; i < count; ++i) vals[i] = std::sqrt(vals[i]);
+#endif
+}
+
+/// out[lane] = <q_lane, row>, bit-identical per lane to Dot.
+inline void DotLanes(const float* qt, const float* row, size_t dim,
+                     double* out) {
+#if DIVERSE_HAVE_AVX2_KERNELS
+  if (TileSimdEnabled()) {
+    internal::DotLanesAvx2(qt, row, dim, out);
+    return;
+  }
+#endif
+  internal::DotLanesGeneric(qt, row, dim, out);
 }
 
 }  // namespace kernels

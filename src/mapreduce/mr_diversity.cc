@@ -33,10 +33,13 @@ void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result) {
 }
 
 PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
-                                              size_t input_size) const {
-  // One columnar re-layout per partition; the GMM sweeps inside the
+                                              size_t input_size,
+                                              Dataset* scratch) const {
+  // Columnar re-layout into the reducer's scratch Dataset (array capacity
+  // reused across partitions and rounds); the GMM sweeps inside the
   // core-set constructions then run on the batched kernels.
-  Dataset part_data = Dataset::FromPoints(part);
+  scratch->Assign(part);
+  const Dataset& part_data = *scratch;
   size_t k_prime = std::min(options_.k_prime, part.size());
   if (!RequiresInjectiveProxies(problem_)) {
     return GmmCoreset(part_data, *metric_, k_prime).points;
@@ -67,10 +70,15 @@ MrResult MapReduceDiversity::Run(const PointSet& input) const {
                       options_.seed, metric_);
 
   // Round 1: one reducer per partition computes its composable core-set.
+  DatasetScratchPool scratch_pool;
   std::vector<PointSet> coresets(parts.size());
   sim.RunRoundWithSizes(
       "coreset", parts.size(),
-      [&](size_t i) { coresets[i] = PartitionCoreset(parts[i], input.size()); },
+      [&](size_t i) {
+        Dataset scratch = scratch_pool.Acquire();
+        coresets[i] = PartitionCoreset(parts[i], input.size(), &scratch);
+        scratch_pool.Release(std::move(scratch));
+      },
       [&](size_t i) { return parts[i].size(); },
       [&](size_t i) { return coresets[i].size(); });
 
@@ -116,14 +124,18 @@ MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
 
   // Round 1: GMM-GEN per partition; keep each kernel's range so the
   // instantiation radius r_T = max_i r_{T_i} is known.
+  DatasetScratchPool scratch_pool;
   std::vector<GeneralizedCoreset> gens(parts.size());
   std::vector<double> ranges(parts.size(), 0.0);
   sim.RunRoundWithSizes(
       "gen-coreset", parts.size(),
       [&](size_t i) {
         size_t k_prime = std::min(options_.k_prime, parts[i].size());
-        gens[i] = GmmGenCoreset(Dataset::FromPoints(parts[i]), *metric_,
-                                options_.k, k_prime, &ranges[i]);
+        Dataset scratch = scratch_pool.Acquire();
+        scratch.Assign(parts[i]);
+        gens[i] = GmmGenCoreset(scratch, *metric_, options_.k, k_prime,
+                                &ranges[i]);
+        scratch_pool.Release(std::move(scratch));
       },
       [&](size_t i) { return parts[i].size(); },
       [&](size_t i) { return gens[i].size(); });
@@ -195,6 +207,7 @@ MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
   MapReduceSimulator sim(options_.num_workers);
 
   PointSet current = input;
+  DatasetScratchPool scratch_pool;
   int level = 0;
   // Compress through core-set rounds until one reducer can hold everything.
   while (current.size() > local_memory_budget) {
@@ -207,7 +220,9 @@ MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
     sim.RunRoundWithSizes(
         "coreset-l" + std::to_string(level), parts.size(),
         [&](size_t i) {
-          coresets[i] = PartitionCoreset(parts[i], input.size());
+          Dataset scratch = scratch_pool.Acquire();
+          coresets[i] = PartitionCoreset(parts[i], input.size(), &scratch);
+          scratch_pool.Release(std::move(scratch));
         },
         [&](size_t i) { return parts[i].size(); },
         [&](size_t i) { return coresets[i].size(); });
@@ -225,11 +240,13 @@ MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
   sim.RunRoundWithSizes(
       "solve", 1,
       [&](size_t) {
-        Dataset current_data = Dataset::FromPoints(current);
+        Dataset scratch = scratch_pool.Acquire();
+        scratch.Assign(current);
         size_t k = std::min(options_.k, current.size());
         std::vector<size_t> picked =
-            SolveSequential(problem_, current_data, *metric_, k);
+            SolveSequential(problem_, scratch, *metric_, k);
         for (size_t idx : picked) solution.push_back(current[idx]);
+        scratch_pool.Release(std::move(scratch));
       },
       [&](size_t) { return current.size(); },
       [&](size_t) { return solution.size(); });

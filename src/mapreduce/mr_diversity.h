@@ -22,8 +22,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/diversity.h"
 #include "core/metric.h"
 #include "core/point.h"
@@ -31,6 +33,34 @@
 #include "mapreduce/partitioner.h"
 
 namespace diverse {
+
+/// A free-list of scratch `Dataset`s shared by the reducers of one MapReduce
+/// run: each reducer acquires a scratch, Assign()s its partition into it
+/// (reusing the columnar array capacity from earlier partitions/rounds) and
+/// returns it, instead of constructing a fresh Dataset per partition. At
+/// most one scratch exists per concurrently running reducer.
+class DatasetScratchPool {
+ public:
+  /// Pops a cleared scratch (or default-constructs one).
+  Dataset Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (free_.empty()) return Dataset();
+    Dataset d = std::move(free_.back());
+    free_.pop_back();
+    return d;
+  }
+
+  /// Clears `d` (keeping capacity) and returns it to the free list.
+  void Release(Dataset d) {
+    d.Clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    free_.push_back(std::move(d));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Dataset> free_;
+};
 
 /// Configuration of a MapReduce diversity run.
 struct MrOptions {
@@ -101,8 +131,11 @@ class MapReduceDiversity {
                         size_t local_memory_budget) const;
 
  private:
-  // Core-set for one partition under the configured problem family.
-  PointSet PartitionCoreset(const PointSet& part, size_t input_size) const;
+  // Core-set for one partition under the configured problem family. The
+  // partition is re-laid out columnar into `*scratch` (capacity reused
+  // across partitions and rounds via the run's DatasetScratchPool).
+  PointSet PartitionCoreset(const PointSet& part, size_t input_size,
+                            Dataset* scratch) const;
 
   const Metric* metric_;
   DiversityProblem problem_;

@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/distance_matrix.h"
 #include "util/check.h"
 
 namespace diverse {
@@ -24,12 +25,13 @@ void SmmEngine::Update(const Point& p) {
     centers_.push_back(std::move(e));
     centers_columnar_.Append(p);
     if (centers_.size() == k_prime_ + 1) {
-      // d_1 = min pairwise distance among the first k'+1 points.
+      // d_1 = min pairwise distance among the first k'+1 points, computed
+      // as one tiled pairwise pass over the columnar center mirror.
+      DistanceMatrix pairwise(centers_columnar_, *metric_);
       double d1 = std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i < centers_.size(); ++i) {
-        for (size_t j = i + 1; j < centers_.size(); ++j) {
-          d1 = std::min(d1, metric_->Distance(centers_[i].center,
-                                              centers_[j].center));
+      for (size_t i = 0; i < pairwise.size(); ++i) {
+        for (size_t j = i + 1; j < pairwise.size(); ++j) {
+          d1 = std::min(d1, pairwise.at(i, j));
         }
       }
       threshold_ = d1;
@@ -86,11 +88,11 @@ void SmmEngine::MergeUntilBelowCapacity() {
     if (threshold_ > 0.0) {
       threshold_ *= 2.0;
     } else {
+      DistanceMatrix pairwise(centers_columnar_, *metric_);
       double min_positive = std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i < centers_.size(); ++i) {
-        for (size_t j = i + 1; j < centers_.size(); ++j) {
-          double dist =
-              metric_->Distance(centers_[i].center, centers_[j].center);
+      for (size_t i = 0; i < pairwise.size(); ++i) {
+        for (size_t j = i + 1; j < pairwise.size(); ++j) {
+          double dist = pairwise.at(i, j);
           if (dist > 0.0) min_positive = std::min(min_positive, dist);
         }
       }
@@ -106,19 +108,34 @@ void SmmEngine::MergeStep() {
   // Greedy maximal independent set of the graph with edges at distance
   // <= 2 d_i: scan centers in order; a center joins I unless an earlier
   // member of I is within 2 d_i, in which case it merges into that member
-  // (the maximality witness), transferring delegates / counts.
+  // (the maximality witness), transferring delegates / counts. The kept
+  // set grows its own columnar mirror as it goes, so the membership scan
+  // runs as chunked batched sweeps over contiguous rows — devirtualized
+  // like the tile path, but keeping the old scalar loop's early exit to
+  // within one chunk (a merge-heavy step costs ~|T| evaluations, not
+  // |T|^2/2). The mirror then becomes the post-merge centers_columnar_.
+  constexpr size_t kScanChunk = 16;
   double radius = 2.0 * threshold_;
   std::vector<Entry> kept;
   kept.reserve(centers_.size());
+  Dataset kept_mirror;  // columnar mirror of `kept`, same order
+  double dist_chunk[kScanChunk];
   for (Entry& e : centers_) {
     size_t host = kept.size();
-    for (size_t i = 0; i < kept.size(); ++i) {
-      if (metric_->Distance(e.center, kept[i].center) <= radius) {
-        host = i;
-        break;
+    for (size_t b = 0; b < kept.size() && host == kept.size();
+         b += kScanChunk) {
+      size_t bn = std::min(kScanChunk, kept.size() - b);
+      std::span<double> out(dist_chunk, bn);
+      metric_->DistanceToMany(e.center, kept_mirror, b, out);
+      for (size_t i = 0; i < bn; ++i) {
+        if (out[i] <= radius) {
+          host = b + i;
+          break;
+        }
       }
     }
     if (host == kept.size()) {
+      kept_mirror.Append(e.center);
       kept.push_back(std::move(e));
       continue;
     }
@@ -141,9 +158,8 @@ void SmmEngine::MergeStep() {
     }
   }
   centers_ = std::move(kept);
-  // Rebuild the columnar mirror to match the surviving centers.
-  centers_columnar_.Clear();
-  for (const Entry& e : centers_) centers_columnar_.Append(e.center);
+  // The kept mirror is exactly the surviving centers, in order.
+  centers_columnar_ = std::move(kept_mirror);
 }
 
 size_t SmmEngine::StoredPoints() const {

@@ -54,10 +54,25 @@ struct LoopState {
   std::condition_variable finished;
 };
 
+// The pool a worker thread belongs to (nullptr on external threads). Lets
+// nested same-pool parallel loops run inline instead of blocking a worker
+// on tasks only workers can execute.
+thread_local ThreadPool* tl_worker_pool = nullptr;
+
+// The pool whose arena this thread currently owns, if any. A nested
+// same-pool loop from inside the owner's own range body must not touch
+// arena_call_mu_ again (non-recursive); it runs inline instead.
+thread_local ThreadPool* tl_arena_owner = nullptr;
+
 }  // namespace
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  if (tl_worker_pool == this) {
+    // Nested call from one of this pool's own workers: run inline.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // Dynamic scheduling over a shared counter: tasks in this library have
   // uneven cost (reducer partitions of different difficulty), so static
   // striping would leave threads idle.
@@ -79,11 +94,51 @@ void ThreadPool::ParallelForRanges(
     size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   grain = std::max<size_t>(grain, 1);
-  if (n <= grain || num_threads() == 1) {
+  if (n <= grain || num_threads() == 1 || tl_worker_pool == this ||
+      tl_arena_owner == this) {
     fn(0, n);
     return;
   }
   size_t num_ranges = (n + grain - 1) / grain;
+  if (!arena_call_mu_.try_lock()) {
+    // Another thread owns the arena (concurrent loops, e.g. batched kernels
+    // issued from several MapReduce reducers): take the queued path.
+    ParallelForRangesQueued(n, grain, num_ranges, fn);
+    return;
+  }
+  tl_arena_owner = this;
+  // Publish the loop and wake the workers.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    arena_fn_ = &fn;
+    arena_n_ = n;
+    arena_grain_ = grain;
+    arena_num_ranges_ = num_ranges;
+    arena_next_.store(0, std::memory_order_relaxed);
+    arena_open_ = true;
+  }
+  work_available_.notify_all();
+  // The caller claims ranges alongside the workers: progress is guaranteed
+  // even if every worker is busy elsewhere.
+  for (size_t r = arena_next_.fetch_add(1, std::memory_order_relaxed);
+       r < num_ranges;
+       r = arena_next_.fetch_add(1, std::memory_order_relaxed)) {
+    size_t begin = r * grain;
+    fn(begin, std::min(n, begin + grain));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    arena_open_ = false;  // no new entrants
+    arena_done_.wait(lock, [this] { return arena_workers_inside_ == 0; });
+    arena_fn_ = nullptr;
+  }
+  tl_arena_owner = nullptr;
+  arena_call_mu_.unlock();
+}
+
+void ThreadPool::ParallelForRangesQueued(
+    size_t n, size_t grain, size_t num_ranges,
+    const std::function<void(size_t, size_t)>& fn) {
   auto state = std::make_shared<LoopState>();
   state->num_tasks = std::min(num_ranges, num_threads());
   for (size_t t = 0; t < state->num_tasks; ++t) {
@@ -131,12 +186,37 @@ void SetGlobalThreadPoolSize(size_t num_threads) {
 }
 
 void ThreadPool::WorkerLoop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      work_available_.wait(lock, [this] {
+        return shutting_down_ || !queue_.empty() ||
+               (arena_open_ &&
+                arena_next_.load(std::memory_order_relaxed) <
+                    arena_num_ranges_);
+      });
+      if (arena_open_ && arena_next_.load(std::memory_order_relaxed) <
+                             arena_num_ranges_) {
+        // Join the open range loop: claim ranges from the shared cursor
+        // until it is exhausted, then report back to the arena owner.
+        ++arena_workers_inside_;
+        const std::function<void(size_t, size_t)>* fn = arena_fn_;
+        size_t n = arena_n_;
+        size_t grain = arena_grain_;
+        size_t num_ranges = arena_num_ranges_;
+        lock.unlock();
+        for (size_t r = arena_next_.fetch_add(1, std::memory_order_relaxed);
+             r < num_ranges;
+             r = arena_next_.fetch_add(1, std::memory_order_relaxed)) {
+          size_t begin = r * grain;
+          (*fn)(begin, std::min(n, begin + grain));
+        }
+        lock.lock();
+        if (--arena_workers_inside_ == 0) arena_done_.notify_all();
+        continue;
+      }
       if (queue_.empty()) {
         // shutting_down_ and no work left.
         return;

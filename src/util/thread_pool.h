@@ -4,6 +4,7 @@
 #ifndef DIVERSE_UTIL_THREAD_POOL_H_
 #define DIVERSE_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -48,14 +49,26 @@ class ThreadPool {
   /// Runs `fn(begin, end)` over disjoint ranges covering [0, n), each of
   /// roughly `grain` indices, across the pool, and waits. Runs inline on the
   /// calling thread when the work is too small to amortize dispatch
-  /// (n <= grain) or the pool has a single worker. Range boundaries depend
-  /// only on (n, grain) — never on scheduling — so deterministic per-range
-  /// reductions combine identically at any thread count.
+  /// (n <= grain), the pool has a single worker, or the caller *is* a worker
+  /// of this pool (nested same-pool loops would otherwise block a worker on
+  /// work only workers can run). Range boundaries depend only on (n, grain)
+  /// — never on scheduling — so deterministic per-range reductions combine
+  /// identically at any thread count.
+  ///
+  /// Dispatch goes through a persistent task arena: the caller publishes the
+  /// loop descriptor, wakes the workers, and claims ranges itself alongside
+  /// them from one shared atomic cursor — no per-call task allocation, no
+  /// queue churn, and progress is guaranteed even if every worker is busy
+  /// (the caller drains the loop alone in the worst case). When another
+  /// thread already occupies the arena, the call falls back to the queued
+  /// task path.
   void ParallelForRanges(size_t n, size_t grain,
                          const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();
+  void ParallelForRangesQueued(size_t n, size_t grain, size_t num_ranges,
+                               const std::function<void(size_t, size_t)>& fn);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -64,6 +77,18 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;  // queued + running tasks
   bool shutting_down_ = false;
+
+  // Persistent range-loop arena (one loop at a time; guarded by mu_ except
+  // where noted). `arena_next_` is the shared range cursor.
+  std::mutex arena_call_mu_;  // serializes arena owners
+  const std::function<void(size_t, size_t)>* arena_fn_ = nullptr;
+  size_t arena_n_ = 0;
+  size_t arena_grain_ = 0;
+  size_t arena_num_ranges_ = 0;
+  std::atomic<size_t> arena_next_{0};
+  size_t arena_workers_inside_ = 0;
+  bool arena_open_ = false;
+  std::condition_variable arena_done_;
 };
 
 /// Process-wide pool used by the batched distance kernels (core/metric.h).

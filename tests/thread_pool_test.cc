@@ -60,6 +60,42 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolTest, ParallelForRangesCoversAllRanges) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelForRanges(hits.size(), 64, [&hits](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Two external threads racing ParallelForRanges on one pool: the first
+// takes the arena, the second must fall back to the queued path — both
+// loops must still cover every index exactly once.
+TEST(ThreadPoolTest, ConcurrentParallelForRangesCallers) {
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kN = 20000;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kN, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      for (int round = 0; round < 5; ++round) {
+        pool.ParallelForRanges(kN, 64, [&hits, c](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) ++hits[c][i];
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[c][i], 5) << "caller " << c << " index " << i;
+    }
+  }
+}
+
 TEST(ThreadPoolTest, DestructionWaitsForTasks) {
   std::atomic<int> counter{0};
   {
