@@ -47,12 +47,15 @@ Backend ParseBackend(const std::string& name, bool* ok) {
 namespace {
 
 // Applies the "auto" rules documented on SolveOptions.
-SolveOptions Normalize(const SolveOptions& in, size_t n) {
+SolveOptions Normalize(const SolveOptions& in) {
   SolveOptions o = in;
   if (o.k_prime == 0) o.k_prime = 4 * o.k;
   o.k_prime = std::max(o.k_prime, o.k);
+  // num_partitions is intentionally NOT clamped to n: a fleet larger than
+  // the input simply runs reducers on empty partitions (the partitioner
+  // returns empty tails), matching how a fixed cluster behaves on a small
+  // round.
   if (o.num_partitions == 0) o.num_partitions = 8;
-  o.num_partitions = std::min(o.num_partitions, n);
   if (o.num_workers == 0) o.num_workers = o.num_partitions;
   if (o.local_memory_budget == 0) {
     o.local_memory_budget = std::max<size_t>(4 * o.k_prime * o.k, 1024);
@@ -138,8 +141,11 @@ SolveResult SolveStreamingOrMr(const PointSet& points, const Metric& metric,
 
 SolveResult Solve(const Dataset& data, const Metric& metric,
                   const SolveOptions& options) {
-  DIVERSE_CHECK_GE(data.size(), 1u);
-  SolveOptions o = Normalize(options, data.size());
+  // Empty input: empty solution with zero diversity, on every backend (the
+  // algorithms themselves require n >= 1; the API normalizes the vacuous
+  // case so callers feeding live streams need no emptiness pre-check).
+  if (data.empty()) return {};
+  SolveOptions o = Normalize(options);
   Timer timer;
   SolveResult result;
   if (o.backend == Backend::kSequential) {
@@ -158,7 +164,7 @@ SolveResult Solve(const Dataset& data, const Metric& metric,
 
 SolveResult Solve(const PointSet& points, const Metric& metric,
                   const SolveOptions& options) {
-  DIVERSE_CHECK_GE(points.size(), 1u);
+  if (points.empty()) return {};  // see the Dataset overload
   Timer timer;
   SolveResult result;
   if (options.backend == Backend::kSequential) {
@@ -166,7 +172,7 @@ SolveResult Solve(const PointSet& points, const Metric& metric,
     // shim's one copy happens here, inside the reported wall time.
     result = Solve(Dataset::FromPoints(points), metric, options);
   } else {
-    SolveOptions o = Normalize(options, points.size());
+    SolveOptions o = Normalize(options);
     result = SolveStreamingOrMr(points, metric, o);
   }
   result.seconds = timer.Seconds();

@@ -70,7 +70,8 @@ struct SolveResult {
 };
 
 /// Solves diversity maximization on the rows of `data` with the configured
-/// backend. `metric` must outlive the call. Requires data.size() >= 1.
+/// backend. `metric` must outlive the call. An empty input yields an empty
+/// solution with zero diversity on every backend.
 /// Backends that need injective proxies reject remote-edge/remote-cycle
 /// inputs only where the paper's algorithm is undefined
 /// (kStreamingTwoPass and kMapReduceGeneralized); everything else accepts

@@ -1,5 +1,6 @@
 #include "core/dataset.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -33,6 +34,7 @@ void Dataset::AppendColumnar(const Point& p) {
   } else {
     DIVERSE_CHECK_EQ(p.dim(), dim_);
   }
+  col_occupancy_valid_ = false;
   RowRef r;
   if (p.is_sparse()) {
     const auto& idx = p.sparse_indices();
@@ -42,6 +44,10 @@ void Dataset::AppendColumnar(const Point& p) {
     r.sparse = 1;
     csr_indices_.insert(csr_indices_.end(), idx.begin(), idx.end());
     csr_values_.insert(csr_values_.end(), val.begin(), val.end());
+    ++sparse_stats_.rows;
+    sparse_stats_.total_nnz += val.size();
+    sparse_stats_.max_nnz = std::max<size_t>(sparse_stats_.max_nnz,
+                                             val.size());
   } else {
     const auto& val = p.dense_values();
     r.start = dense_.size();
@@ -72,6 +78,14 @@ void Dataset::Clear() {
   rows_.clear();
   norms_.clear();
   dim_ = 0;
+  sparse_stats_ = SparseStats();
+  col_occupancy_valid_ = false;
+}
+
+void Dataset::BuildColumnOccupancy() {
+  col_occupancy_.assign(dim_, 0);
+  for (uint32_t idx : csr_indices_) ++col_occupancy_[idx];
+  col_occupancy_valid_ = true;
 }
 
 size_t Dataset::MemoryBytes() const {
@@ -79,7 +93,8 @@ size_t Dataset::MemoryBytes() const {
                  csr_indices_.capacity() * sizeof(uint32_t) +
                  csr_values_.capacity() * sizeof(float) +
                  rows_.capacity() * sizeof(RowRef) +
-                 norms_.capacity() * sizeof(double);
+                 norms_.capacity() * sizeof(double) +
+                 col_occupancy_.capacity() * sizeof(uint32_t);
   for (const Point& p : points_) bytes += p.MemoryBytes();
   return bytes;
 }

@@ -88,6 +88,39 @@ class Dataset {
   /// Precomputed Euclidean norm of row i.
   double norm(size_t i) const { return norms_[i]; }
 
+  /// Aggregate statistics over the sparse rows, maintained incrementally by
+  /// Append/Assign. The sparse tile engine (core/metric.cc over
+  /// core/sparse_kernels.h) reads them to choose its probe strategy per
+  /// query block — decisions depend only on these totals and the block
+  /// content, never on scheduling, so tiled results stay deterministic.
+  struct SparseStats {
+    size_t rows = 0;       ///< rows stored in CSR form
+    size_t total_nnz = 0;  ///< stored coordinates across all sparse rows
+    size_t max_nnz = 0;    ///< largest single sparse row
+
+    /// Mean stored coordinates per sparse row (0 when there are none).
+    double AvgNnz() const {
+      return rows == 0 ? 0.0
+                       : static_cast<double>(total_nnz) /
+                             static_cast<double>(rows);
+    }
+  };
+  const SparseStats& sparse_stats() const { return sparse_stats_; }
+
+  /// Builds the optional transposed index mirror: a per-column occupancy
+  /// count over the sparse rows (column_occupancy()[c] = number of sparse
+  /// rows storing column c). O(total_nnz + dim); invalidated by
+  /// Append/Assign/Clear. Not safe to call concurrently with itself — build
+  /// once before sharing the dataset across threads.
+  void BuildColumnOccupancy();
+
+  /// The column occupancy mirror, or nullptr when not built (or stale).
+  /// Purely advisory: strategy pickers use it to estimate intersection
+  /// density; results are identical with or without it.
+  const std::vector<uint32_t>* column_occupancy() const {
+    return col_occupancy_valid_ ? &col_occupancy_ : nullptr;
+  }
+
   /// Appends one row. The first row fixes dim(); later rows must match it.
   void Append(const Point& p);
 
@@ -120,6 +153,9 @@ class Dataset {
   std::vector<float> csr_values_;
   std::vector<RowRef> rows_;
   std::vector<double> norms_;
+  SparseStats sparse_stats_;
+  std::vector<uint32_t> col_occupancy_;
+  bool col_occupancy_valid_ = false;
 };
 
 }  // namespace diverse

@@ -79,9 +79,14 @@ class Metric {
   /// callers write tiles directly into a larger row-major matrix).
   ///
   /// The concrete metrics compute dense x dense blocks with the multi-query
-  /// lane kernels of core/vector_kernels.h (bit-identical to the scalar
-  /// kernels, SIMD or not) and fall back to the exact scalar merge kernels
-  /// whenever either side of a pair is sparse. Evaluation count is exactly
+  /// lane kernels of core/vector_kernels.h and sparse x sparse blocks with
+  /// the blocked CSR intersection kernels of core/sparse_kernels.h (each
+  /// sparse query block is decoded once and every CSR row streamed a single
+  /// time against all lanes) — both bit-identical to the scalar kernels.
+  /// Mixed dense/sparse pairs run the exact per-pair scalar merge, as do
+  /// sparse blocks whose layout the strategy picker deems unprofitable
+  /// (the choice reads only the block and the Dataset's nnz statistics, so
+  /// it never changes results or determinism). Evaluation count is exactly
   /// nq * nr. The tile is computed on the calling thread: callers that want
   /// parallelism partition their work into tiles across the thread pool
   /// (see RelaxTilesAndArgFarthest / DistanceMatrix), which keeps nested

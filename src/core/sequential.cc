@@ -316,38 +316,69 @@ std::vector<size_t> LocalSearchRemoteClique(std::span<const Point> points,
   };
   recompute();
 
-  std::vector<double> dq(k);
-  // Evaluates candidate q and applies the best improving swap, if any.
-  auto try_swap = [&](size_t q) {
-    if (in_set[q]) return false;
-    double total = 0.0;
-    for (size_t a = 0; a < k; ++a) {
-      dq[a] = metric.Distance(points[q], points[current[a]]);
-      total += dq[a];
-    }
-    // Best member to evict: the one whose removal keeps the most of q's
-    // contribution while dropping the least of its own.
-    size_t best_a = k;
-    double best_delta = 1e-9;
-    for (size_t a = 0; a < k; ++a) {
-      double delta = (total - dq[a]) - contribution[a];
-      if (delta > best_delta) {
-        best_delta = delta;
-        best_a = a;
-      }
-    }
-    if (best_a == k) return false;
-    in_set[current[best_a]] = false;
-    in_set[q] = true;
-    current[best_a] = q;
-    recompute();
-    return true;
-  };
-
   if (scan == LocalSearchScan::kContinue) {
+    // Tiled candidate sweeps: the distances from a block of candidates to
+    // the whole current set are one Q x k DistanceTile instead of k scalar
+    // virtual calls per candidate, so sparse corpora run the blocked CSR
+    // kernels and dense data the lane kernels. The tile entries are
+    // bit-identical to the scalar Distance calls and the swap decisions
+    // consume them in the same candidate order, so the search trajectory is
+    // unchanged; after an accepted swap the remainder of the block is
+    // recomputed against the updated set (exactly what the scalar loop saw).
+    Dataset candidates = Dataset::FromPoints(points);
+    Dataset current_rows;
+    PointSet current_points;
+    auto rebuild_current = [&] {
+      current_points.clear();
+      for (size_t idx : current) current_points.push_back(points[idx]);
+      current_rows.Assign(current_points);
+    };
+    rebuild_current();
+    constexpr size_t kCandidateBlock = 128;
+    std::vector<double> tile(kCandidateBlock * k);
+    // Applies the best improving swap for candidate q given its distances
+    // to the current set (dq_row[a] = d(q, current[a])), if any.
+    auto try_swap = [&](size_t q, const double* dq_row) {
+      double total = 0.0;
+      for (size_t a = 0; a < k; ++a) total += dq_row[a];
+      // Best member to evict: the one whose removal keeps the most of q's
+      // contribution while dropping the least of its own.
+      size_t best_a = k;
+      double best_delta = 1e-9;
+      for (size_t a = 0; a < k; ++a) {
+        double delta = (total - dq_row[a]) - contribution[a];
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_a = a;
+        }
+      }
+      if (best_a == k) return false;
+      in_set[current[best_a]] = false;
+      in_set[q] = true;
+      current[best_a] = q;
+      recompute();
+      rebuild_current();
+      return true;
+    };
     for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
       bool improved = false;
-      for (size_t q = 0; q < n; ++q) improved |= try_swap(q);
+      for (size_t q0 = 0; q0 < n; q0 += kCandidateBlock) {
+        size_t qn = std::min(kCandidateBlock, n - q0);
+        metric.DistanceTile(candidates, q0, qn, current_rows, 0, k,
+                            tile.data(), k);
+        for (size_t qi = 0; qi < qn; ++qi) {
+          size_t q = q0 + qi;
+          if (in_set[q]) continue;
+          if (try_swap(q, tile.data() + qi * k)) {
+            improved = true;
+            if (qi + 1 < qn) {
+              metric.DistanceTile(candidates, q + 1, qn - qi - 1,
+                                  current_rows, 0, k,
+                                  tile.data() + (qi + 1) * k, k);
+            }
+          }
+        }
+      }
       if (!improved) break;
     }
     return current;

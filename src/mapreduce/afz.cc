@@ -16,6 +16,7 @@ namespace {
 PointSet AfzPartitionCoreset(const PointSet& part, const Metric& metric,
                              DiversityProblem problem, size_t k,
                              size_t max_sweeps) {
+  if (part.empty()) return {};  // empty reducer input (num_partitions > n)
   size_t kk = std::min(k, part.size());
   if (problem == DiversityProblem::kRemoteEdge) {
     return GmmCoreset(part, metric, kk).points;
@@ -40,7 +41,6 @@ MrResult RunAfz(const PointSet& input, const Metric& metric,
                 DiversityProblem problem, const AfzOptions& options) {
   DIVERSE_CHECK(problem == DiversityProblem::kRemoteEdge ||
                 problem == DiversityProblem::kRemoteClique);
-  DIVERSE_CHECK_GE(input.size(), options.num_partitions);
   Timer total;
   MrResult result;
   MapReduceSimulator sim(options.num_workers);

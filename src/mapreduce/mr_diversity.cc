@@ -35,6 +35,8 @@ void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result) {
 PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
                                               size_t input_size,
                                               Dataset* scratch) const {
+  // Empty reducer inputs (num_partitions > n) contribute an empty core-set.
+  if (part.empty()) return {};
   // Columnar re-layout into the reducer's scratch Dataset (array capacity
   // reused across partitions and rounds); the GMM sweeps inside the
   // core-set constructions then run on the batched kernels.
@@ -60,7 +62,6 @@ PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
 }
 
 MrResult MapReduceDiversity::Run(const PointSet& input) const {
-  DIVERSE_CHECK_GE(input.size(), options_.num_partitions);
   Timer total;
   MrResult result;
   MapReduceSimulator sim(options_.num_workers);
@@ -95,6 +96,7 @@ MrResult MapReduceDiversity::Run(const PointSet& input) const {
         }
         aggregate = Dataset(std::move(united));
         size_t k = std::min(options_.k, aggregate.size());
+        if (k == 0) return;  // empty input stream: empty solution
         std::vector<size_t> picked =
             SolveSequential(problem_, aggregate, *metric_, k);
         solution.reserve(picked.size());
@@ -113,7 +115,6 @@ MrResult MapReduceDiversity::Run(const PointSet& input) const {
 
 MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
   DIVERSE_CHECK(RequiresInjectiveProxies(problem_));
-  DIVERSE_CHECK_GE(input.size(), options_.num_partitions);
   Timer total;
   MrResult result;
   MapReduceSimulator sim(options_.num_workers);
@@ -130,6 +131,7 @@ MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
   sim.RunRoundWithSizes(
       "gen-coreset", parts.size(),
       [&](size_t i) {
+        if (parts[i].empty()) return;  // empty core-set, range stays 0
         size_t k_prime = std::min(options_.k_prime, parts[i].size());
         Dataset scratch = scratch_pool.Acquire();
         scratch.Assign(parts[i]);
@@ -151,6 +153,7 @@ MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
         GeneralizedCoreset merged = GeneralizedCoreset::Merge(gens);
         merged_size = merged.size();
         size_t k = std::min(options_.k, merged.ExpandedSize());
+        if (k == 0) return;  // empty input stream: empty selection
         selected = SolveSequentialGeneralized(problem_, merged, *metric_, k);
       },
       [&](size_t) { return merged_size; },
@@ -240,9 +243,10 @@ MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
   sim.RunRoundWithSizes(
       "solve", 1,
       [&](size_t) {
+        size_t k = std::min(options_.k, current.size());
+        if (k == 0) return;  // empty input stream: empty solution
         Dataset scratch = scratch_pool.Acquire();
         scratch.Assign(current);
-        size_t k = std::min(options_.k, current.size());
         std::vector<size_t> picked =
             SolveSequential(problem_, scratch, *metric_, k);
         for (size_t idx : picked) solution.push_back(current[idx]);

@@ -38,7 +38,9 @@ std::vector<PointSet> PartitionPoints(std::span<const Point> points,
                                       uint64_t seed, const Metric* metric) {
   size_t n = points.size();
   DIVERSE_CHECK_GE(num_parts, 1u);
-  DIVERSE_CHECK_LE(num_parts, n);
+  // num_parts may exceed n (including n == 0): the first n parts receive one
+  // point each and the tail parts stay empty. Callers distributing work to a
+  // fixed reducer fleet rely on always getting num_parts parts back.
 
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -54,7 +56,8 @@ std::vector<PointSet> PartitionPoints(std::span<const Point> points,
       break;
     }
     case PartitionStrategy::kAdversarial: {
-      if (!points.empty() && !points[0].is_sparse()) {
+      if (points.empty()) break;  // nothing to sort; no pivot to read
+      if (!points[0].is_sparse()) {
         std::sort(order.begin(), order.end(), [&points](size_t a, size_t b) {
           return LexLess(points[a], points[b]);
         });

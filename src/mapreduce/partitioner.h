@@ -38,7 +38,11 @@ std::string PartitionStrategyName(PartitionStrategy strategy);
 
 /// Splits `points` into `num_parts` subsets of (near-)equal size according
 /// to `strategy`. `metric` is needed only for kAdversarial on sparse points;
-/// it may be null otherwise. Requires 1 <= num_parts <= points.size().
+/// it may be null otherwise. Requires num_parts >= 1. When num_parts exceeds
+/// points.size() (including an empty input), exactly num_parts parts are
+/// still returned: the first points.size() hold one point each and the tail
+/// parts are empty — reducers tolerate empty inputs, so a fixed fleet size
+/// never crashes on a small round.
 std::vector<PointSet> PartitionPoints(std::span<const Point> points,
                                       size_t num_parts,
                                       PartitionStrategy strategy,

@@ -43,6 +43,11 @@ void SlidingWindowDiversity::SealBlock() {
   blocks_.push_back(std::move(block));
   while (blocks_.size() > max_blocks_) blocks_.pop_front();
   StartBlock();
+  // Sample the post-seal residency (sealed core-set retained, fresh
+  // engine): together with the per-Update samples this makes the high-water
+  // mark cover every steady state the summary passes through, including
+  // blocks that are evicted again before the next Query().
+  peak_stored_points_ = std::max(peak_stored_points_, StoredPoints());
 }
 
 void SlidingWindowDiversity::Update(const Point& p) {
@@ -53,6 +58,7 @@ void SlidingWindowDiversity::Update(const Point& p) {
   }
   ++running_count_;
   ++points_processed_;
+  peak_stored_points_ = std::max(peak_stored_points_, StoredPoints());
   if (running_count_ == options_.block) SealBlock();
 }
 
@@ -76,7 +82,9 @@ StreamingResult SlidingWindowDiversity::Query() const {
     }
   }
   result.coreset_size = united.size();
-  result.peak_memory_points = StoredPoints();
+  // Report the running high-water mark, not the instantaneous residency:
+  // blocks sealed and evicted between queries would otherwise be invisible.
+  result.peak_memory_points = std::max(peak_stored_points_, StoredPoints());
   if (united.empty()) return result;
 
   size_t k = std::min(options_.k, united.size());

@@ -73,6 +73,13 @@ class SlidingWindowDiversity {
   /// block engine (the memory figure bounded by (W/B) * coreset size).
   size_t StoredPoints() const;
 
+  /// High-water mark of StoredPoints() over the whole stream so far,
+  /// sampled after every Update and around every block seal. Unlike
+  /// StoredPoints() this is a true peak: blocks sealed and evicted between
+  /// queries still count toward it. Query() reports this figure as
+  /// peak_memory_points.
+  size_t PeakStoredPoints() const { return peak_stored_points_; }
+
  private:
   // One full block's frozen core-set.
   struct Block {
@@ -95,6 +102,7 @@ class SlidingWindowDiversity {
   std::unique_ptr<SmmExt> running_smm_ext_;
   size_t running_count_ = 0;
   size_t points_processed_ = 0;
+  size_t peak_stored_points_ = 0;
 };
 
 }  // namespace diverse

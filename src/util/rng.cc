@@ -62,7 +62,14 @@ uint64_t Rng::NextBounded(uint64_t bound) {
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
   DIVERSE_CHECK_LE(lo, hi);
   uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
-  return lo + static_cast<int64_t>(NextBounded(span));
+  // The full int64 range has 2^64 values: `span` wraps to 0, which is not a
+  // valid NextBounded bound. Every 64-bit draw is already uniform over that
+  // range, so reinterpret one directly.
+  if (span == 0) return static_cast<int64_t>(Next());
+  // Add in unsigned arithmetic: for spans wider than int64 the bounded draw
+  // itself exceeds INT64_MAX, so the signed addition would overflow; the
+  // unsigned wraparound yields exactly the intended two's-complement value.
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + NextBounded(span));
 }
 
 double Rng::NextGaussian() {

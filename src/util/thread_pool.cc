@@ -106,6 +106,13 @@ void ThreadPool::ParallelForRanges(
     ParallelForRangesQueued(n, grain, num_ranges, fn);
     return;
   }
+  // Save and restore rather than null on exit: with two ThreadPool
+  // instances, a nested loop on pool B from inside pool A's range body must
+  // not erase the record that this thread still owns A's arena — the
+  // tl_arena_owner == this guard at the top of this function relies on it
+  // to run A-nested loops inline instead of re-locking a mutex this thread
+  // already holds.
+  ThreadPool* prev_arena_owner = tl_arena_owner;
   tl_arena_owner = this;
   // Publish the loop and wake the workers.
   {
@@ -132,7 +139,7 @@ void ThreadPool::ParallelForRanges(
     arena_done_.wait(lock, [this] { return arena_workers_inside_ == 0; });
     arena_fn_ = nullptr;
   }
-  tl_arena_owner = nullptr;
+  tl_arena_owner = prev_arena_owner;
   arena_call_mu_.unlock();
 }
 

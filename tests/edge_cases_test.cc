@@ -9,7 +9,9 @@
 #include "core/exact.h"
 #include "core/metric.h"
 #include "core/sequential.h"
+#include "data/sparse_text.h"
 #include "data/synthetic.h"
+#include "streaming/sliding_window.h"
 #include "streaming/smm.h"
 
 namespace diverse {
@@ -183,6 +185,121 @@ TEST(EdgeCaseTest, ExactSolversOnDegenerateMatrices) {
   }
   EXPECT_DOUBLE_EQ(ExactOptimalRange(zero, 2), 0.0);
   EXPECT_DOUBLE_EQ(ExactOptimalFarness(zero, 2), 0.0);
+}
+
+// --- Sparse degenerate inputs across all backends --------------------------
+// Empty, singleton, and all-duplicate CSR inputs through the sequential,
+// streaming (SMM), sliding-window, and MapReduce paths. These drive the
+// sparse tile engine on its hardest blocks (empty unions, single-lane
+// blocks, identical supports) and — via a reducer fleet larger than the
+// input — the partitioner's empty-tail handling at the same time.
+
+Point SparseDoc() {
+  return Point::Sparse({2, 7, 19}, {1.0f, 2.0f, 1.0f}, 32);
+}
+
+PointSet AllDuplicateSparse(size_t n) { return PointSet(n, SparseDoc()); }
+
+TEST_P(EdgeCaseBackendTest, EmptyInputYieldsEmptySolution) {
+  CosineMetric metric;
+  SolveOptions opts;
+  opts.problem = DiversityProblem::kRemoteEdge;
+  opts.backend = GetParam();
+  opts.k = 3;
+  opts.k_prime = 6;
+  opts.num_partitions = 4;
+  SolveResult r = Solve(PointSet{}, metric, opts);
+  EXPECT_TRUE(r.solution.empty());
+  EXPECT_DOUBLE_EQ(r.diversity, 0.0);
+}
+
+TEST_P(EdgeCaseBackendTest, SingletonSparseInput) {
+  CosineMetric metric;
+  PointSet pts;
+  pts.push_back(SparseDoc());
+  SolveOptions opts;
+  opts.problem = DiversityProblem::kRemoteEdge;
+  opts.backend = GetParam();
+  opts.k = 3;
+  opts.k_prime = 6;
+  // More reducers than points: three of the four partitions are empty.
+  opts.num_partitions = 4;
+  SolveResult r = Solve(pts, metric, opts);
+  EXPECT_EQ(r.solution.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.diversity, 0.0);
+}
+
+TEST_P(EdgeCaseBackendTest, AllDuplicateSparsePoints) {
+  CosineMetric metric;
+  PointSet pts = AllDuplicateSparse(120);
+  SolveOptions opts;
+  opts.problem = DiversityProblem::kRemoteClique;
+  opts.backend = GetParam();
+  opts.k = 4;
+  opts.k_prime = 8;
+  opts.num_partitions = 3;
+  SolveResult r = Solve(pts, metric, opts);
+  EXPECT_EQ(r.solution.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.diversity, 0.0);
+}
+
+TEST(EdgeCaseTest, SmmSingletonSparseStream) {
+  CosineMetric metric;
+  Smm smm(&metric, 2, 4);
+  smm.Update(SparseDoc());
+  PointSet coreset = smm.Finalize();
+  ASSERT_EQ(coreset.size(), 1u);
+  EXPECT_TRUE(coreset[0] == SparseDoc());
+}
+
+TEST(EdgeCaseTest, SmmAllDuplicateSparseStream) {
+  CosineMetric metric;
+  SmmExt smm(&metric, 3, 6);
+  for (int i = 0; i < 200; ++i) smm.Update(SparseDoc());
+  EXPECT_GE(smm.Finalize().size(), 1u);
+}
+
+TEST(EdgeCaseTest, SlidingWindowSparseStream) {
+  CosineMetric metric;
+  SlidingWindowOptions o;
+  o.problem = DiversityProblem::kRemoteEdge;
+  o.k = 3;
+  o.k_prime = 6;
+  o.window = 40;
+  o.block = 10;
+  SlidingWindowDiversity sw(&metric, o);
+  SparseTextOptions sopts;
+  sopts.n = 150;
+  sopts.vocab_size = 100;
+  sopts.min_terms = 3;
+  sopts.max_terms = 15;
+  sopts.seed = 17;
+  for (const Point& p : GenerateSparseTextDataset(sopts)) sw.Update(p);
+  StreamingResult r = sw.Query();
+  EXPECT_EQ(r.solution.size(), 3u);
+  EXPECT_GT(r.diversity, 0.0);
+  EXPECT_GE(r.peak_memory_points, sw.StoredPoints());
+}
+
+TEST(EdgeCaseTest, SlidingWindowSingletonAndDuplicateSparse) {
+  CosineMetric metric;
+  SlidingWindowOptions o;
+  o.problem = DiversityProblem::kRemoteClique;
+  o.k = 2;
+  o.k_prime = 4;
+  o.window = 20;
+  o.block = 5;
+  SlidingWindowDiversity single(&metric, o);
+  single.Update(SparseDoc());
+  StreamingResult r1 = single.Query();
+  EXPECT_EQ(r1.solution.size(), 1u);
+  EXPECT_DOUBLE_EQ(r1.diversity, 0.0);
+
+  SlidingWindowDiversity dup(&metric, o);
+  for (int i = 0; i < 100; ++i) dup.Update(SparseDoc());
+  StreamingResult r2 = dup.Query();
+  EXPECT_GE(r2.solution.size(), 1u);
+  EXPECT_DOUBLE_EQ(r2.diversity, 0.0);
 }
 
 TEST(EdgeCaseTest, MapReduceSinglePartition) {

@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/metric.h"
+#include "data/sparse_text.h"
+#include "data/synthetic.h"
+#include "mapreduce/afz.h"
+#include "mapreduce/mr_diversity.h"
+
 namespace diverse {
 namespace {
 
@@ -51,6 +57,76 @@ TEST(MapReduceSimulatorTest, MoreReducersThanWorkers) {
 TEST(MapReduceSimulatorTest, WorkerCountExposed) {
   MapReduceSimulator sim(7);
   EXPECT_EQ(sim.num_workers(), 7u);
+}
+
+// A fixed reducer fleet larger than the input must run: the partitioner
+// hands the tail reducers empty partitions and their core-sets stay empty
+// (the former DIVERSE_CHECK_LE(num_parts, n) crash).
+TEST(MapReduceDriverTest, MorePartitionsThanPointsRunsEmptyReducers) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(5, 2, /*seed=*/1);
+  MrOptions o;
+  o.k = 3;
+  o.k_prime = 4;
+  o.num_partitions = 8;
+  o.num_workers = 4;
+  MapReduceDiversity driver(&m, DiversityProblem::kRemoteEdge, o);
+  MrResult r = driver.Run(pts);
+  EXPECT_EQ(r.solution.size(), 3u);
+  EXPECT_GT(r.diversity, 0.0);
+}
+
+TEST(MapReduceDriverTest, GeneralizedMorePartitionsThanPoints) {
+  CosineMetric m;
+  SparseTextOptions sopts;
+  sopts.n = 6;
+  sopts.vocab_size = 100;
+  sopts.min_terms = 3;
+  sopts.max_terms = 20;
+  sopts.seed = 2;
+  PointSet docs = GenerateSparseTextDataset(sopts);
+  MrOptions o;
+  o.k = 3;
+  o.k_prime = 5;
+  o.num_partitions = 10;
+  o.num_workers = 3;
+  MapReduceDiversity driver(&m, DiversityProblem::kRemoteClique, o);
+  MrResult r = driver.RunGeneralized(docs);
+  EXPECT_EQ(r.solution.size(), 3u);
+  EXPECT_GE(r.diversity, 0.0);
+}
+
+TEST(MapReduceDriverTest, AdversarialPartitionMorePartsThanSparsePoints) {
+  // Adversarial partitioning of sparse points reads a pivot; with more
+  // parts than points the pivot guard and the empty tails must both hold.
+  CosineMetric m;
+  SparseTextOptions sopts;
+  sopts.n = 3;
+  sopts.vocab_size = 50;
+  sopts.min_terms = 3;
+  sopts.max_terms = 15;
+  sopts.seed = 3;
+  PointSet docs = GenerateSparseTextDataset(sopts);
+  MrOptions o;
+  o.k = 2;
+  o.k_prime = 2;
+  o.num_partitions = 5;
+  o.num_workers = 2;
+  o.partition = PartitionStrategy::kAdversarial;
+  MapReduceDiversity driver(&m, DiversityProblem::kRemoteEdge, o);
+  MrResult r = driver.Run(docs);
+  EXPECT_EQ(r.solution.size(), 2u);
+}
+
+TEST(MapReduceDriverTest, AfzMorePartitionsThanPoints) {
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(4, 2, /*seed=*/4);
+  AfzOptions o;
+  o.k = 2;
+  o.num_partitions = 6;
+  o.num_workers = 2;
+  MrResult r = RunAfz(pts, m, DiversityProblem::kRemoteClique, o);
+  EXPECT_EQ(r.solution.size(), 2u);
 }
 
 }  // namespace

@@ -129,10 +129,51 @@ TEST(PartitionerTest, SinglePartIsWholeInput) {
   EXPECT_EQ(parts[0].size(), pts.size());
 }
 
-TEST(PartitionerDeathTest, MorePartsThanPointsRejected) {
+TEST(PartitionerTest, MorePartsThanPointsYieldsEmptyTails) {
   PointSet pts = GenerateUniformCube(3, 2, /*seed=*/7);
-  EXPECT_DEATH(PartitionPoints(pts, 4, PartitionStrategy::kChunked, 0),
-               "CHECK failed");
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kChunked, PartitionStrategy::kRandom,
+        PartitionStrategy::kAdversarial}) {
+    EuclideanMetric m;
+    auto parts = PartitionPoints(pts, 7, strategy, /*seed=*/0, &m);
+    ASSERT_EQ(parts.size(), 7u) << PartitionStrategyName(strategy);
+    size_t total = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      EXPECT_LE(parts[p].size(), 1u);
+      total += parts[p].size();
+      if (p >= pts.size()) {
+        EXPECT_TRUE(parts[p].empty()) << "tail part " << p;
+      }
+    }
+    EXPECT_EQ(total, pts.size());
+  }
+}
+
+TEST(PartitionerTest, EmptyInputYieldsAllEmptyParts) {
+  PointSet empty;
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kChunked, PartitionStrategy::kRandom,
+        PartitionStrategy::kAdversarial}) {
+    // No metric: the adversarial branch must not touch points[0] (or the
+    // metric) when there is nothing to sort.
+    auto parts = PartitionPoints(empty, 5, strategy, /*seed=*/3);
+    ASSERT_EQ(parts.size(), 5u) << PartitionStrategyName(strategy);
+    for (const PointSet& part : parts) EXPECT_TRUE(part.empty());
+  }
+}
+
+TEST(PartitionerTest, AdversarialSparseSingletonNeedsNoSort) {
+  // One sparse point, more parts than points: the pivot-distance branch
+  // runs on a single element and the tails stay empty.
+  CosineMetric m;
+  PointSet pts;
+  pts.push_back(Point::Sparse({1, 5}, {1.0f, 2.0f}, /*dim=*/10));
+  auto parts =
+      PartitionPoints(pts, 3, PartitionStrategy::kAdversarial, 0, &m);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 1u);
+  EXPECT_TRUE(parts[1].empty());
+  EXPECT_TRUE(parts[2].empty());
 }
 
 }  // namespace

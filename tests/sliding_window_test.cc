@@ -163,6 +163,54 @@ TEST(SlidingWindowTest, AutoBlockSizing) {
   EXPECT_EQ(sw.retained_blocks(), 8u);
 }
 
+TEST(SlidingWindowTest, PeakMemoryIsAHighWaterMarkNotCurrentResidency) {
+  // Phase 1 streams spread-out points (fat per-block core-sets); phase 2
+  // streams one duplicated point (minimal core-sets). After phase 2 expires
+  // every fat block, current residency is far below the peak — the reported
+  // peak_memory_points must remember the fat phase.
+  EuclideanMetric m;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteEdge, 4, 16, 400, 100));
+  Rng rng(7);
+  size_t external_max = 0;
+  for (int i = 0; i < 600; ++i) {
+    sw.Update(Point::Dense2(static_cast<float>(rng.NextDouble() * 1000.0),
+                            static_cast<float>(rng.NextDouble() * 1000.0)));
+    external_max = std::max(external_max, sw.StoredPoints());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    sw.Update(Point::Dense2(5.0f, 5.0f));
+  }
+  // The duplicate phase collapses residency (every block core-set degenerates
+  // to ~1 distinct location) while the peak was set during the spread phase.
+  EXPECT_GE(sw.PeakStoredPoints(), external_max);
+  EXPECT_LT(sw.StoredPoints(), external_max);
+  StreamingResult r = sw.Query();
+  EXPECT_EQ(r.peak_memory_points, sw.PeakStoredPoints());
+  EXPECT_GT(r.peak_memory_points, sw.StoredPoints());
+}
+
+TEST(SlidingWindowTest, PeakMemoryCoversEvictedBlocks) {
+  // Stream long enough that early blocks are sealed and evicted between
+  // queries: the peak must be monotone and at least every residency ever
+  // externally observed, even though Query() is only called at the end.
+  EuclideanMetric m;
+  SlidingWindowDiversity sw(
+      &m, Options(DiversityProblem::kRemoteClique, 3, 6, 200, 50));
+  Rng rng(8);
+  size_t external_max = 0;
+  size_t last_peak = 0;
+  for (int i = 0; i < 3000; ++i) {
+    sw.Update(Point::Dense2(static_cast<float>(rng.NextDouble()),
+                            static_cast<float>(rng.NextDouble())));
+    external_max = std::max(external_max, sw.StoredPoints());
+    EXPECT_GE(sw.PeakStoredPoints(), last_peak);  // monotone
+    last_peak = sw.PeakStoredPoints();
+  }
+  EXPECT_GE(sw.PeakStoredPoints(), external_max);
+  EXPECT_GE(sw.Query().peak_memory_points, external_max);
+}
+
 TEST(SlidingWindowDeathTest, WindowSmallerThanBlockRejected) {
   EuclideanMetric m;
   EXPECT_DEATH(SlidingWindowDiversity(

@@ -19,6 +19,8 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -385,6 +387,270 @@ TEST(TileKernelTest, GreedyMatchingRefillScansOnlyLiveRows) {
   // Same selection as the matrix reference.
   DistanceMatrix d(std::span<const Point>(pts), base);
   EXPECT_EQ(chosen, GreedyMatchingOnMatrix(d, 4));
+}
+
+// --- Sparse tile engine ----------------------------------------------------
+
+// Sparse corpora at three layouts that force different probe strategies:
+// a small vocabulary (direct-index slot table), a vocabulary beyond the
+// direct-index cap (merge-walk), and heavily skewed nnz ratios (galloping).
+// Results must be bit-identical to the scalar merge in every case.
+PointSet SparseCorpus(size_t n, uint32_t vocab, size_t min_terms,
+                      size_t max_terms, uint64_t seed) {
+  SparseTextOptions opts;
+  opts.n = n;
+  opts.vocab_size = vocab;
+  opts.min_terms = min_terms;
+  opts.max_terms = max_terms;
+  opts.seed = seed;
+  return GenerateSparseTextDataset(opts);
+}
+
+void ExpectSparseTileMatchesScalar(const PointSet& queries_pts,
+                                   const PointSet& data_pts,
+                                   const std::string& label) {
+  Dataset queries = Dataset::FromPoints(queries_pts);
+  Dataset data = Dataset::FromPoints(data_pts);
+  size_t nq = std::min<size_t>(13, queries.size());
+  size_t nr = data.size() > 2 ? data.size() - 2 : data.size();
+  size_t r_begin = data.size() - nr;
+  for (const auto& metric : AllMetrics()) {
+    std::vector<double> tile(nq * nr, -1.0);
+    metric->DistanceTile(queries, 0, nq, data, r_begin, nr, tile.data(), nr);
+    for (size_t q = 0; q < nq; ++q) {
+      for (size_t r = 0; r < nr; ++r) {
+        double want =
+            metric->Distance(queries.point(q), data.point(r_begin + r));
+        EXPECT_EQ(tile[q * nr + r], want)
+            << label << "/" << metric->Name() << " q=" << q << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(SparseTileTest, DirectIndexStrategyMatchesScalar) {
+  // vocab 150 << direct-index cap: the slot table path.
+  PointSet pts = SparseCorpus(120, 150, 5, 40, /*seed=*/201);
+  ExpectSparseTileMatchesScalar(pts, pts, "direct");
+}
+
+TEST(SparseTileTest, MergeWalkStrategyMatchesScalar) {
+  // vocab above kDirectIndexMaxDim (2^14): merge-walk probing.
+  PointSet pts = SparseCorpus(90, 40000, 5, 30, /*seed=*/202);
+  ExpectSparseTileMatchesScalar(pts, pts, "merge-walk");
+}
+
+TEST(SparseTileTest, GallopingSkewedNnzMatchesScalar) {
+  // Tiny queries (3-5 terms) against wide rows (300-600 terms) over a large
+  // vocabulary: the intersection walk gallops through the wider list; and
+  // the reverse orientation gallops the other way.
+  PointSet tiny = SparseCorpus(40, 30000, 3, 5, /*seed=*/203);
+  PointSet wide = SparseCorpus(60, 30000, 300, 600, /*seed=*/204);
+  ExpectSparseTileMatchesScalar(tiny, wide, "gallop-rows");
+  ExpectSparseTileMatchesScalar(wide, tiny, "gallop-queries");
+}
+
+TEST(SparseTileTest, StoredZeroValuesKeepSupportSemantics) {
+  // Sparse vectors may store explicit zeros; SupportJaccard counts them as
+  // support and the merge kernels emit their (zero) terms. The decoded
+  // presence bitmask must preserve that, not conflate stored zeros with
+  // absent coordinates.
+  PointSet pts;
+  pts.push_back(Point::Sparse({1, 4, 9}, {0.0f, 2.0f, 0.0f}, 16));
+  pts.push_back(Point::Sparse({1, 5, 9}, {3.0f, 0.0f, 1.0f}, 16));
+  pts.push_back(Point::Sparse({0, 4, 5}, {0.0f, 0.0f, 0.0f}, 16));
+  pts.push_back(Point::Sparse({2, 3, 7, 11}, {1.0f, 2.0f, 3.0f, 4.0f}, 16));
+  for (int i = 0; i < 8; ++i) {
+    pts.push_back(Point::Sparse({static_cast<uint32_t>(i), 12},
+                                {static_cast<float>(i), 1.0f}, 16));
+  }
+  ExpectSparseTileMatchesScalar(pts, pts, "stored-zeros");
+}
+
+TEST(SparseTileTest, EmptySparseRowsAndSingletons) {
+  PointSet pts;
+  pts.push_back(Point::Sparse({}, {}, 8));  // empty support
+  pts.push_back(Point::Sparse({3}, {2.0f}, 8));
+  pts.push_back(Point::Sparse({}, {}, 8));
+  pts.push_back(Point::Sparse({0, 7}, {1.0f, 1.0f}, 8));
+  for (int i = 0; i < 6; ++i) {
+    pts.push_back(Point::Sparse({static_cast<uint32_t>(i % 8)},
+                                {static_cast<float>(i + 1)}, 8));
+  }
+  ExpectSparseTileMatchesScalar(pts, pts, "empty-singleton");
+}
+
+TEST(SparseTileTest, ColumnOccupancyMirrorDoesNotChangeResults) {
+  PointSet pts = SparseCorpus(100, 300, 5, 60, /*seed=*/205);
+  Dataset plain = Dataset::FromPoints(pts);
+  Dataset mirrored = Dataset::FromPoints(pts);
+  mirrored.BuildColumnOccupancy();
+  ASSERT_NE(mirrored.column_occupancy(), nullptr);
+  ASSERT_EQ(plain.column_occupancy(), nullptr);
+  size_t nq = 11, nr = 90;
+  for (const auto& metric : AllMetrics()) {
+    std::vector<double> a(nq * nr), b(nq * nr);
+    metric->DistanceTile(plain, 2, nq, plain, 5, nr, a.data(), nr);
+    metric->DistanceTile(mirrored, 2, nq, mirrored, 5, nr, b.data(), nr);
+    EXPECT_EQ(a, b) << metric->Name();
+  }
+}
+
+TEST(SparseTileTest, SparseStatsTrackAppendsAndClears) {
+  Dataset d;
+  d.Append(Point::Sparse({1, 3}, {1.0f, 2.0f}, 10));
+  d.Append(Point::Dense({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  d.Append(Point::Sparse({0, 2, 4, 6}, {1, 1, 1, 1}, 10));
+  EXPECT_EQ(d.sparse_stats().rows, 2u);
+  EXPECT_EQ(d.sparse_stats().total_nnz, 6u);
+  EXPECT_EQ(d.sparse_stats().max_nnz, 4u);
+  EXPECT_DOUBLE_EQ(d.sparse_stats().AvgNnz(), 3.0);
+  d.BuildColumnOccupancy();
+  ASSERT_NE(d.column_occupancy(), nullptr);
+  EXPECT_EQ((*d.column_occupancy())[2], 1u);
+  d.Append(Point::Sparse({2}, {5.0f}, 10));
+  EXPECT_EQ(d.column_occupancy(), nullptr);  // stale mirror invalidated
+  d.Clear();
+  EXPECT_EQ(d.sparse_stats().rows, 0u);
+  EXPECT_EQ(d.sparse_stats().total_nnz, 0u);
+}
+
+TEST(SparseTileTest, CountingMetricCountsSparseTilesExactly) {
+  PointSet pts = SparseCorpus(80, 200, 5, 40, /*seed=*/206);
+  Dataset data = Dataset::FromPoints(pts);
+  CosineMetric base;
+  CountingMetric counting(&base);
+  std::vector<double> tile(9 * 33);
+  counting.DistanceTile(data, 4, 9, data, 10, 33, tile.data(), 33);
+  EXPECT_EQ(counting.count(), 9u * 33u);
+}
+
+TEST(SparseTileTest, SparseRelaxTilesDeterministicAtAnyThreadCount) {
+  PointSet pts = SparseCorpus(6000, 500, 5, 60, /*seed=*/207);
+  Dataset data = Dataset::FromPoints(pts);
+  Dataset center_rows;
+  for (size_t c = 0; c < 24; ++c) center_rows.Append(data.point(c * 241));
+  for (const auto& metric : AllMetrics()) {
+    std::vector<double> base_dist;
+    std::vector<size_t> base_assignment;
+    size_t base_far = 0;
+    for (size_t threads : {1u, 2u, 8u}) {
+      SetGlobalThreadPoolSize(threads);
+      std::vector<double> dist(data.size(),
+                               std::numeric_limits<double>::infinity());
+      std::vector<size_t> assignment(data.size(), 0);
+      size_t far = RelaxTilesAndArgFarthest(*metric, center_rows, 0,
+                                            center_rows.size(), 0, data,
+                                            dist, assignment);
+      if (threads == 1u) {
+        base_dist = std::move(dist);
+        base_assignment = std::move(assignment);
+        base_far = far;
+      } else {
+        EXPECT_EQ(far, base_far) << metric->Name() << "@" << threads;
+        EXPECT_EQ(dist, base_dist) << metric->Name() << "@" << threads;
+        EXPECT_EQ(assignment, base_assignment)
+            << metric->Name() << "@" << threads;
+      }
+    }
+    SetGlobalThreadPoolSize(1);
+  }
+}
+
+TEST(SparseTileTest, MixedTileThreadCountDeterminism) {
+  PointSet pts = MixedPoints(900, 14, /*seed=*/208);
+  Dataset data = Dataset::FromPoints(pts);
+  for (const auto& metric : AllMetrics()) {
+    std::vector<std::vector<double>> results;
+    for (size_t threads : {1u, 2u, 8u}) {
+      SetGlobalThreadPoolSize(threads);
+      DistanceMatrix d(data, *metric);
+      std::vector<double> flat;
+      flat.reserve(data.size() * data.size());
+      for (size_t i = 0; i < data.size(); ++i) {
+        std::span<const double> row = d.row(i);
+        flat.insert(flat.end(), row.begin(), row.end());
+      }
+      results.push_back(std::move(flat));
+    }
+    SetGlobalThreadPoolSize(1);
+    EXPECT_EQ(results[0], results[1]) << metric->Name();
+    EXPECT_EQ(results[0], results[2]) << metric->Name();
+  }
+}
+
+// The kContinue local search now consumes distance tiles for its candidate
+// sweeps; its trajectory (and thus the selected set) must be identical to
+// the scalar reference loop, dense and sparse alike.
+std::vector<size_t> ScalarLocalSearchReference(std::span<const Point> points,
+                                               const Metric& metric,
+                                               std::vector<size_t> current,
+                                               size_t max_sweeps) {
+  size_t n = points.size();
+  size_t k = current.size();
+  std::vector<bool> in_set(n, false);
+  for (size_t idx : current) in_set[idx] = true;
+  std::vector<double> contribution(k, 0.0);
+  auto recompute = [&] {
+    for (size_t a = 0; a < k; ++a) {
+      double s = 0.0;
+      for (size_t b = 0; b < k; ++b) {
+        if (a != b) {
+          s += metric.Distance(points[current[a]], points[current[b]]);
+        }
+      }
+      contribution[a] = s;
+    }
+  };
+  recompute();
+  std::vector<double> dq(k);
+  auto try_swap = [&](size_t q) {
+    if (in_set[q]) return false;
+    double total = 0.0;
+    for (size_t a = 0; a < k; ++a) {
+      dq[a] = metric.Distance(points[q], points[current[a]]);
+      total += dq[a];
+    }
+    size_t best_a = k;
+    double best_delta = 1e-9;
+    for (size_t a = 0; a < k; ++a) {
+      double delta = (total - dq[a]) - contribution[a];
+      if (delta > best_delta) {
+        best_delta = delta;
+        best_a = a;
+      }
+    }
+    if (best_a == k) return false;
+    in_set[current[best_a]] = false;
+    in_set[q] = true;
+    current[best_a] = q;
+    recompute();
+    return true;
+  };
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool improved = false;
+    for (size_t q = 0; q < n; ++q) improved |= try_swap(q);
+    if (!improved) break;
+  }
+  return current;
+}
+
+TEST(SparseTileTest, LocalSearchContinueMatchesScalarReference) {
+  std::vector<size_t> initial = {0, 1, 2, 3, 4};
+  {
+    EuclideanMetric m;
+    PointSet pts = DensePoints(300, 4, /*seed=*/209);
+    EXPECT_EQ(LocalSearchRemoteClique(pts, m, initial, 16,
+                                      LocalSearchScan::kContinue),
+              ScalarLocalSearchReference(pts, m, initial, 16));
+  }
+  {
+    CosineMetric m;
+    PointSet docs = SparseCorpus(250, 200, 5, 40, /*seed=*/210);
+    EXPECT_EQ(LocalSearchRemoteClique(docs, m, initial, 16,
+                                      LocalSearchScan::kContinue),
+              ScalarLocalSearchReference(docs, m, initial, 16));
+  }
 }
 
 TEST(TileKernelTest, SimdFlagReport) {
