@@ -7,17 +7,22 @@
 //
 // Besides the usual console output, the binary writes a machine-readable
 // BENCH_micro.json (override the path with the BENCH_MICRO_JSON environment
-// variable): one record {op, n, dim, threads, metric, ns_per_op} per
-// benchmark, so the perf trajectory can be tracked across commits.
-// Benchmarks report n / dim / threads through counters of those names and
-// the metric through the label.
+// variable): a {"meta": ..., "entries": [...]} document whose meta block
+// records the run configuration (git sha, hardware thread count, AVX2
+// dispatch state, fp32 screening mode) so trajectories are comparable
+// across commits and machines, and whose entries each carry
+// {op, n, dim, threads, metric, ns_per_op, rescue_pct}. Benchmarks report
+// n / dim / threads / rescue_pct through counters of those names and the
+// metric through the label.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/coreset.h"
@@ -27,6 +32,7 @@
 #include "core/gmm.h"
 #include "core/kcenter.h"
 #include "core/metric.h"
+#include "core/screen.h"
 #include "core/sequential.h"
 #include "core/vector_kernels.h"
 #include "data/sparse_text.h"
@@ -495,6 +501,262 @@ void BM_SparseTileEuclideanWideVocabPerPair(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseTileEuclideanWideVocabPerPair)->Args({4096, 120});
 
+// --- Screened (fp32 screen-then-certify) argmax sweeps -------------------
+// The acceptance workload of the mixed-precision engine: the k-center
+// assignment argmax of k=64 centers over n=50k rows, screened
+// (ScreenedRelaxTilesAndArgFarthest: fp32 tiles + certified-band exact
+// rescues) against the PR 2 exact tile path on the same inputs. Setup
+// verifies bit-identity of dist / assignment / argmax between the two paths
+// (SkipWithError drops the entry from BENCH_micro.json on mismatch, which
+// the CI smoke job treats as a failure) and reports the rescue rate —
+// exact re-evaluations as a percentage of screened evaluations — through
+// the rescue_pct counter.
+
+constexpr size_t kScreenN = 50000;
+constexpr size_t kScreenK = 64;
+
+struct ScreenedSweepSetup {
+  Dataset data;
+  Dataset center_rows;
+  std::vector<double> dist;
+  std::vector<size_t> assignment;
+
+  // Returns false (after SkipWithError) if screened != exact.
+  bool VerifyAndReportRescue(benchmark::State& state, const Metric& metric) {
+    std::vector<double> exact_dist(data.size(),
+                                   std::numeric_limits<double>::infinity());
+    std::vector<size_t> exact_assign(data.size(), 0);
+    size_t exact_far;
+    {
+      ScopedScreening off(false);
+      exact_far = RelaxTilesAndArgFarthest(metric, center_rows, 0,
+                                           center_rows.size(), 0, data,
+                                           exact_dist, exact_assign);
+    }
+    CountingMetric counting(&metric);
+    std::vector<double> sdist(data.size(),
+                              std::numeric_limits<double>::infinity());
+    std::vector<size_t> sassign(data.size(), 0);
+    size_t far = ScreenedRelaxTilesAndArgFarthest(
+        counting, center_rows, 0, center_rows.size(), 0, data, sdist,
+        sassign);
+    if (far != exact_far || sdist != exact_dist || sassign != exact_assign) {
+      state.SkipWithError("screened sweep diverged from exact sweep");
+      return false;
+    }
+    state.counters["rescue_pct"] =
+        counting.screened_evals() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(counting.exact_evals()) /
+                  static_cast<double>(counting.screened_evals());
+    return true;
+  }
+};
+
+ScreenedSweepSetup MakeDenseScreenedSweep(size_t dim) {
+  ScreenedSweepSetup s;
+  s.data = Dataset::FromPoints(GenerateUniformCube(kScreenN, dim, 13));
+  EuclideanMetric m;
+  for (size_t c : Gmm(s.data, m, kScreenK).selected) {
+    s.center_rows.Append(s.data.point(c));
+  }
+  s.assignment.resize(kScreenN);
+  return s;
+}
+
+void BM_ScreenedSweepDense(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t dim = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeDenseScreenedSweep(dim);
+  if (!s.VerifyAndReportRescue(state, m)) return;
+  for (auto _ : state) {
+    s.dist.assign(kScreenN, std::numeric_limits<double>::infinity());
+    size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+        m, s.center_rows, 0, s.center_rows.size(), 0, s.data, s.dist,
+        s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScreenN * kScreenK));
+  state.counters["n"] = static_cast<double>(kScreenN);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_ScreenedSweepDense)->Arg(3)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// The PR 2 exact tile argmax on the identical inputs — the denominator of
+// the screened speedup.
+void BM_ScreenedSweepDenseExact(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t dim = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeDenseScreenedSweep(dim);
+  ScopedScreening off(false);
+  for (auto _ : state) {
+    s.dist.assign(kScreenN, std::numeric_limits<double>::infinity());
+    size_t farthest =
+        RelaxTilesAndArgFarthest(m, s.center_rows, 0, s.center_rows.size(), 0,
+                                 s.data, s.dist, s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScreenN * kScreenK));
+  state.counters["n"] = static_cast<double>(kScreenN);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_ScreenedSweepDenseExact)->Arg(3)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Dense angular sweeps exercise the fp32 dot lanes plus the certified
+// polynomial acos (the exact path pays a libm acos per pair).
+ScreenedSweepSetup MakeDenseCosineScreenedSweep(size_t dim) {
+  ScreenedSweepSetup s;
+  s.data = Dataset::FromPoints(GenerateUniformCube(kScreenN, dim, 15));
+  CosineMetric m;
+  for (size_t c : Gmm(s.data, m, kScreenK).selected) {
+    s.center_rows.Append(s.data.point(c));
+  }
+  s.assignment.resize(kScreenN);
+  return s;
+}
+
+void BM_ScreenedSweepDenseCosine(benchmark::State& state) {
+  CosineMetric m;
+  size_t dim = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeDenseCosineScreenedSweep(dim);
+  if (!s.VerifyAndReportRescue(state, m)) return;
+  for (auto _ : state) {
+    s.dist.assign(kScreenN, std::numeric_limits<double>::infinity());
+    size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+        m, s.center_rows, 0, s.center_rows.size(), 0, s.data, s.dist,
+        s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScreenN * kScreenK));
+  state.counters["n"] = static_cast<double>(kScreenN);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["threads"] = 1;
+  state.SetLabel("cosine");
+}
+BENCHMARK(BM_ScreenedSweepDenseCosine)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScreenedSweepDenseCosineExact(benchmark::State& state) {
+  CosineMetric m;
+  size_t dim = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeDenseCosineScreenedSweep(dim);
+  ScopedScreening off(false);
+  for (auto _ : state) {
+    s.dist.assign(kScreenN, std::numeric_limits<double>::infinity());
+    size_t farthest =
+        RelaxTilesAndArgFarthest(m, s.center_rows, 0, s.center_rows.size(), 0,
+                                 s.data, s.dist, s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScreenN * kScreenK));
+  state.counters["n"] = static_cast<double>(kScreenN);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["threads"] = 1;
+  state.SetLabel("cosine");
+}
+BENCHMARK(BM_ScreenedSweepDenseCosineExact)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Sparse screened sweeps run the fp32 union-walk engine (Euclidean; the
+// angular sparse tile is gated unprofitable — see
+// CosineMetric::ScreeningProfitableFor).
+ScreenedSweepSetup MakeSparseScreenedSweep(size_t n) {
+  ScreenedSweepSetup s;
+  SparseTextOptions opts;
+  opts.n = n;
+  opts.vocab_size = 5000;
+  opts.min_terms = 60;
+  opts.max_terms = 120;
+  opts.seed = 14;
+  s.data = Dataset::FromPoints(GenerateSparseTextDataset(opts));
+  EuclideanMetric m;
+  for (size_t c : Gmm(s.data, m, kScreenK).selected) {
+    s.center_rows.Append(s.data.point(c));
+  }
+  s.assignment.resize(n);
+  return s;
+}
+
+void BM_ScreenedSweepSparseEuclidean(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeSparseScreenedSweep(n);
+  if (!s.VerifyAndReportRescue(state, m)) return;
+  for (auto _ : state) {
+    s.dist.assign(n, std::numeric_limits<double>::infinity());
+    size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+        m, s.center_rows, 0, s.center_rows.size(), 0, s.data, s.dist,
+        s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * kScreenK));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 5000;
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_ScreenedSweepSparseEuclidean)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScreenedSweepSparseEuclideanExact(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeSparseScreenedSweep(n);
+  ScopedScreening off(false);
+  for (auto _ : state) {
+    s.dist.assign(n, std::numeric_limits<double>::infinity());
+    size_t farthest =
+        RelaxTilesAndArgFarthest(m, s.center_rows, 0, s.center_rows.size(), 0,
+                                 s.data, s.dist, s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * kScreenK));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 5000;
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_ScreenedSweepSparseEuclideanExact)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// Screened GMM end to end at dim 16 (single-query sweeps below ~dim 8 are
+// gated back to the exact path — too little per-row work to amortize the
+// screen; dim 3 therefore ties by construction).
+void BM_ScreenedGmm50k(benchmark::State& state) {
+  EuclideanMetric m;
+  bool screening = state.range(0) != 0;
+  SetGlobalThreadPoolSize(1);
+  Dataset data = Dataset::FromPoints(GenerateUniformCube(50000, 16, 8));
+  ScopedScreening guard(screening);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gmm(data, m, 32));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 50000);
+  state.counters["n"] = 50000;
+  state.counters["dim"] = 16;
+  state.counters["threads"] = 1;
+  state.SetLabel(screening ? "euclidean/screened" : "euclidean/exact");
+}
+BENCHMARK(BM_ScreenedGmm50k)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 // ParallelForRanges dispatch overhead: a near-empty body over a mid-size
 // index space, so the arena's no-allocation dispatch dominates the timing.
 void BM_ParallelForRangesDispatch(benchmark::State& state) {
@@ -521,8 +783,9 @@ BENCHMARK(BM_ParallelForRangesDispatch)->Arg(2)->Arg(4);
 
 namespace {
 
-// Console reporter that also collects one {op, n, dim, metric, ns_per_op}
-// record per iteration run and writes them as BENCH_micro.json.
+// Console reporter that also collects one {op, n, dim, metric, ns_per_op,
+// rescue_pct} record per iteration run and writes them — under a meta block
+// describing the run configuration — as BENCH_micro.json.
 class JsonTeeReporter : public benchmark::ConsoleReporter {
  public:
   struct Entry {
@@ -532,6 +795,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     double threads = 0.0;
     std::string metric;
     double ns_per_op = 0.0;
+    double rescue_pct = -1.0;  // < 0: benchmark did not screen
   };
 
   // google-benchmark < 1.8 reports failures via Run::error_occurred; 1.8
@@ -562,6 +826,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       if (dim_it != run.counters.end()) e.dim = dim_it->second.value;
       auto t_it = run.counters.find("threads");
       if (t_it != run.counters.end()) e.threads = t_it->second.value;
+      auto rescue_it = run.counters.find("rescue_pct");
+      if (rescue_it != run.counters.end()) e.rescue_pct = rescue_it->second.value;
       e.metric = run.report_label;
       if (run.iterations > 0) {
         e.ns_per_op =
@@ -575,23 +841,51 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
   bool WriteJson(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "[\n");
+    std::fprintf(f, "{\n");
+    std::fprintf(
+        f,
+        "  \"meta\": {\"git_sha\": \"%s\", \"hw_threads\": %u, "
+        "\"avx2\": %s, \"screening\": %s},\n",
+        Escaped(GitSha()).c_str(), std::thread::hardware_concurrency(),
+        diverse::kernels::TileSimdEnabled() ? "true" : "false",
+        diverse::ScreeningEnabled() ? "true" : "false");
+    std::fprintf(f, "  \"entries\": [\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       std::fprintf(f,
-                   "  {\"op\": \"%s\", \"n\": %.0f, \"dim\": %.0f, "
+                   "    {\"op\": \"%s\", \"n\": %.0f, \"dim\": %.0f, "
                    "\"threads\": %.0f, \"metric\": \"%s\", "
-                   "\"ns_per_op\": %.3f}%s\n",
+                   "\"ns_per_op\": %.3f",
                    Escaped(e.op).c_str(), e.n, e.dim, e.threads,
-                   Escaped(e.metric).c_str(), e.ns_per_op,
-                   i + 1 < entries_.size() ? "," : "");
+                   Escaped(e.metric).c_str(), e.ns_per_op);
+      if (e.rescue_pct >= 0.0) {
+        std::fprintf(f, ", \"rescue_pct\": %.3f", e.rescue_pct);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     return true;
   }
 
  private:
+  // Commit of the benchmarked tree: GITHUB_SHA in CI, `git rev-parse` when
+  // run from a work tree, "unknown" otherwise.
+  static std::string GitSha() {
+    const char* env = std::getenv("GITHUB_SHA");
+    if (env != nullptr && env[0] != '\0') return env;
+    std::string sha;
+    if (std::FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+      char buf[64];
+      if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+        buf[std::strcspn(buf, "\r\n")] = '\0';
+        sha = buf;
+      }
+      pclose(p);
+    }
+    return sha.empty() ? "unknown" : sha;
+  }
+
   static std::string Escaped(const std::string& s) {
     std::string out;
     out.reserve(s.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/screen.h"
 #include "core/sequential.h"
 #include "mapreduce/mr_diversity.h"
 #include "streaming/streaming_diversity.h"
@@ -146,6 +147,9 @@ SolveResult Solve(const Dataset& data, const Metric& metric,
   // case so callers feeding live streams need no emptiness pre-check).
   if (data.empty()) return {};
   SolveOptions o = Normalize(options);
+  // The flag can only disable screening for this call; when true the
+  // process-global default (on unless SetScreeningEnabled(false)) applies.
+  ScopedScreening screening_guard(o.screening && ScreeningEnabled());
   Timer timer;
   SolveResult result;
   if (o.backend == Backend::kSequential) {
@@ -173,6 +177,7 @@ SolveResult Solve(const PointSet& points, const Metric& metric,
     result = Solve(Dataset::FromPoints(points), metric, options);
   } else {
     SolveOptions o = Normalize(options);
+    ScopedScreening screening_guard(o.screening && ScreeningEnabled());
     result = SolveStreamingOrMr(points, metric, o);
   }
   result.seconds = timer.Seconds();

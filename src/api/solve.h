@@ -52,6 +52,13 @@ struct SolveOptions {
   /// MapReduce recursive backend: local memory budget in points.
   /// 0 means "auto": max(4 k' k, 1024).
   size_t local_memory_budget = 0;
+  /// Mixed-precision screening of the distance-dominated loops
+  /// (core/screen.h): fp32 sweeps with certified error bounds decide which
+  /// candidates need exact double evaluation. Results are bit-identical
+  /// either way — set false to force the exact-only path (A/B benchmarking,
+  /// escape hatch). The flag scopes a process-global toggle for the
+  /// duration of the call.
+  bool screening = true;
   uint64_t seed = 1;
 };
 

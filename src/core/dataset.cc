@@ -1,6 +1,7 @@
 #include "core/dataset.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "util/check.h"
@@ -35,6 +36,7 @@ void Dataset::AppendColumnar(const Point& p) {
     DIVERSE_CHECK_EQ(p.dim(), dim_);
   }
   col_occupancy_valid_ = false;
+  screen_stats_valid_ = false;
   RowRef r;
   if (p.is_sparse()) {
     const auto& idx = p.sparse_indices();
@@ -80,6 +82,21 @@ void Dataset::Clear() {
   dim_ = 0;
   sparse_stats_ = SparseStats();
   col_occupancy_valid_ = false;
+  screen_stats_valid_ = false;
+}
+
+const Dataset::ScreenStats& Dataset::screen_stats() const {
+  if (!screen_stats_valid_) {
+    ScreenStats s;
+    s.min_positive_norm = std::numeric_limits<double>::infinity();
+    for (double n : norms_) {
+      if (n > 0.0) s.min_positive_norm = std::min(s.min_positive_norm, n);
+      s.max_norm = std::max(s.max_norm, n);
+    }
+    screen_stats_ = s;
+    screen_stats_valid_ = true;
+  }
+  return screen_stats_;
 }
 
 void Dataset::BuildColumnOccupancy() {

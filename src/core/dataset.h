@@ -121,6 +121,29 @@ class Dataset {
     return col_occupancy_valid_ ? &col_occupancy_ : nullptr;
   }
 
+  /// Aggregate inputs to the certified fp32 screening bounds
+  /// (Metric::ScreenErrorBound), built lazily on first use and cached until
+  /// the next Append/Assign/Clear. The fp32 "shadow columns" of the
+  /// screening engine are the primary SoA/CSR arrays themselves (this class
+  /// has stored fp32 coordinates since PR 1), so the only cached screening
+  /// state is these norm statistics. Like BuildColumnOccupancy, the lazy
+  /// build is not safe to race with itself: the screened sweeps
+  /// (core/screen.h) touch it once on the calling thread before fanning
+  /// out, so only concurrent *first* uses from different threads on one
+  /// dataset would race — build it eagerly first in that scenario.
+  struct ScreenStats {
+    /// Smallest strictly positive row norm (+inf when every row has norm
+    /// 0); the cosine screening bound divides by it.
+    double min_positive_norm = 0.0;
+    /// Largest row norm.
+    double max_norm = 0.0;
+  };
+  const ScreenStats& screen_stats() const;
+
+  /// True if any row uses the dense representation (the screening bounds
+  /// use dim() as the worst-case term count for such rows).
+  bool has_dense_rows() const { return rows_.size() > sparse_stats_.rows; }
+
   /// Appends one row. The first row fixes dim(); later rows must match it.
   void Append(const Point& p);
 
@@ -156,6 +179,10 @@ class Dataset {
   SparseStats sparse_stats_;
   std::vector<uint32_t> col_occupancy_;
   bool col_occupancy_valid_ = false;
+  // Lazy screening-bound cache (see screen_stats()); mutable so the
+  // const accessor can build it on first use.
+  mutable ScreenStats screen_stats_;
+  mutable bool screen_stats_valid_ = false;
 };
 
 }  // namespace diverse

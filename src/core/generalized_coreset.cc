@@ -5,6 +5,7 @@
 
 #include "core/dataset.h"
 #include "core/gmm.h"
+#include "core/screen.h"
 #include "core/vector_kernels.h"
 #include "util/check.h"
 
@@ -101,6 +102,14 @@ GeneralizedCoreset GmmGenCoreset(const Dataset& data, const Metric& metric,
 
   GeneralizedCoreset out;
   for (size_t j = 0; j < k_prime; ++j) {
+    // Duplicate inputs can leave a later-selected center with an empty
+    // cluster: once every point is at distance 0 from the selection, GMM
+    // picks centers that tie to an earlier one, and their points assign to
+    // the earliest copy. Such a center supplies no delegates (|C_i| = 0) —
+    // omit it instead of tripping the multiplicity >= 1 invariant. The
+    // remaining multiplicities still sum to >= min(n, k) because every
+    // point belongs to exactly one cluster.
+    if (cluster_size[j] == 0) continue;
     out.Add(data.point(gmm.selected[j]), std::min(cluster_size[j], k));
   }
   return out;
@@ -151,16 +160,24 @@ std::optional<PointSet> Instantiate(const GeneralizedCoreset& coreset,
   // and then serves the chunk's entries in order. Distances are independent
   // of the used[] bookkeeping, and candidates are filtered against used[] at
   // consumption time, so the chosen delegates are identical to the
-  // scan-per-entry loop this replaces.
+  // scan-per-entry loop this replaces. When screening is active, the tiles
+  // are fp32 and only rows whose certified lower bound reaches delta are
+  // re-evaluated exactly (candidates need exact distances — the nearest-
+  // first serving order sorts on them) — most of a delta-ball query's
+  // complement is skipped after the float pass.
   std::vector<size_t> pending;
   for (size_t e = 0; e < entries.size(); ++e) {
     if (needed[e] > 0) pending.push_back(e);
   }
   if (!pending.empty()) {
     Dataset data = Dataset::FromPoints(points);
+    const bool screened = UseScreening(metric);
     constexpr size_t kChunk = kernels::kTileLanes;
     constexpr size_t kRowBlock = 256;
     std::vector<double> tile(kChunk * kRowBlock);
+    std::vector<float> ftile(screened ? kChunk * kRowBlock : 0);
+    std::vector<uint32_t> band;   // screened in-band rows, batched rescue
+    std::vector<double> band_d;
     std::vector<std::vector<std::pair<double, size_t>>> candidates(kChunk);
     for (size_t c0 = 0; c0 < pending.size(); c0 += kChunk) {
       size_t cn = std::min(kChunk, pending.size() - c0);
@@ -169,8 +186,36 @@ std::optional<PointSet> Instantiate(const GeneralizedCoreset& coreset,
         queries.Append(entries[pending[c0 + q]].point);
         candidates[q].clear();
       }
+      bool chunk_screened =
+          screened && metric.ScreeningProfitableFor(queries, data);
+      ScreenBound bound;
+      if (chunk_screened) bound = metric.ScreenErrorBound(queries, data);
       for (size_t rb = 0; rb < data.size(); rb += kRowBlock) {
         size_t rn = std::min(kRowBlock, data.size() - rb);
+        if (chunk_screened) {
+          metric.DistanceTileF32(queries, 0, cn, data, rb, rn, ftile.data(),
+                                 rn);
+          // Gather each query's in-band rows and resolve them with one
+          // batched exact call (the same rescue shape as the screened
+          // relax sweeps — for a delta-ball most survivors are genuine
+          // candidates, so the batch is the common case, not the tail).
+          for (size_t q = 0; q < cn; ++q) {
+            band.clear();
+            for (size_t r = 0; r < rn; ++r) {
+              if (ScreenedLower(ftile[q * rn + r], bound) > delta) continue;
+              band.push_back(static_cast<uint32_t>(rb + r));
+            }
+            if (band.empty()) continue;
+            band_d.resize(band.size());
+            metric.DistanceRowsMany(queries, q, data, band, band_d.data());
+            for (size_t t = 0; t < band.size(); ++t) {
+              if (band_d[t] <= delta) {
+                candidates[q].emplace_back(band_d[t], band[t]);
+              }
+            }
+          }
+          continue;
+        }
         metric.DistanceTile(queries, 0, cn, data, rb, rn, tile.data(), rn);
         for (size_t q = 0; q < cn; ++q) {
           for (size_t r = 0; r < rn; ++r) {

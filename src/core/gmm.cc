@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/screen.h"
 #include "util/check.h"
 
 namespace diverse {
@@ -30,10 +31,14 @@ GmmResult Gmm(const Dataset& data, const Metric& metric, size_t k,
   std::span<size_t> assignment(result.assignment);
   for (size_t step = 1; step <= k; ++step) {
     // Relax distances against the most recently added center and pick the
-    // farthest point as the next center, in one fused batched sweep per
-    // step: exactly k * n evaluations total.
-    size_t farthest = metric.RelaxAndArgFarthest(
-        data.point(current), data, dist, assignment,
+    // farthest point as the next center, in one fused sweep per step. The
+    // sweep is screened (fp32 pass + exact rescue of rows the new center
+    // could improve — the center is a dataset row, so the rescue runs on
+    // columnar views); selections, trajectories, and the final range are
+    // bit-identical to the exact path, which it falls back to when
+    // screening is off.
+    size_t farthest = ScreenedRelaxArgFarthest(
+        metric, data, current, data, dist, assignment,
         result.selected.size() - 1);
     double farthest_dist = result.distance_to_selected[farthest];
     if (step == k) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/gmm.h"
+#include "core/screen.h"
 #include "util/check.h"
 
 namespace diverse {
@@ -112,14 +113,17 @@ KCenterResult SolveKCenterDoubling(std::span<const Point> points,
   // Final assignment: one blocked multi-center tile pass over the columnar
   // rows (every row block is loaded once for all centers instead of once per
   // center), recording the rank of the first nearest center exactly like the
-  // per-center relax sweeps did.
+  // per-center relax sweeps did. The pass is screened: fp32 tiles prove most
+  // (center, row) pairs cannot improve the row's distance, and only the
+  // rest are re-evaluated exactly — assignment, radius, and ties are
+  // bit-identical to the exact tile pass.
   Dataset data = Dataset::FromPoints(points);
   Dataset center_rows;
   for (size_t c : result.centers) center_rows.Append(points[c]);
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  size_t farthest =
-      RelaxTilesAndArgFarthest(metric, center_rows, 0, center_rows.size(), 0,
-                               data, dist, result.assignment);
+  size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+      metric, center_rows, 0, center_rows.size(), 0, data, dist,
+      result.assignment);
   result.radius = dist[farthest];
   return result;
 }
@@ -131,8 +135,8 @@ double ClusteringRadius(const Dataset& data, const Metric& metric,
   for (size_t c : centers) center_rows.Append(data.point(c));
   std::vector<double> dist(data.size(),
                            std::numeric_limits<double>::infinity());
-  size_t farthest = RelaxTilesAndArgFarthest(metric, center_rows, 0,
-                                             center_rows.size(), 0, data, dist);
+  size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+      metric, center_rows, 0, center_rows.size(), 0, data, dist);
   return dist[farthest];
 }
 

@@ -169,47 +169,83 @@ double ExpectedColumnHits(const Dataset& data,
          static_cast<double>(data.sparse_stats().rows);
 }
 
-// Shared tile driver for the four concrete metrics. Queries are processed in
-// lane blocks of kernels::kTileLanes, each split by representation:
-//   * dense lanes are transposed once (PackQueryLanes) and every dense data
-//     row is streamed through the multi-query lane kernel (`lanes`,
-//     bit-identical per lane to the scalar kernel) — only when
-//     kHasDenseLanes (Jaccard has no dense lane kernel);
-//   * sparse lanes are decoded once into the per-thread SparseTileScratch
-//     and every sparse data row is streamed through the sparse lane kernel
-//     (`sparse_lanes`, bit-identical per lane to the scalar merge);
+// Shared tile driver for the four concrete metrics, parameterized on the
+// output scalar: Out = double is the exact engine (8 query lanes, the
+// bit-identical lane kernels), Out = float the fp32 screening engine (16
+// lanes, twice the width for the same vector registers). Keeping ONE
+// driver keeps the strategy gates — dense/sparse lane partition, the
+// sparse-engine admission (kSparseEngineMinRows), DirectIndexDim, and the
+// union-walk profitability check — in lockstep by construction, which the
+// screened-value determinism contract depends on (either gate verdict is
+// value-identical; the gates only move cost).
+//
+// Queries are processed in lane blocks of TileTraits<Out>::kLanes, each
+// split by representation:
+//   * dense lanes are transposed once (TileTraits<Out>::Pack) and every
+//     dense data row is streamed through the multi-query lane kernel
+//     (`lanes`) — only when kHasDenseLanes (Jaccard has no dense lane
+//     kernel);
+//   * sparse lanes are decoded into per-thread SparseTileScratch blocks of
+//     kernels::kTileLanes (one sub-block for the exact engine, up to two
+//     for the 16-lane fp32 engine) and every sparse data row is streamed
+//     through the sparse lane kernel (`sparse_lanes`);
 //   * mixed pairs (dense lane x sparse row and vice versa) always run the
-//     exact per-pair scalar kernel (`pair`), which is already O(nnz).
+//     per-pair kernel (`pair`), which is already O(nnz).
 // Each data row is fetched a single time and handed to every group.
 // `finish_lanes` turns a block of lane accumulators into the metric's
-// distances in place (batched SQRTPD for Euclidean, the angular-cosine
-// postprocess, nothing for L1/Jaccard); it runs for both the dense and the
-// sparse group, over that group's compacted views.
+// distances in place (batched SQRTPD/SQRTPS for Euclidean, the
+// angular-cosine postprocess, nothing for L1/Jaccard); it runs for both
+// the dense and the sparse group, over that group's compacted views.
 // `sparse_union_walk` marks the union-walk kernels (Euclidean/L1), which
 // are gated by UnionWalkProfitable and never build the direct index.
-template <bool kHasDenseLanes, typename PairFn, typename LaneFn,
+
+template <typename Out>
+struct TileTraits;
+
+template <>
+struct TileTraits<double> {
+  static constexpr size_t kLanes = kernels::kTileLanes;
+  static void Pack(const kernels::VecView* queries, size_t nq, size_t dim,
+                   float* qt) {
+    kernels::PackQueryLanes(queries, nq, dim, qt);
+  }
+};
+
+template <>
+struct TileTraits<float> {
+  static constexpr size_t kLanes = kernels::kTileLanesF32;
+  static void Pack(const kernels::VecView* queries, size_t nq, size_t dim,
+                   float* qt) {
+    kernels::PackQueryLanesF32(queries, nq, dim, qt);
+  }
+};
+
+template <bool kHasDenseLanes, typename Out, typename PairFn, typename LaneFn,
           typename SparseLanesFn, typename FinishLanesFn>
-void BatchTile(const Dataset& queries, size_t q_begin, size_t nq,
-               const Dataset& data, size_t r_begin, size_t nr, double* out,
-               size_t out_stride, const PairFn& pair, const LaneFn& lanes,
-               const SparseLanesFn& sparse_lanes, bool sparse_union_walk,
-               const FinishLanesFn& finish_lanes) {
+void BatchTileImpl(const Dataset& queries, size_t q_begin, size_t nq,
+                   const Dataset& data, size_t r_begin, size_t nr, Out* out,
+                   size_t out_stride, const PairFn& pair, const LaneFn& lanes,
+                   const SparseLanesFn& sparse_lanes, bool sparse_union_walk,
+                   const FinishLanesFn& finish_lanes) {
   CheckTileArgs(queries, q_begin, nq, data, r_begin, nr, out_stride);
   // Empty tiles are legal no-ops; bail before packing query lanes (the
   // lane pack walks data.dim() coordinates of each query, which is only
   // validated against the query dimension for nonempty tiles).
   if (nq == 0 || nr == 0) return;
   size_t dim = data.dim();
+  constexpr size_t kQBlock = TileTraits<Out>::kLanes;
+  constexpr size_t kSub = kernels::kTileLanes;  // sparse decode width
+  constexpr size_t kMaxSub = (kQBlock + kSub - 1) / kSub;
   thread_local std::vector<float> qt;  // transposed dense lane block
-  thread_local kernels::SparseTileScratch sparse_ws;
-  kernels::VecView dv[kernels::kTileLanes];  // compacted dense lane views
-  kernels::VecView sv[kernels::kTileLanes];  // compacted sparse lane views
-  size_t dense_id[kernels::kTileLanes];
-  size_t sparse_id[kernels::kTileLanes];
-  double lane_out[kernels::kTileLanes];
+  thread_local kernels::SparseTileScratch sparse_ws[kMaxSub];
+  kernels::VecView dv[kQBlock];  // compacted dense lane views
+  kernels::VecView sv[kQBlock];  // compacted sparse lane views
+  size_t dense_id[kQBlock];
+  size_t sparse_id[kQBlock];
+  Out lane_out[kQBlock];
   const Dataset::SparseStats& stats = data.sparse_stats();
-  for (size_t q0 = 0; q0 < nq; q0 += kernels::kTileLanes) {
-    size_t qn = std::min(kernels::kTileLanes, nq - q0);
+  for (size_t q0 = 0; q0 < nq; q0 += kQBlock) {
+    size_t qn = std::min(kQBlock, nq - q0);
     size_t dn = 0, sn = 0;
     for (size_t lane = 0; lane < qn; ++lane) {
       kernels::VecView v = queries.row(q_begin + q0 + lane);
@@ -223,20 +259,25 @@ void BatchTile(const Dataset& queries, size_t q_begin, size_t nq,
     }
     bool dense_block = kHasDenseLanes && dim > 0 && dn > 0;
     if (dense_block) {
-      qt.resize(dim * kernels::kTileLanes);
-      kernels::PackQueryLanes(dv, dn, dim, qt.data());
+      qt.resize(dim * kQBlock);
+      TileTraits<Out>::Pack(dv, dn, dim, qt.data());
     }
-    bool sparse_block =
-        sn > 0 && stats.rows > 0 && nr >= kSparseEngineMinRows;
+    bool sparse_block = sn > 0 && stats.rows > 0 && nr >= kSparseEngineMinRows;
+    size_t num_sub = (sn + kSub - 1) / kSub;
     if (sparse_block) {
-      size_t direct_dim =
-          sparse_union_walk ? 0 : DirectIndexDim(data, nr);
-      kernels::PackSparseQueryLanes(sv, sn, direct_dim, sparse_ws);
-      if (sparse_union_walk &&
-          !UnionWalkProfitable(sparse_ws.indices.size(),
-                               sparse_ws.total_nnz, sn, stats.AvgNnz(),
-                               ExpectedColumnHits(data, sparse_ws))) {
-        sparse_block = false;
+      size_t direct_dim = sparse_union_walk ? 0 : DirectIndexDim(data, nr);
+      for (size_t sub = 0; sub < num_sub; ++sub) {
+        size_t sub_n = std::min(kSub, sn - sub * kSub);
+        kernels::PackSparseQueryLanes(sv + sub * kSub, sub_n, direct_dim,
+                                      sparse_ws[sub]);
+        if (sparse_union_walk &&
+            !UnionWalkProfitable(sparse_ws[sub].indices.size(),
+                                 sparse_ws[sub].total_nnz, sub_n,
+                                 stats.AvgNnz(),
+                                 ExpectedColumnHits(data, sparse_ws[sub]))) {
+          sparse_block = false;
+          break;
+        }
       }
     }
     for (size_t r = 0; r < nr; ++r) {
@@ -261,10 +302,14 @@ void BatchTile(const Dataset& queries, size_t q_begin, size_t nq,
           out[(q0 + dense_id[i]) * out_stride + r] = pair(dv[i], row);
         }
         if (sparse_block) {
-          sparse_lanes(sparse_ws, row, lane_out);
-          finish_lanes(lane_out, sv, row, sn);
-          for (size_t i = 0; i < sn; ++i) {
-            out[(q0 + sparse_id[i]) * out_stride + r] = lane_out[i];
+          for (size_t sub = 0; sub < num_sub; ++sub) {
+            size_t sub_n = std::min(kSub, sn - sub * kSub);
+            sparse_lanes(sparse_ws[sub], row, lane_out);
+            finish_lanes(lane_out, sv + sub * kSub, row, sub_n);
+            for (size_t i = 0; i < sub_n; ++i) {
+              out[(q0 + sparse_id[sub * kSub + i]) * out_stride + r] =
+                  lane_out[i];
+            }
           }
         } else {
           for (size_t i = 0; i < sn; ++i) {
@@ -274,6 +319,108 @@ void BatchTile(const Dataset& queries, size_t q_begin, size_t nq,
       }
     }
   }
+}
+
+// The exact tile engine (bit-identical to the scalar kernels).
+template <bool kHasDenseLanes, typename PairFn, typename LaneFn,
+          typename SparseLanesFn, typename FinishLanesFn>
+void BatchTile(const Dataset& queries, size_t q_begin, size_t nq,
+               const Dataset& data, size_t r_begin, size_t nr, double* out,
+               size_t out_stride, const PairFn& pair, const LaneFn& lanes,
+               const SparseLanesFn& sparse_lanes, bool sparse_union_walk,
+               const FinishLanesFn& finish_lanes) {
+  BatchTileImpl<kHasDenseLanes, double>(queries, q_begin, nq, data, r_begin,
+                                        nr, out, out_stride, pair, lanes,
+                                        sparse_lanes, sparse_union_walk,
+                                        finish_lanes);
+}
+
+// The fp32 screening tile engine (certified bounds, no bit-exactness
+// promise — see core/screen.h).
+template <typename PairFn, typename LaneFn, typename SparseLanesFn,
+          typename FinishLanesFn>
+void BatchTileF32(const Dataset& queries, size_t q_begin, size_t nq,
+                  const Dataset& data, size_t r_begin, size_t nr, float* out,
+                  size_t out_stride, const PairFn& pair, const LaneFn& lanes,
+                  const SparseLanesFn& sparse_lanes, bool sparse_union_walk,
+                  const FinishLanesFn& finish_lanes) {
+  BatchTileImpl<true, float>(queries, q_begin, nq, data, r_begin, nr, out,
+                             out_stride, pair, lanes, sparse_lanes,
+                             sparse_union_walk, finish_lanes);
+}
+
+// --- Certified screening bounds -------------------------------------------
+// u = 2^-24, the fp32 unit roundoff. A sum of m nonnegative fp32 terms,
+// each produced from exact float inputs by at most two rounded ops,
+// satisfies |s32 - s| <= gamma(m+2) * s with gamma(n) = n*u / (1 - n*u),
+// for ANY summation order (the sequential chain is the worst case, so the
+// bound also covers the 8/16-accumulator orders the kernels actually use)
+// — plus a per-op absolute floor of 2^-150 in the fp32 underflow regime.
+// The exact path's own double-accumulation error is gamma_53-sized and
+// vanishes inside the 2x safety factors below. Full derivations live in the
+// README's "Mixed-precision screening" section and are property-tested
+// against sampled |screened - exact| gaps in tests/screen_test.cc.
+
+constexpr double kF32Eps = 5.9604644775390625e-08;  // 2^-24
+
+struct ScreenSideStats {
+  bool has_dense = false;
+  size_t max_sparse_nnz = 0;
+  double min_positive_norm = std::numeric_limits<double>::infinity();
+};
+
+ScreenSideStats SideStatsOf(const Dataset& d) {
+  ScreenSideStats s;
+  s.has_dense = d.has_dense_rows();
+  s.max_sparse_nnz = d.sparse_stats().max_nnz;
+  s.min_positive_norm = d.screen_stats().min_positive_norm;
+  return s;
+}
+
+ScreenSideStats SideStatsOf(const Point& p) {
+  ScreenSideStats s;
+  s.has_dense = !p.is_sparse();
+  s.max_sparse_nnz = p.is_sparse() ? p.sparse_values().size() : 0;
+  if (p.norm() > 0.0) s.min_positive_norm = p.norm();
+  return s;
+}
+
+// Worst-case fp32-accumulated term count for any pair drawn from the two
+// sides: pairs with a dense operand walk all dim coordinates; sparse x
+// sparse pairs walk at most the sum of the two supports.
+size_t MaxPairTerms(const ScreenSideStats& q, const ScreenSideStats& r,
+                    size_t dim) {
+  size_t m = (q.has_dense || r.has_dense) ? dim : 0;
+  m = std::max(m, q.max_sparse_nnz + r.max_sparse_nnz);
+  return std::max<size_t>(m, 1);
+}
+
+// Euclidean / L1: relative bound (2m + 64) * u — more than twice the
+// derived worst case of (m + 6) * u on the distance — plus an absolute
+// floor that soaks the fp32 underflow regime (where both the screened and
+// the exact value are below ~2^-61, far under the floor).
+ScreenBound AdditiveBound(size_t m) {
+  return ScreenBound{(2.0 * static_cast<double>(m) + 64.0) * kF32Eps, 1e-18};
+}
+
+// Cosine: |dot32 - dot| <= gamma(m+1) * ||a|| ||b|| (Cauchy-Schwarz over
+// the absolute terms) gives an absolute error e_c on the cosine after the
+// exact-double norm division (the fp32 narrowing of the quotient is
+// another u, inside the 2x margin), inflated by the denormal floor over
+// the smallest positive norm product; acos turns it into an absolute
+// angular band via the Hölder-type bound
+// |acos x - acos y| <= sqrt(2|x-y|) + |x-y| (the endpoint increment
+// acos(1 - e) is the maximum and is below sqrt(2e) + e for every e in
+// [0, 2]). The screened kernels evaluate the arccos itself with
+// kernels::AcosScreenPoly, whose absolute error is under 1e-5 — added
+// last. Zero-norm pairs take the exact convention values and carry no
+// error at all.
+ScreenBound CosineBound(size_t m, double min_norm_q, double min_norm_r) {
+  double md = static_cast<double>(m);
+  double e_c = (2.0 * md + 32.0) * kF32Eps;
+  e_c += md * 3e-45 / (min_norm_q * min_norm_r);
+  double e_d = std::sqrt(2.0 * e_c) + e_c + 1e-5;
+  return ScreenBound{0.0, std::min(e_d, 4.0)};
 }
 
 }  // namespace
@@ -298,6 +445,67 @@ void Metric::DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
           Distance(queries.point(q_begin + q), data.point(r_begin + r));
     }
   }
+}
+
+void Metric::DistanceTileF32(const Dataset& queries, size_t q_begin,
+                             size_t nq, const Dataset& data, size_t r_begin,
+                             size_t nr, float* out, size_t out_stride) const {
+  // Fallback for metrics without a reduced-precision kernel: exact tile,
+  // narrowed to float. Valid under the default ScreenErrorBound (one fp32
+  // rounding); ScreeningProfitable() stays false so screened sweeps do not
+  // route hot loops through it.
+  CheckTileArgs(queries, q_begin, nq, data, r_begin, nr, out_stride);
+  if (nq == 0 || nr == 0) return;
+  thread_local std::vector<double> tmp;
+  tmp.resize(nq * nr);
+  DistanceTile(queries, q_begin, nq, data, r_begin, nr, tmp.data(), nr);
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t r = 0; r < nr; ++r) {
+      out[q * out_stride + r] = static_cast<float>(tmp[q * nr + r]);
+    }
+  }
+}
+
+void Metric::DistanceToManyF32(const Point& query, const Dataset& data,
+                               size_t begin, std::span<float> out) const {
+  DIVERSE_CHECK_LE(begin + out.size(), data.size());
+  thread_local std::vector<double> tmp;
+  tmp.resize(out.size());
+  DistanceToMany(query, data, begin, std::span<double>(tmp.data(), out.size()));
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(tmp[i]);
+  }
+}
+
+double Metric::DistanceRows(const Dataset& a, size_t i, const Dataset& b,
+                            size_t j) const {
+  return Distance(a.point(i), b.point(j));
+}
+
+void Metric::DistanceRowsMany(const Dataset& a, size_t i, const Dataset& b,
+                              std::span<const uint32_t> rows,
+                              double* out) const {
+  for (size_t t = 0; t < rows.size(); ++t) {
+    out[t] = DistanceRows(a, i, b, rows[t]);
+  }
+}
+
+ScreenBound Metric::ScreenErrorBound(const Dataset&, const Dataset&) const {
+  // The default F32 kernels narrow an exact double to float: one fp32
+  // rounding (4x margin), plus a floor for the denormal-float range.
+  return ScreenBound{4.0 * kF32Eps, 1e-40};
+}
+
+ScreenBound Metric::ScreenErrorBound(const Point&, const Dataset&) const {
+  return ScreenBound{4.0 * kF32Eps, 1e-40};
+}
+
+bool Metric::ScreeningProfitableFor(const Dataset&, const Dataset&) const {
+  return ScreeningProfitable();
+}
+
+bool Metric::ScreeningProfitableFor(const Point&, const Dataset&) const {
+  return ScreeningProfitable();
 }
 
 size_t RelaxTilesAndArgFarthest(const Metric& metric, const Dataset& queries,
@@ -440,6 +648,63 @@ void EuclideanMetric::DistanceTile(const Dataset& queries, size_t q_begin,
          size_t qn) { kernels::SqrtLanes(vals, qn); });
 }
 
+void EuclideanMetric::DistanceTileF32(const Dataset& queries, size_t q_begin,
+                                      size_t nq, const Dataset& data,
+                                      size_t r_begin, size_t nr, float* out,
+                                      size_t out_stride) const {
+  BatchTileF32(
+      queries, q_begin, nq, data, r_begin, nr, out, out_stride,
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return kernels::EuclideanF32(row, q);
+      },
+      kernels::SquaredEuclideanLanesF32,
+      kernels::SparseSquaredEuclideanLanesF32,
+      /*sparse_union_walk=*/true,
+      [](float* vals, const kernels::VecView*, const kernels::VecView&,
+         size_t qn) { kernels::SqrtLanesF32(vals, qn); });
+}
+
+void EuclideanMetric::DistanceToManyF32(const Point& query,
+                                        const Dataset& data, size_t begin,
+                                        std::span<float> out) const {
+  DIVERSE_CHECK_LE(begin + out.size(), data.size());
+  kernels::VecView q = QueryView(query, data);
+  // Squared pass first, then one batched SQRTPS sweep: the scalar sqrt the
+  // exact kernel pays per row is the dominant cost at low dimension.
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = kernels::SquaredEuclideanF32(data.row(begin + i), q);
+  }
+  kernels::SqrtLanesF32(out.data(), out.size());
+}
+
+double EuclideanMetric::DistanceRows(const Dataset& a, size_t i,
+                                     const Dataset& b, size_t j) const {
+  return kernels::Euclidean(a.row(i), b.row(j));
+}
+
+void EuclideanMetric::DistanceRowsMany(const Dataset& a, size_t i,
+                                       const Dataset& b,
+                                       std::span<const uint32_t> rows,
+                                       double* out) const {
+  kernels::VecView q = a.row(i);
+  for (size_t t = 0; t < rows.size(); ++t) {
+    out[t] = kernels::SquaredEuclidean(q, b.row(rows[t]));
+  }
+  kernels::SqrtLanes(out, rows.size());
+}
+
+ScreenBound EuclideanMetric::ScreenErrorBound(const Dataset& queries,
+                                              const Dataset& data) const {
+  return AdditiveBound(
+      MaxPairTerms(SideStatsOf(queries), SideStatsOf(data), data.dim()));
+}
+
+ScreenBound EuclideanMetric::ScreenErrorBound(const Point& query,
+                                              const Dataset& data) const {
+  return AdditiveBound(
+      MaxPairTerms(SideStatsOf(query), SideStatsOf(data), data.dim()));
+}
+
 double ManhattanMetric::Distance(const Point& a, const Point& b) const {
   return a.L1DistanceTo(b);
 }
@@ -476,6 +741,48 @@ void ManhattanMetric::DistanceTile(const Dataset& queries, size_t q_begin,
       kernels::L1Lanes, kernels::SparseL1Lanes, /*sparse_union_walk=*/true,
       [](double*, const kernels::VecView*, const kernels::VecView&, size_t) {
       });
+}
+
+void ManhattanMetric::DistanceTileF32(const Dataset& queries, size_t q_begin,
+                                      size_t nq, const Dataset& data,
+                                      size_t r_begin, size_t nr, float* out,
+                                      size_t out_stride) const {
+  BatchTileF32(
+      queries, q_begin, nq, data, r_begin, nr, out, out_stride,
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return kernels::L1F32(row, q);
+      },
+      kernels::L1LanesF32, kernels::SparseL1LanesF32,
+      /*sparse_union_walk=*/true,
+      [](float*, const kernels::VecView*, const kernels::VecView&, size_t) {
+      });
+}
+
+void ManhattanMetric::DistanceToManyF32(const Point& query,
+                                        const Dataset& data, size_t begin,
+                                        std::span<float> out) const {
+  DIVERSE_CHECK_LE(begin + out.size(), data.size());
+  kernels::VecView q = QueryView(query, data);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = kernels::L1F32(data.row(begin + i), q);
+  }
+}
+
+double ManhattanMetric::DistanceRows(const Dataset& a, size_t i,
+                                     const Dataset& b, size_t j) const {
+  return kernels::L1(a.row(i), b.row(j));
+}
+
+ScreenBound ManhattanMetric::ScreenErrorBound(const Dataset& queries,
+                                              const Dataset& data) const {
+  return AdditiveBound(
+      MaxPairTerms(SideStatsOf(queries), SideStatsOf(data), data.dim()));
+}
+
+ScreenBound ManhattanMetric::ScreenErrorBound(const Point& query,
+                                              const Dataset& data) const {
+  return AdditiveBound(
+      MaxPairTerms(SideStatsOf(query), SideStatsOf(data), data.dim()));
 }
 
 double CosineMetric::Distance(const Point& a, const Point& b) const {
@@ -534,6 +841,77 @@ void CosineMetric::DistanceTile(const Dataset& queries, size_t q_begin,
       });
 }
 
+void CosineMetric::DistanceTileF32(const Dataset& queries, size_t q_begin,
+                                   size_t nq, const Dataset& data,
+                                   size_t r_begin, size_t nr, float* out,
+                                   size_t out_stride) const {
+  BatchTileF32(
+      queries, q_begin, nq, data, r_begin, nr, out, out_stride,
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return static_cast<float>(kernels::AngularCosineFromScreenedDot(
+            kernels::DotF32(row, q), row.norm, q.norm));
+      },
+      kernels::DotLanesF32, kernels::SparseDotLanesF32,
+      /*sparse_union_walk=*/false,
+      // Same postprocess as the exact tile but from the fp32 dot: exact
+      // double norms (so the zero-norm conventions carry no error), double
+      // divide/clamp/acos, narrowed at the end. Overflowed dots become NaN
+      // (always rescued).
+      [](float* vals, const kernels::VecView* qv, const kernels::VecView& row,
+         size_t qn) {
+        for (size_t lane = 0; lane < qn; ++lane) {
+          vals[lane] = static_cast<float>(kernels::AngularCosineFromScreenedDot(
+              vals[lane], row.norm, qv[lane].norm));
+        }
+      });
+}
+
+void CosineMetric::DistanceToManyF32(const Point& query, const Dataset& data,
+                                     size_t begin,
+                                     std::span<float> out) const {
+  DIVERSE_CHECK_LE(begin + out.size(), data.size());
+  kernels::VecView q = QueryView(query, data);
+  for (size_t i = 0; i < out.size(); ++i) {
+    kernels::VecView row = data.row(begin + i);
+    out[i] = static_cast<float>(kernels::AngularCosineFromScreenedDot(
+        kernels::DotF32(row, q), row.norm, q.norm));
+  }
+}
+
+double CosineMetric::DistanceRows(const Dataset& a, size_t i,
+                                  const Dataset& b, size_t j) const {
+  return kernels::AngularCosine(a.row(i), b.row(j));
+}
+
+ScreenBound CosineMetric::ScreenErrorBound(const Dataset& queries,
+                                           const Dataset& data) const {
+  ScreenSideStats q = SideStatsOf(queries);
+  ScreenSideStats r = SideStatsOf(data);
+  return CosineBound(MaxPairTerms(q, r, data.dim()), q.min_positive_norm,
+                     r.min_positive_norm);
+}
+
+ScreenBound CosineMetric::ScreenErrorBound(const Point& query,
+                                           const Dataset& data) const {
+  ScreenSideStats q = SideStatsOf(query);
+  ScreenSideStats r = SideStatsOf(data);
+  return CosineBound(MaxPairTerms(q, r, data.dim()), q.min_positive_norm,
+                     r.min_positive_norm);
+}
+
+bool CosineMetric::ScreeningProfitableFor(const Dataset& queries,
+                                          const Dataset& data) const {
+  // Dense-only: the sparse angular tile spends its time finding index
+  // intersections, which fp32 cannot cheapen, and angular rescues pay full
+  // per-pair merges — measured a net loss on text corpora.
+  return queries.sparse_stats().rows == 0 && data.sparse_stats().rows == 0;
+}
+
+bool CosineMetric::ScreeningProfitableFor(const Point& query,
+                                          const Dataset& data) const {
+  return !query.is_sparse() && data.sparse_stats().rows == 0;
+}
+
 double JaccardMetric::Distance(const Point& a, const Point& b) const {
   return a.SupportJaccardDistanceTo(b);
 }
@@ -576,6 +954,11 @@ void JaccardMetric::DistanceTile(const Dataset& queries, size_t q_begin,
       kernels::SparseJaccardLanes, /*sparse_union_walk=*/false,
       [](double*, const kernels::VecView*, const kernels::VecView&, size_t) {
       });
+}
+
+double JaccardMetric::DistanceRows(const Dataset& a, size_t i,
+                                   const Dataset& b, size_t j) const {
+  return kernels::SupportJaccard(a.row(i), b.row(j));
 }
 
 }  // namespace diverse

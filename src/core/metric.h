@@ -13,8 +13,10 @@
 #define DIVERSE_CORE_METRIC_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -24,6 +26,38 @@
 namespace diverse {
 
 class Dataset;
+
+/// Certified error bound of an fp32 screening kernel: for every finite
+/// screened value s approximating an exact distance d,
+///   |s - d| <= rel * s + abs.
+/// Non-finite screened values (fp32 overflow) certify nothing — the helpers
+/// below map them to unbounded intervals so they are always rescued. Bounds
+/// are derived from worst-case float-accumulation analysis over the term
+/// counts and norms of the datasets involved (derivations in the README);
+/// they are deliberately conservative — an over-wide band costs extra exact
+/// re-evaluations, never a wrong result.
+struct ScreenBound {
+  double rel = 0.0;
+  double abs = 0.0;
+};
+
+/// Smallest exact distance compatible with screened value `s` under `b`
+/// (-inf when s is not finite). `exact > t` is certified iff
+/// ScreenedLower(s, b) > t.
+inline double ScreenedLower(float s, const ScreenBound& b) {
+  double d = s;
+  if (!std::isfinite(d)) return -std::numeric_limits<double>::infinity();
+  return d - (b.rel * d + b.abs);
+}
+
+/// Largest exact distance compatible with screened value `s` under `b`
+/// (+inf when s is not finite). `exact < t` is certified iff
+/// ScreenedUpper(s, b) < t.
+inline double ScreenedUpper(float s, const ScreenBound& b) {
+  double d = s;
+  if (!std::isfinite(d)) return std::numeric_limits<double>::infinity();
+  return d + (b.rel * d + b.abs);
+}
 
 /// Interface for a distance function over `Point`s.
 ///
@@ -95,6 +129,77 @@ class Metric {
                             const Dataset& data, size_t r_begin, size_t nr,
                             double* out, size_t out_stride) const;
 
+  /// fp32 screening tile: same geometry as DistanceTile but float outputs,
+  /// each approximating the exact distance within the bound returned by
+  /// ScreenErrorBound(queries, data). Computed on the calling thread. The
+  /// base implementation runs the exact DistanceTile and narrows to float
+  /// (bound: one fp32 rounding); the concrete metrics whose
+  /// ScreeningProfitable() is true override it with true fp32-accumulation
+  /// kernels (16 dense lanes, fp32 sparse union/intersection walks).
+  /// Overriding this without overriding ScreenErrorBound to match is a
+  /// correctness bug — the screened sweeps certify skips against the bound.
+  virtual void DistanceTileF32(const Dataset& queries, size_t q_begin,
+                               size_t nq, const Dataset& data, size_t r_begin,
+                               size_t nr, float* out,
+                               size_t out_stride) const;
+
+  /// fp32 screening sweep: out[i] approximates
+  /// Distance(query, data.point(begin + i)) within
+  /// ScreenErrorBound(query, data). Unlike DistanceToMany this is computed
+  /// on the calling thread — screened sweeps partition work themselves.
+  virtual void DistanceToManyF32(const Point& query, const Dataset& data,
+                                 size_t begin, std::span<float> out) const;
+
+  /// Exact distance between two columnar rows — the rescue path of the
+  /// screened sweeps. Bit-identical to Distance(a.point(i), b.point(j)):
+  /// the concrete metrics run the same shared kernels on the columnar row
+  /// views, and every kernel is symmetric in its operands bit for bit.
+  virtual double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
+                              size_t j) const;
+
+  /// Batched rescue: out[t] = DistanceRows(a, i, b, rows[t]) for every
+  /// listed row, in one call — the screened sweeps gather a tile's rescued
+  /// rows and pay one virtual dispatch (and, for Euclidean, one batched
+  /// SQRTPD pass) instead of one per rescue. Computed on the calling
+  /// thread.
+  virtual void DistanceRowsMany(const Dataset& a, size_t i, const Dataset& b,
+                                std::span<const uint32_t> rows,
+                                double* out) const;
+
+  /// Certified |screened - exact| bound valid for every (query row, data
+  /// row) pair of DistanceTileF32 over these datasets. Reads only dataset
+  /// statistics (dim, nnz maxima, norm extrema), so the bound — and hence
+  /// every rescue decision — is deterministic.
+  virtual ScreenBound ScreenErrorBound(const Dataset& queries,
+                                       const Dataset& data) const;
+
+  /// Same bound for a single-point query (DistanceToManyF32).
+  virtual ScreenBound ScreenErrorBound(const Point& query,
+                                       const Dataset& data) const;
+
+  /// True when the fp32 kernels above are real reduced-precision
+  /// implementations that make a screening pass cheaper than the exact
+  /// sweep. The base class returns false (its default F32 kernels do full
+  /// exact work and then narrow), as does Jaccard (integer-exact support
+  /// counting is already the cheap path, and its discrete value set makes
+  /// screened ties — which always rescue — common). The screened sweeps of
+  /// core/screen.h fall back to the exact path when this is false.
+  virtual bool ScreeningProfitable() const { return false; }
+
+  /// Layout-aware refinement of ScreeningProfitable for a concrete sweep —
+  /// the gate the screened sweeps actually consult. Reads only dataset
+  /// statistics, so the decision (like every rescue decision) is
+  /// deterministic and thread-count independent; either verdict yields
+  /// bit-identical results, the gate only moves cost. The base forwards to
+  /// ScreeningProfitable(); CosineMetric narrows it to dense-only layouts
+  /// (the sparse angular tile is intersection-walk bound — index probing,
+  /// not arithmetic — so halving the accumulator width gains little while
+  /// rescues pay full per-pair merges).
+  virtual bool ScreeningProfitableFor(const Dataset& queries,
+                                      const Dataset& data) const;
+  virtual bool ScreeningProfitableFor(const Point& query,
+                                      const Dataset& data) const;
+
   /// Human-readable metric name, e.g. "euclidean".
   virtual std::string Name() const = 0;
 };
@@ -128,6 +233,21 @@ class EuclideanMetric final : public Metric {
   void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
                     const Dataset& data, size_t r_begin, size_t nr,
                     double* out, size_t out_stride) const override;
+  void DistanceTileF32(const Dataset& queries, size_t q_begin, size_t nq,
+                       const Dataset& data, size_t r_begin, size_t nr,
+                       float* out, size_t out_stride) const override;
+  void DistanceToManyF32(const Point& query, const Dataset& data,
+                         size_t begin, std::span<float> out) const override;
+  double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
+                      size_t j) const override;
+  void DistanceRowsMany(const Dataset& a, size_t i, const Dataset& b,
+                        std::span<const uint32_t> rows,
+                        double* out) const override;
+  ScreenBound ScreenErrorBound(const Dataset& queries,
+                               const Dataset& data) const override;
+  ScreenBound ScreenErrorBound(const Point& query,
+                               const Dataset& data) const override;
+  bool ScreeningProfitable() const override { return true; }
   std::string Name() const override { return "euclidean"; }
 };
 
@@ -144,6 +264,18 @@ class ManhattanMetric final : public Metric {
   void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
                     const Dataset& data, size_t r_begin, size_t nr,
                     double* out, size_t out_stride) const override;
+  void DistanceTileF32(const Dataset& queries, size_t q_begin, size_t nq,
+                       const Dataset& data, size_t r_begin, size_t nr,
+                       float* out, size_t out_stride) const override;
+  void DistanceToManyF32(const Point& query, const Dataset& data,
+                         size_t begin, std::span<float> out) const override;
+  double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
+                      size_t j) const override;
+  ScreenBound ScreenErrorBound(const Dataset& queries,
+                               const Dataset& data) const override;
+  ScreenBound ScreenErrorBound(const Point& query,
+                               const Dataset& data) const override;
+  bool ScreeningProfitable() const override { return true; }
   std::string Name() const override { return "manhattan"; }
 };
 
@@ -164,6 +296,22 @@ class CosineMetric final : public Metric {
   void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
                     const Dataset& data, size_t r_begin, size_t nr,
                     double* out, size_t out_stride) const override;
+  void DistanceTileF32(const Dataset& queries, size_t q_begin, size_t nq,
+                       const Dataset& data, size_t r_begin, size_t nr,
+                       float* out, size_t out_stride) const override;
+  void DistanceToManyF32(const Point& query, const Dataset& data,
+                         size_t begin, std::span<float> out) const override;
+  double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
+                      size_t j) const override;
+  ScreenBound ScreenErrorBound(const Dataset& queries,
+                               const Dataset& data) const override;
+  ScreenBound ScreenErrorBound(const Point& query,
+                               const Dataset& data) const override;
+  bool ScreeningProfitable() const override { return true; }
+  bool ScreeningProfitableFor(const Dataset& queries,
+                              const Dataset& data) const override;
+  bool ScreeningProfitableFor(const Point& query,
+                              const Dataset& data) const override;
   std::string Name() const override { return "cosine"; }
 };
 
@@ -181,6 +329,12 @@ class JaccardMetric final : public Metric {
   void DistanceTile(const Dataset& queries, size_t q_begin, size_t nq,
                     const Dataset& data, size_t r_begin, size_t nr,
                     double* out, size_t out_stride) const override;
+  // Keeps the base-class fp32 kernels (exact work + narrow) and the
+  // ScreeningProfitable() = false default: support counting is
+  // integer-exact, so there is no cheaper reduced-precision form, and the
+  // discrete value set would make screened ties (always rescued) common.
+  double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
+                      size_t j) const override;
   std::string Name() const override { return "jaccard"; }
 };
 
@@ -190,7 +344,10 @@ class JaccardMetric final : public Metric {
 /// Batched kernels count the exact number of evaluations they perform
 /// (out.size() / data.size() per the batch-kernel contract), so the counter
 /// agrees with the scalar path for identical work regardless of batching or
-/// thread count.
+/// thread count. Screened (fp32) and exact (double) evaluations are
+/// accounted separately: the exact count of a screened sweep is its rescue
+/// work and never exceeds the count the pre-screening path would have paid
+/// for the same sweep.
 class CountingMetric final : public Metric {
  public:
   /// Wraps `base`, which must outlive this object.
@@ -224,17 +381,81 @@ class CountingMetric final : public Metric {
                         out_stride);
   }
 
+  void DistanceTileF32(const Dataset& queries, size_t q_begin, size_t nq,
+                       const Dataset& data, size_t r_begin, size_t nr,
+                       float* out, size_t out_stride) const override {
+    screened_.fetch_add(nq * nr, std::memory_order_relaxed);
+    base_->DistanceTileF32(queries, q_begin, nq, data, r_begin, nr, out,
+                           out_stride);
+  }
+
+  void DistanceToManyF32(const Point& query, const Dataset& data,
+                         size_t begin, std::span<float> out) const override {
+    screened_.fetch_add(out.size(), std::memory_order_relaxed);
+    base_->DistanceToManyF32(query, data, begin, out);
+  }
+
+  double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
+                      size_t j) const override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return base_->DistanceRows(a, i, b, j);
+  }
+
+  void DistanceRowsMany(const Dataset& a, size_t i, const Dataset& b,
+                        std::span<const uint32_t> rows,
+                        double* out) const override {
+    count_.fetch_add(rows.size(), std::memory_order_relaxed);
+    base_->DistanceRowsMany(a, i, b, rows, out);
+  }
+
+  ScreenBound ScreenErrorBound(const Dataset& queries,
+                               const Dataset& data) const override {
+    return base_->ScreenErrorBound(queries, data);
+  }
+
+  ScreenBound ScreenErrorBound(const Point& query,
+                               const Dataset& data) const override {
+    return base_->ScreenErrorBound(query, data);
+  }
+
+  bool ScreeningProfitable() const override {
+    return base_->ScreeningProfitable();
+  }
+
+  bool ScreeningProfitableFor(const Dataset& queries,
+                              const Dataset& data) const override {
+    return base_->ScreeningProfitableFor(queries, data);
+  }
+
+  bool ScreeningProfitableFor(const Point& query,
+                              const Dataset& data) const override {
+    return base_->ScreeningProfitableFor(query, data);
+  }
+
   std::string Name() const override { return "counting(" + base_->Name() + ")"; }
 
-  /// Number of Distance() calls since construction or the last Reset().
+  /// Number of exact distance evaluations since construction or the last
+  /// Reset(). (Kept as `count` for the pre-screening callers.)
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
-  /// Resets the counter to zero.
-  void Reset() { count_.store(0, std::memory_order_relaxed); }
+  /// Exact (double) evaluations — alias of count().
+  uint64_t exact_evals() const { return count(); }
+
+  /// Screened (fp32) evaluations through the F32 kernels.
+  uint64_t screened_evals() const {
+    return screened_.load(std::memory_order_relaxed);
+  }
+
+  /// Resets both counters to zero.
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    screened_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   const Metric* base_;
   mutable std::atomic<uint64_t> count_{0};
+  mutable std::atomic<uint64_t> screened_{0};
 };
 
 }  // namespace diverse

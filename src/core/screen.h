@@ -1,0 +1,103 @@
+// Screen-then-certify sweeps: the mixed-precision engine behind every
+// argmax / argmin / threshold hot loop.
+//
+// Every distance-dominated loop in this library — k-center farthest-point
+// argmax, GMM's per-center relax sweeps, greedy matching's heaviest-pair
+// scans, SMM's nearest-center and merge threshold scans, generalized-coreset
+// instantiation — needs *exact* distances only for the handful of candidates
+// that decide the outcome. The sweeps here run a cheap fp32 pass first
+// (Metric::DistanceTileF32 / DistanceToManyF32: twice the SIMD lanes, half
+// the bandwidth of the exact tile engine), keep every candidate whose
+// screened value lies within a certified error band
+// (Metric::ScreenErrorBound) of the decision threshold, and re-evaluate only
+// those in exact double (Metric::DistanceRows / Distance — the same shared
+// kernels as the exact sweeps). Consequences:
+//
+//   * Results are bit-identical to the double-only path: every value that
+//     can influence a comparison, a stored distance, or a reported radius is
+//     an exact double; the fp32 pass only *proves* that skipped candidates
+//     could not have influenced anything (tested across metrics x
+//     representations x thread counts in tests/screen_test.cc).
+//   * Rescue decisions depend only on the fp32 values (fixed accumulation
+//     orders, deterministic bounds), never on scheduling — so evaluation
+//     counts (CountingMetric: screened_evals / exact_evals) are
+//     deterministic at any thread count, and the exact-eval count of a
+//     screened sweep never exceeds what the pre-screening path paid.
+//   * Every sweep falls back to the exact path when screening is disabled
+//     (SetScreeningEnabled / SolveOptions::screening) or the metric reports
+//     ScreeningProfitable() == false (Jaccard, user-defined metrics).
+//
+// Screening changes *when* exactness is paid for, never the answer.
+
+#ifndef DIVERSE_CORE_SCREEN_H_
+#define DIVERSE_CORE_SCREEN_H_
+
+#include <cstddef>
+#include <span>
+
+#include "core/dataset.h"
+#include "core/metric.h"
+#include "core/point.h"
+
+namespace diverse {
+
+/// Process-global screening toggle, default on. Results are bit-identical
+/// either way; the toggle exists for A/B benchmarking and as an escape
+/// hatch. Concurrent Solves with opposing SolveOptions::screening flags see
+/// a racy-but-harmless value (each sweep reads it once on entry).
+bool ScreeningEnabled();
+void SetScreeningEnabled(bool enabled);
+
+/// RAII override of the global toggle (used by Solve and tests).
+class ScopedScreening {
+ public:
+  explicit ScopedScreening(bool enabled);
+  ScopedScreening(const ScopedScreening&) = delete;
+  ScopedScreening& operator=(const ScopedScreening&) = delete;
+  ~ScopedScreening();
+
+ private:
+  bool prev_;
+};
+
+/// True when the screened sweeps should screen for `metric` (toggle on and
+/// the metric's fp32 kernels are genuinely cheaper than exact).
+bool UseScreening(const Metric& metric);
+
+/// Screened drop-in for RelaxTilesAndArgFarthest (core/metric.h): identical
+/// dist / assignment updates and return value, but each tile is swept in
+/// fp32 first and only rows the new centers could improve are re-evaluated
+/// exactly. Falls back to the exact tile path when screening is off.
+size_t ScreenedRelaxTilesAndArgFarthest(const Metric& metric,
+                                        const Dataset& queries, size_t q_begin,
+                                        size_t nq, size_t rank_base,
+                                        const Dataset& data,
+                                        std::span<double> dist,
+                                        std::span<size_t> assignment = {});
+
+/// Screened drop-in for Metric::RelaxAndArgFarthest with the query drawn
+/// from a dataset row (queries.point(q_index) — for GMM, queries == data):
+/// identical dist / assignment updates and return value. Falls back to the
+/// exact batched sweep when screening is off.
+size_t ScreenedRelaxArgFarthest(const Metric& metric, const Dataset& queries,
+                                size_t q_index, const Dataset& data,
+                                std::span<double> dist,
+                                std::span<size_t> assignment = {},
+                                size_t center_rank = 0);
+
+/// First row index minimizing Distance(query, row) — ties to the smallest
+/// index, exactly like a sequential strict-min scan — with the exact
+/// minimum distance in *min_dist. Requires data nonempty. (SMM's
+/// nearest-center update scan.)
+size_t ScreenedArgClosest(const Metric& metric, const Point& query,
+                          const Dataset& data, double* min_dist);
+
+/// First row index with Distance(query, row) <= threshold, or data.size()
+/// when no row qualifies, scanning ascending with chunked early exit.
+/// (SMM's merge-step membership scan.)
+size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
+                           const Dataset& data, double threshold);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_CORE_SCREEN_H_

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/gmm.h"
+#include "core/screen.h"
 #include "util/check.h"
 
 namespace diverse {
@@ -59,14 +60,22 @@ bool Heavier(const HeavyPair& a, const HeavyPair& b) {
 }
 
 // Greedy heaviest-pair matching core shared by the matrix and dataset
-// variants. `scan(emit)` must call emit(i, j, dist) exactly once for every
-// unordered pair (i < j) of currently unused rows, in any order. One scan
-// collects the heaviest `buffer_cap` pairs; the greedy loop then consumes
-// them in `Heavier` order. Exact: a chosen pair only removes 2 points, so
-// the next heaviest *surviving* pair is the true global maximum; if the
-// buffer runs dry (pathological overlap among the top pairs), it is
-// refilled with a fresh scan over the unused rows only. This turns k/2
-// quadratic scans into ~1.
+// variants. `scan(emit, cutoff)` must call emit(i, j, dist) for every
+// unordered pair (i < j) of currently unused rows, in any order — except
+// that pairs whose distance is certainly *strictly below* cutoff() at the
+// moment they are considered may be skipped: such a pair can never displace
+// the buffer's lightest kept entry (ties are decided by indices, so only a
+// strict comparison is safe to prune on), and the buffer therefore ends up
+// with exactly the pairs the unpruned scan would have kept. cutoff() is
+// -inf until the buffer is full and then the lightest kept distance; the
+// screened dataset scan uses it to skip the exact re-evaluation of pairs
+// whose fp32 upper bound is already below it. One scan collects the
+// heaviest `buffer_cap` pairs; the greedy loop then consumes them in
+// `Heavier` order. Exact: a chosen pair only removes 2 points, so the next
+// heaviest *surviving* pair is the true global maximum; if the buffer runs
+// dry (pathological overlap among the top pairs), it is refilled with a
+// fresh scan over the unused rows only. This turns k/2 quadratic scans
+// into ~1.
 template <typename ScanFn>
 std::vector<size_t> GreedyHeaviestPairs(size_t n, size_t k,
                                         std::vector<bool>& used,
@@ -85,17 +94,23 @@ std::vector<size_t> GreedyHeaviestPairs(size_t n, size_t k,
   };
   auto rescan = [&] {
     heap.clear();
-    scan([&](size_t i, size_t j, double dist) {
-      HeavyPair e{dist, i, j};
-      if (heap.size() < buffer_cap) {
-        heap.push_back(e);
-        std::push_heap(heap.begin(), heap.end(), lighter_on_top);
-      } else if (Heavier(e, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), lighter_on_top);
-        heap.back() = e;
-        std::push_heap(heap.begin(), heap.end(), lighter_on_top);
-      }
-    });
+    scan(
+        [&](size_t i, size_t j, double dist) {
+          HeavyPair e{dist, i, j};
+          if (heap.size() < buffer_cap) {
+            heap.push_back(e);
+            std::push_heap(heap.begin(), heap.end(), lighter_on_top);
+          } else if (Heavier(e, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), lighter_on_top);
+            heap.back() = e;
+            std::push_heap(heap.begin(), heap.end(), lighter_on_top);
+          }
+        },
+        [&]() {
+          return heap.size() < buffer_cap
+                     ? -std::numeric_limits<double>::infinity()
+                     : heap.front().dist;
+        });
     std::sort(heap.begin(), heap.end(), Heavier);  // heaviest first
   };
   if (k < 2) return chosen;  // no pairs to pick; skip the scan entirely
@@ -122,11 +137,16 @@ std::vector<size_t> GreedyHeaviestPairs(size_t n, size_t k,
 // Emits all live pairs of `data` under `metric` through blocked tiles.
 // When some rows are already used (a refill scan), the live rows are first
 // compacted into a scratch Dataset so the tile sweeps touch no dead row and
-// the evaluation count is exactly live*(live-1)/2 — used rows' distances
-// are never recomputed.
-template <typename EmitFn>
+// used rows' distances are never recomputed. When screening is active, each
+// tile is computed in fp32 first and a pair is re-evaluated exactly (and
+// emitted) only when its certified upper bound reaches cutoff() — pairs the
+// buffer could not keep are skipped without an exact evaluation, which is
+// legal per the GreedyHeaviestPairs contract and keeps the kept buffer
+// bit-identical to the exact scan's.
+template <typename EmitFn, typename CutoffFn>
 void ScanLivePairsTiled(const Dataset& data, const Metric& metric,
-                        const std::vector<bool>& used, const EmitFn& emit) {
+                        const std::vector<bool>& used, const EmitFn& emit,
+                        const CutoffFn& cutoff) {
   size_t n = data.size();
   std::vector<size_t> live;
   live.reserve(n);
@@ -140,27 +160,54 @@ void ScanLivePairsTiled(const Dataset& data, const Metric& metric,
     src = &compact;
   }
   size_t m = live.size();
+  const bool screened =
+      UseScreening(metric) && metric.ScreeningProfitableFor(*src, *src);
+  ScreenBound bound;
+  if (screened) bound = metric.ScreenErrorBound(*src, *src);
   constexpr size_t kQBlock = 64;   // pair-scan tile: kQBlock x kRBlock
   constexpr size_t kRBlock = 256;
   std::vector<double> tile(std::max(kQBlock * kRBlock, kQBlock));
+  std::vector<float> ftile(screened ? std::max(kQBlock * kRBlock, kQBlock)
+                                    : 0);
   for (size_t ib = 0; ib < m; ib += kQBlock) {
     size_t in = std::min(kQBlock, m - ib);
     // Triangular corner within the block: per-row suffix sweeps keep the
     // evaluation count at i < j pairs exactly.
     for (size_t i = ib; i + 1 < ib + in; ++i) {
-      std::span<double> out(tile.data(), ib + in - i - 1);
-      metric.DistanceToMany(src->point(i), *src, i + 1, out);
-      for (size_t j = i + 1; j < ib + in; ++j) {
-        emit(live[i], live[j], out[j - i - 1]);
+      size_t count = ib + in - i - 1;
+      if (screened) {
+        std::span<float> out(ftile.data(), count);
+        metric.DistanceToManyF32(src->point(i), *src, i + 1, out);
+        for (size_t j = i + 1; j < ib + in; ++j) {
+          if (ScreenedUpper(out[j - i - 1], bound) < cutoff()) continue;
+          emit(live[i], live[j], metric.DistanceRows(*src, i, *src, j));
+        }
+      } else {
+        std::span<double> out(tile.data(), count);
+        metric.DistanceToMany(src->point(i), *src, i + 1, out);
+        for (size_t j = i + 1; j < ib + in; ++j) {
+          emit(live[i], live[j], out[j - i - 1]);
+        }
       }
     }
     // Rectangular panels to the right of the block.
     for (size_t jb = ib + in; jb < m; jb += kRBlock) {
       size_t jn = std::min(kRBlock, m - jb);
-      metric.DistanceTile(*src, ib, in, *src, jb, jn, tile.data(), jn);
-      for (size_t q = 0; q < in; ++q) {
-        for (size_t r = 0; r < jn; ++r) {
-          emit(live[ib + q], live[jb + r], tile[q * jn + r]);
+      if (screened) {
+        metric.DistanceTileF32(*src, ib, in, *src, jb, jn, ftile.data(), jn);
+        for (size_t q = 0; q < in; ++q) {
+          for (size_t r = 0; r < jn; ++r) {
+            if (ScreenedUpper(ftile[q * jn + r], bound) < cutoff()) continue;
+            emit(live[ib + q], live[jb + r],
+                 metric.DistanceRows(*src, ib + q, *src, jb + r));
+          }
+        }
+      } else {
+        metric.DistanceTile(*src, ib, in, *src, jb, jn, tile.data(), jn);
+        for (size_t q = 0; q < in; ++q) {
+          for (size_t r = 0; r < jn; ++r) {
+            emit(live[ib + q], live[jb + r], tile[q * jn + r]);
+          }
         }
       }
     }
@@ -178,14 +225,17 @@ std::vector<size_t> GreedyMatchingOnMatrix(const DistanceMatrix& d, size_t k) {
   // Stream whole matrix rows through the buffered core: one O(n^2) scan
   // (plus rare refills over live rows only) replaces the former k/2 full
   // argmax rescans, and rows are consumed as contiguous memory instead of
-  // per-element at(i, j) probes.
+  // per-element at(i, j) probes. Distances are exact (already computed), so
+  // the cutoff only prunes heap probes for pairs strictly below the kept
+  // buffer — which could not enter it anyway.
   std::vector<size_t> chosen =
-      GreedyHeaviestPairs(n, k, used, [&](auto&& emit) {
+      GreedyHeaviestPairs(n, k, used, [&](auto&& emit, auto&& cutoff) {
         for (size_t i = 0; i < n; ++i) {
           if (used[i]) continue;
           std::span<const double> row = d.row(i);
           for (size_t j = i + 1; j < n; ++j) {
             if (used[j]) continue;
+            if (row[j] < cutoff()) continue;
             emit(i, j, row[j]);
           }
         }
@@ -220,8 +270,8 @@ std::vector<size_t> GreedyMatchingOnDataset(const Dataset& data,
 
   std::vector<bool> used(n, false);
   std::vector<size_t> chosen =
-      GreedyHeaviestPairs(n, k, used, [&](auto&& emit) {
-        ScanLivePairsTiled(data, metric, used, emit);
+      GreedyHeaviestPairs(n, k, used, [&](auto&& emit, auto&& cutoff) {
+        ScanLivePairsTiled(data, metric, used, emit, cutoff);
       });
   if (chosen.size() < k) {
     size_t best_i = n;

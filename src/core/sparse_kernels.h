@@ -305,6 +305,96 @@ inline void SparseDotLanes(const SparseTileScratch& ws, const VecView& r,
   for (size_t l = 0; l < kTileLanes; ++l) out[l] = acc[l];
 }
 
+/// fp32 screening variant of SparseSquaredEuclideanLanes: same union walk,
+/// float accumulators. No bit-exactness promise — covered by the certified
+/// error bound of Metric::ScreenErrorBound (the walk order is fixed, so
+/// screened values are still deterministic at any thread count).
+inline void SparseSquaredEuclideanLanesF32(const SparseTileScratch& ws,
+                                           const VecView& r, float* out) {
+  float acc[kTileLanes] = {};
+  size_t u = ws.indices.size();
+  size_t i = 0, j = 0;
+  while (i < u && j < r.nnz) {
+    uint32_t ui = ws.indices[i], rj = r.indices[j];
+    if (ui == rj) {
+      float rv = r.values[j];
+      const float* q = ws.lanes.data() + i * kTileLanes;
+      for (size_t l = 0; l < kTileLanes; ++l) {
+        float d = q[l] - rv;
+        acc[l] += d * d;
+      }
+      ++i;
+      ++j;
+    } else if (ui < rj) {
+      const float* q = ws.lanes.data() + i * kTileLanes;
+      for (size_t l = 0; l < kTileLanes; ++l) acc[l] += q[l] * q[l];
+      ++i;
+    } else {
+      float rv = r.values[j];
+      float t = rv * rv;
+      for (size_t l = 0; l < kTileLanes; ++l) acc[l] += t;
+      ++j;
+    }
+  }
+  for (; i < u; ++i) {
+    const float* q = ws.lanes.data() + i * kTileLanes;
+    for (size_t l = 0; l < kTileLanes; ++l) acc[l] += q[l] * q[l];
+  }
+  for (; j < r.nnz; ++j) {
+    float rv = r.values[j];
+    float t = rv * rv;
+    for (size_t l = 0; l < kTileLanes; ++l) acc[l] += t;
+  }
+  for (size_t l = 0; l < kTileLanes; ++l) out[l] = acc[l];
+}
+
+/// fp32 screening variant of SparseL1Lanes.
+inline void SparseL1LanesF32(const SparseTileScratch& ws, const VecView& r,
+                             float* out) {
+  float acc[kTileLanes] = {};
+  size_t u = ws.indices.size();
+  size_t i = 0, j = 0;
+  while (i < u && j < r.nnz) {
+    uint32_t ui = ws.indices[i], rj = r.indices[j];
+    if (ui == rj) {
+      float rv = r.values[j];
+      const float* q = ws.lanes.data() + i * kTileLanes;
+      for (size_t l = 0; l < kTileLanes; ++l) acc[l] += std::abs(q[l] - rv);
+      ++i;
+      ++j;
+    } else if (ui < rj) {
+      const float* q = ws.lanes.data() + i * kTileLanes;
+      for (size_t l = 0; l < kTileLanes; ++l) acc[l] += std::abs(q[l]);
+      ++i;
+    } else {
+      float t = std::abs(r.values[j]);
+      for (size_t l = 0; l < kTileLanes; ++l) acc[l] += t;
+      ++j;
+    }
+  }
+  for (; i < u; ++i) {
+    const float* q = ws.lanes.data() + i * kTileLanes;
+    for (size_t l = 0; l < kTileLanes; ++l) acc[l] += std::abs(q[l]);
+  }
+  for (; j < r.nnz; ++j) {
+    float t = std::abs(r.values[j]);
+    for (size_t l = 0; l < kTileLanes; ++l) acc[l] += t;
+  }
+  for (size_t l = 0; l < kTileLanes; ++l) out[l] = acc[l];
+}
+
+/// fp32 screening variant of SparseDotLanes (same intersection stream).
+inline void SparseDotLanesF32(const SparseTileScratch& ws, const VecView& r,
+                              float* out) {
+  float acc[kTileLanes] = {};
+  internal::ForEachIntersection(ws, r, [&](size_t p, size_t j) {
+    float rv = r.values[j];
+    const float* q = ws.lanes.data() + p * kTileLanes;
+    for (size_t l = 0; l < kTileLanes; ++l) acc[l] += q[l] * rv;
+  });
+  for (size_t l = 0; l < kTileLanes; ++l) out[l] = acc[l];
+}
+
 /// out[l] = SupportJaccard(q_l, r) per decoded lane, exactly: intersections
 /// are counted off the presence bitmask (stored zeros count as support, as
 /// in the scalar sparse merge) and the final division uses the identical

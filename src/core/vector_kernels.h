@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 #if defined(DIVERSE_ENABLE_AVX2) && defined(__x86_64__) && \
     (defined(__GNUC__) || defined(__clang__))
@@ -432,6 +433,436 @@ inline void DotLanes(const float* qt, const float* row, size_t dim,
   }
 #endif
   internal::DotLanesGeneric(qt, row, dim, out);
+}
+
+// ---------------------------------------------------------------------------
+// fp32 screening kernels.
+//
+// The screen-then-certify engine (core/screen.h) sweeps candidates with
+// *float* accumulation — the columnar arrays already store fp32 coordinates,
+// so halving the accumulator width doubles the SIMD lane count and halves
+// tile bandwidth — and re-evaluates in exact double only the candidates
+// whose screened value lands within a certified error band of the decision
+// threshold (Metric::ScreenErrorBound). Unlike the exact kernels above, the
+// fp32 kernels promise no bit-exact relationship to the scalar reference:
+// the per-metric bounds cover any summation order via the worst-case
+// (sequential) gamma_n analysis, so each kernel is free to pick the order
+// that vectorizes best. Every order is still *fixed in code* — never
+// scheduling-dependent — so screened values, rescue sets, and evaluation
+// counts are deterministic at any thread count; and the AVX2 variants mirror
+// the generic ones op for op, so they are bit-identical to each other just
+// like the exact lane kernels.
+
+/// Queries per transposed fp32 lane block (twice the double lane width).
+inline constexpr size_t kTileLanesF32 = 16;
+
+/// Packs `nq` (<= kTileLanesF32) dense query views into the transposed
+/// fp32 lane layout qt[d * kTileLanesF32 + lane]; unused lanes zero-filled.
+/// `qt` must hold dim * kTileLanesF32 floats.
+inline void PackQueryLanesF32(const VecView* queries, size_t nq, size_t dim,
+                              float* qt) {
+  for (size_t d = 0; d < dim; ++d) {
+    for (size_t lane = 0; lane < kTileLanesF32; ++lane) {
+      qt[d * kTileLanesF32 + lane] =
+          lane < nq ? queries[lane].values[d] : 0.0f;
+    }
+  }
+}
+
+namespace internal {
+
+// The baseline fp32 lane kernels are hand-written SSE2 on x86-64 (part of
+// the base ISA, no dispatch needed): left to the auto-vectorizer, GCC
+// chooses an outer-loop (across-coordinates) strategy for these 16-lane
+// float loops whose shuffle/transpose overhead runs slower than the scalar
+// double kernels. The intrinsics pin the natural in-lane direction; every
+// vector op maps 1:1 onto the plain-loop fallback's scalar sequence, so
+// all variants (plain, SSE2, AVX2) produce identical float bits.
+
+#if defined(__x86_64__) && defined(__SSE2__)
+
+inline void SquaredEuclideanLanesF32Generic(const float* qt, const float* row,
+                                            size_t dim, float* out) {
+  __m128 acc0 = _mm_setzero_ps();
+  __m128 acc1 = _mm_setzero_ps();
+  __m128 acc2 = _mm_setzero_ps();
+  __m128 acc3 = _mm_setzero_ps();
+  for (size_t d = 0; d < dim; ++d) {
+    __m128 rv = _mm_set1_ps(row[d]);
+    const float* q = qt + d * kTileLanesF32;
+    __m128 d0 = _mm_sub_ps(_mm_loadu_ps(q), rv);
+    __m128 d1 = _mm_sub_ps(_mm_loadu_ps(q + 4), rv);
+    __m128 d2 = _mm_sub_ps(_mm_loadu_ps(q + 8), rv);
+    __m128 d3 = _mm_sub_ps(_mm_loadu_ps(q + 12), rv);
+    acc0 = _mm_add_ps(acc0, _mm_mul_ps(d0, d0));
+    acc1 = _mm_add_ps(acc1, _mm_mul_ps(d1, d1));
+    acc2 = _mm_add_ps(acc2, _mm_mul_ps(d2, d2));
+    acc3 = _mm_add_ps(acc3, _mm_mul_ps(d3, d3));
+  }
+  _mm_storeu_ps(out, acc0);
+  _mm_storeu_ps(out + 4, acc1);
+  _mm_storeu_ps(out + 8, acc2);
+  _mm_storeu_ps(out + 12, acc3);
+}
+
+inline void L1LanesF32Generic(const float* qt, const float* row, size_t dim,
+                              float* out) {
+  const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+  __m128 acc0 = _mm_setzero_ps();
+  __m128 acc1 = _mm_setzero_ps();
+  __m128 acc2 = _mm_setzero_ps();
+  __m128 acc3 = _mm_setzero_ps();
+  for (size_t d = 0; d < dim; ++d) {
+    __m128 rv = _mm_set1_ps(row[d]);
+    const float* q = qt + d * kTileLanesF32;
+    acc0 = _mm_add_ps(
+        acc0, _mm_and_ps(_mm_sub_ps(_mm_loadu_ps(q), rv), abs_mask));
+    acc1 = _mm_add_ps(
+        acc1, _mm_and_ps(_mm_sub_ps(_mm_loadu_ps(q + 4), rv), abs_mask));
+    acc2 = _mm_add_ps(
+        acc2, _mm_and_ps(_mm_sub_ps(_mm_loadu_ps(q + 8), rv), abs_mask));
+    acc3 = _mm_add_ps(
+        acc3, _mm_and_ps(_mm_sub_ps(_mm_loadu_ps(q + 12), rv), abs_mask));
+  }
+  _mm_storeu_ps(out, acc0);
+  _mm_storeu_ps(out + 4, acc1);
+  _mm_storeu_ps(out + 8, acc2);
+  _mm_storeu_ps(out + 12, acc3);
+}
+
+inline void DotLanesF32Generic(const float* qt, const float* row, size_t dim,
+                               float* out) {
+  __m128 acc0 = _mm_setzero_ps();
+  __m128 acc1 = _mm_setzero_ps();
+  __m128 acc2 = _mm_setzero_ps();
+  __m128 acc3 = _mm_setzero_ps();
+  for (size_t d = 0; d < dim; ++d) {
+    __m128 rv = _mm_set1_ps(row[d]);
+    const float* q = qt + d * kTileLanesF32;
+    acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(q), rv));
+    acc1 = _mm_add_ps(acc1, _mm_mul_ps(_mm_loadu_ps(q + 4), rv));
+    acc2 = _mm_add_ps(acc2, _mm_mul_ps(_mm_loadu_ps(q + 8), rv));
+    acc3 = _mm_add_ps(acc3, _mm_mul_ps(_mm_loadu_ps(q + 12), rv));
+  }
+  _mm_storeu_ps(out, acc0);
+  _mm_storeu_ps(out + 4, acc1);
+  _mm_storeu_ps(out + 8, acc2);
+  _mm_storeu_ps(out + 12, acc3);
+}
+
+#else  // !x86-64 SSE2
+
+inline void SquaredEuclideanLanesF32Generic(const float* qt, const float* row,
+                                            size_t dim, float* out) {
+  float acc[kTileLanesF32] = {};
+  for (size_t d = 0; d < dim; ++d) {
+    float rv = row[d];
+    const float* q = qt + d * kTileLanesF32;
+    for (size_t lane = 0; lane < kTileLanesF32; ++lane) {
+      float diff = q[lane] - rv;
+      acc[lane] += diff * diff;
+    }
+  }
+  for (size_t lane = 0; lane < kTileLanesF32; ++lane) out[lane] = acc[lane];
+}
+
+inline void L1LanesF32Generic(const float* qt, const float* row, size_t dim,
+                              float* out) {
+  float acc[kTileLanesF32] = {};
+  for (size_t d = 0; d < dim; ++d) {
+    float rv = row[d];
+    const float* q = qt + d * kTileLanesF32;
+    for (size_t lane = 0; lane < kTileLanesF32; ++lane) {
+      acc[lane] += std::abs(q[lane] - rv);
+    }
+  }
+  for (size_t lane = 0; lane < kTileLanesF32; ++lane) out[lane] = acc[lane];
+}
+
+inline void DotLanesF32Generic(const float* qt, const float* row, size_t dim,
+                               float* out) {
+  float acc[kTileLanesF32] = {};
+  for (size_t d = 0; d < dim; ++d) {
+    float rv = row[d];
+    const float* q = qt + d * kTileLanesF32;
+    for (size_t lane = 0; lane < kTileLanesF32; ++lane) {
+      acc[lane] += q[lane] * rv;
+    }
+  }
+  for (size_t lane = 0; lane < kTileLanesF32; ++lane) out[lane] = acc[lane];
+}
+
+#endif  // x86-64 SSE2
+
+#if DIVERSE_HAVE_AVX2_KERNELS
+
+// The fp32 AVX2 lane kernels mirror the generic loops vector-op for
+// scalar-op (sub/mul/add per coordinate, vertical only), so each lane's
+// float value is identical regardless of which variant ran — rescue sets do
+// not depend on the AVX2 build flag or CPU.
+
+__attribute__((target("avx2"))) inline void SquaredEuclideanLanesF32Avx2(
+    const float* qt, const float* row, size_t dim, float* out) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  for (size_t d = 0; d < dim; ++d) {
+    __m256 rv = _mm256_set1_ps(row[d]);
+    __m256 q0 = _mm256_loadu_ps(qt + d * kTileLanesF32);
+    __m256 q1 = _mm256_loadu_ps(qt + d * kTileLanesF32 + 8);
+    __m256 d0 = _mm256_sub_ps(q0, rv);
+    __m256 d1 = _mm256_sub_ps(q1, rv);
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(d0, d0));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(d1, d1));
+  }
+  _mm256_storeu_ps(out, acc0);
+  _mm256_storeu_ps(out + 8, acc1);
+}
+
+__attribute__((target("avx2"))) inline void L1LanesF32Avx2(const float* qt,
+                                                           const float* row,
+                                                           size_t dim,
+                                                           float* out) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  for (size_t d = 0; d < dim; ++d) {
+    __m256 rv = _mm256_set1_ps(row[d]);
+    __m256 q0 = _mm256_loadu_ps(qt + d * kTileLanesF32);
+    __m256 q1 = _mm256_loadu_ps(qt + d * kTileLanesF32 + 8);
+    acc0 = _mm256_add_ps(acc0, _mm256_and_ps(_mm256_sub_ps(q0, rv), abs_mask));
+    acc1 = _mm256_add_ps(acc1, _mm256_and_ps(_mm256_sub_ps(q1, rv), abs_mask));
+  }
+  _mm256_storeu_ps(out, acc0);
+  _mm256_storeu_ps(out + 8, acc1);
+}
+
+__attribute__((target("avx2"))) inline void DotLanesF32Avx2(const float* qt,
+                                                            const float* row,
+                                                            size_t dim,
+                                                            float* out) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  for (size_t d = 0; d < dim; ++d) {
+    __m256 rv = _mm256_set1_ps(row[d]);
+    __m256 q0 = _mm256_loadu_ps(qt + d * kTileLanesF32);
+    __m256 q1 = _mm256_loadu_ps(qt + d * kTileLanesF32 + 8);
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(q0, rv));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(q1, rv));
+  }
+  _mm256_storeu_ps(out, acc0);
+  _mm256_storeu_ps(out + 8, acc1);
+}
+
+#endif  // DIVERSE_HAVE_AVX2_KERNELS
+
+// Shared structure of the dense single-query fp32 kernels: eight partial
+// accumulators filled 8 coordinates at a time (vectorizable without any
+// reassociation by the compiler), a sequential tail accumulator, and a fixed
+// pairwise reduction. The bound analysis covers this order like any other;
+// the order depends only on n, so screened values stay deterministic. Low
+// dimensions skip the 8-way structure — its reduction would cost more than
+// the terms.
+template <typename TermFn>
+inline float Accumulate8F32(const float* a, const float* b, size_t n,
+                            const TermFn& term) {
+  if (n < 16) {
+    float s = 0.0f;
+    for (size_t d = 0; d < n; ++d) s += term(a[d], b[d]);
+    return s;
+  }
+  float acc[8] = {};
+  size_t n8 = n & ~size_t{7};
+  for (size_t d = 0; d < n8; d += 8) {
+    for (size_t j = 0; j < 8; ++j) acc[j] += term(a[d + j], b[d + j]);
+  }
+  float tail = 0.0f;
+  for (size_t d = n8; d < n; ++d) tail += term(a[d], b[d]);
+  float s0 = acc[0] + acc[4];
+  float s1 = acc[1] + acc[5];
+  float s2 = acc[2] + acc[6];
+  float s3 = acc[3] + acc[7];
+  return ((s0 + s2) + (s1 + s3)) + tail;
+}
+
+}  // namespace internal
+
+/// out[lane] = |q_lane - row|^2 in fp32 for each packed query lane.
+inline void SquaredEuclideanLanesF32(const float* qt, const float* row,
+                                     size_t dim, float* out) {
+#if DIVERSE_HAVE_AVX2_KERNELS
+  if (TileSimdEnabled()) {
+    internal::SquaredEuclideanLanesF32Avx2(qt, row, dim, out);
+    return;
+  }
+#endif
+  internal::SquaredEuclideanLanesF32Generic(qt, row, dim, out);
+}
+
+/// out[lane] = |q_lane - row|_1 in fp32.
+inline void L1LanesF32(const float* qt, const float* row, size_t dim,
+                       float* out) {
+#if DIVERSE_HAVE_AVX2_KERNELS
+  if (TileSimdEnabled()) {
+    internal::L1LanesF32Avx2(qt, row, dim, out);
+    return;
+  }
+#endif
+  internal::L1LanesF32Generic(qt, row, dim, out);
+}
+
+/// out[lane] = <q_lane, row> in fp32.
+inline void DotLanesF32(const float* qt, const float* row, size_t dim,
+                        float* out) {
+#if DIVERSE_HAVE_AVX2_KERNELS
+  if (TileSimdEnabled()) {
+    internal::DotLanesF32Avx2(qt, row, dim, out);
+    return;
+  }
+#endif
+  internal::DotLanesF32Generic(qt, row, dim, out);
+}
+
+/// In-place fp32 sqrt over `count` floats (packed SQRTPS where available;
+/// IEEE sqrt is correctly rounded, so identical to sqrtf per element).
+inline void SqrtLanesF32(float* vals, size_t count) {
+#if defined(__x86_64__) && defined(__SSE2__)
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    _mm_storeu_ps(vals + i, _mm_sqrt_ps(_mm_loadu_ps(vals + i)));
+  }
+  for (; i < count; ++i) vals[i] = std::sqrt(vals[i]);
+#else
+  for (size_t i = 0; i < count; ++i) vals[i] = std::sqrt(vals[i]);
+#endif
+}
+
+/// fp32 squared Euclidean distance |a - b|^2 (any representation mix).
+inline float SquaredEuclideanF32(const VecView& a, const VecView& b) {
+  if (!a.is_sparse() && !b.is_sparse()) {
+    return internal::Accumulate8F32(a.values, b.values, a.nnz,
+                                    [](float x, float y) {
+                                      float d = x - y;
+                                      return d * d;
+                                    });
+  }
+  float s = 0.0f;
+  if (a.is_sparse() && b.is_sparse()) {
+    internal::MergeSparse(
+        a, b,
+        [&s](float x, float y) {
+          float d = x - y;
+          s += d * d;
+        },
+        [&s](float x) { s += x * x; }, [&s](float y) { s += y * y; });
+    return s;
+  }
+  const VecView& sp = a.is_sparse() ? a : b;
+  const VecView& de = a.is_sparse() ? b : a;
+  size_t j = 0;
+  for (size_t i = 0; i < de.nnz; ++i) {
+    float sparse_v = 0.0f;
+    if (j < sp.nnz && sp.indices[j] == i) {
+      sparse_v = sp.values[j];
+      ++j;
+    }
+    float d = de.values[i] - sparse_v;
+    s += d * d;
+  }
+  return s;
+}
+
+/// fp32 Euclidean distance |a - b|.
+inline float EuclideanF32(const VecView& a, const VecView& b) {
+  return std::sqrt(SquaredEuclideanF32(a, b));
+}
+
+/// fp32 L1 distance |a - b|_1 (any representation mix).
+inline float L1F32(const VecView& a, const VecView& b) {
+  if (!a.is_sparse() && !b.is_sparse()) {
+    return internal::Accumulate8F32(
+        a.values, b.values, a.nnz,
+        [](float x, float y) { return std::abs(x - y); });
+  }
+  float s = 0.0f;
+  if (a.is_sparse() && b.is_sparse()) {
+    internal::MergeSparse(
+        a, b, [&s](float x, float y) { s += std::abs(x - y); },
+        [&s](float x) { s += std::abs(x); }, [&s](float y) { s += std::abs(y); });
+    return s;
+  }
+  const VecView& sp = a.is_sparse() ? a : b;
+  const VecView& de = a.is_sparse() ? b : a;
+  size_t j = 0;
+  for (size_t i = 0; i < de.nnz; ++i) {
+    float sparse_v = 0.0f;
+    if (j < sp.nnz && sp.indices[j] == i) {
+      sparse_v = sp.values[j];
+      ++j;
+    }
+    s += std::abs(de.values[i] - sparse_v);
+  }
+  return s;
+}
+
+/// fp32 inner product <a, b> (any representation mix).
+inline float DotF32(const VecView& a, const VecView& b) {
+  if (!a.is_sparse() && !b.is_sparse()) {
+    return internal::Accumulate8F32(a.values, b.values, a.nnz,
+                                    [](float x, float y) { return x * y; });
+  }
+  float s = 0.0f;
+  if (a.is_sparse() && b.is_sparse()) {
+    internal::MergeSparse(
+        a, b, [&s](float x, float y) { s += x * y; }, [](float) {},
+        [](float) {});
+    return s;
+  }
+  const VecView& sp = a.is_sparse() ? a : b;
+  const VecView& de = a.is_sparse() ? b : a;
+  for (size_t i = 0; i < sp.nnz; ++i) {
+    s += sp.values[i] * de.values[sp.indices[i]];
+  }
+  return s;
+}
+
+/// Polynomial arccos for the screened cosine kernels: the Abramowitz &
+/// Stegun 4.4.46 7th-degree form, |poly - acos| <= 2e-8 over [0, 1]
+/// (reflected for negatives), evaluated in fp32 (adding a few float ulps of
+/// rounding). Total absolute error stays below 1e-5, which CosineBound
+/// folds into the certified band — and which replaces a libm acos call
+/// (the dominant per-pair cost of angular screening) with one sqrt and
+/// eight multiply-adds. Requires x in [-1, 1].
+inline float AcosScreenPoly(float x) {
+  float ax = x < 0.0f ? -x : x;
+  float s = std::sqrt(1.0f - ax);
+  float p = -0.0012624911f;
+  p = p * ax + 0.0066700901f;
+  p = p * ax - 0.0170881256f;
+  p = p * ax + 0.0308918810f;
+  p = p * ax - 0.0501743046f;
+  p = p * ax + 0.0889789874f;
+  p = p * ax - 0.2145988016f;
+  p = p * ax + 1.5707963050f;
+  float r = s * p;
+  return x < 0.0f ? 3.14159265358979f - r : r;
+}
+
+/// Screened angular cosine distance from an fp32-accumulated dot product.
+/// The zero-norm conventions key off the *exact* double norms, so
+/// convention-valued pairs carry no fp32 error at all; a non-finite dot
+/// (fp32 overflow) yields NaN, which the certified comparisons of
+/// core/screen.h treat as "always rescue". The arccos is the certified
+/// AcosScreenPoly approximation, not libm acos.
+inline double AngularCosineFromScreenedDot(double dot, double na, double nb) {
+  if (na == 0.0 && nb == 0.0) return 0.0;
+  if (na == 0.0 || nb == 0.0) return M_PI / 2.0;
+  if (!std::isfinite(dot)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double c = dot / (na * nb);
+  c = c < -1.0 ? -1.0 : (c > 1.0 ? 1.0 : c);
+  return AcosScreenPoly(static_cast<float>(c));
 }
 
 }  // namespace kernels

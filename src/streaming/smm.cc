@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/distance_matrix.h"
+#include "core/screen.h"
 #include "util/check.h"
 
 namespace diverse {
@@ -41,18 +42,15 @@ void SmmEngine::Update(const Point& p) {
     return;
   }
 
-  // Update step of the current phase: one batched sweep over the columnar
-  // center mirror replaces the per-center virtual Distance loop.
-  center_dist_.resize(centers_.size());
-  metric_->DistanceToMany(p, centers_columnar_, 0, center_dist_);
-  size_t closest = 0;
+  // Update step of the current phase: one screened nearest-center sweep
+  // over the columnar center mirror — fp32 distances rule out all but the
+  // near-minimal centers, which are re-evaluated exactly, so the chosen
+  // host (first strict minimum) and the coverage decision below are
+  // bit-identical to the exact batched sweep it falls back to when
+  // screening is off.
   double closest_dist = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < center_dist_.size(); ++i) {
-    if (center_dist_[i] < closest_dist) {
-      closest_dist = center_dist_[i];
-      closest = i;
-    }
-  }
+  size_t closest =
+      ScreenedArgClosest(*metric_, p, centers_columnar_, &closest_dist);
   if (closest_dist > 4.0 * threshold_) {
     Entry e;
     e.center = p;
@@ -110,30 +108,18 @@ void SmmEngine::MergeStep() {
   // member of I is within 2 d_i, in which case it merges into that member
   // (the maximality witness), transferring delegates / counts. The kept
   // set grows its own columnar mirror as it goes, so the membership scan
-  // runs as chunked batched sweeps over contiguous rows — devirtualized
-  // like the tile path, but keeping the old scalar loop's early exit to
-  // within one chunk (a merge-heavy step costs ~|T| evaluations, not
-  // |T|^2/2). The mirror then becomes the post-merge centers_columnar_.
-  constexpr size_t kScanChunk = 16;
+  // runs as chunked screened threshold sweeps over contiguous rows
+  // (certainly-within and certainly-beyond fp32 verdicts need no exact
+  // evaluation; only band hits do), keeping the old scalar loop's early
+  // exit to within one chunk (a merge-heavy step costs ~|T| evaluations,
+  // not |T|^2/2) and returning the exact scan's first host. The mirror
+  // then becomes the post-merge centers_columnar_.
   double radius = 2.0 * threshold_;
   std::vector<Entry> kept;
   kept.reserve(centers_.size());
   Dataset kept_mirror;  // columnar mirror of `kept`, same order
-  double dist_chunk[kScanChunk];
   for (Entry& e : centers_) {
-    size_t host = kept.size();
-    for (size_t b = 0; b < kept.size() && host == kept.size();
-         b += kScanChunk) {
-      size_t bn = std::min(kScanChunk, kept.size() - b);
-      std::span<double> out(dist_chunk, bn);
-      metric_->DistanceToMany(e.center, kept_mirror, b, out);
-      for (size_t i = 0; i < bn; ++i) {
-        if (out[i] <= radius) {
-          host = b + i;
-          break;
-        }
-      }
-    }
+    size_t host = ScreenedFirstWithin(*metric_, e.center, kept_mirror, radius);
     if (host == kept.size()) {
       kept_mirror.Append(e.center);
       kept.push_back(std::move(e));

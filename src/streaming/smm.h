@@ -104,14 +104,13 @@ class SmmEngine {
 
   std::vector<Entry> centers_;
   // Columnar mirror of the centers in `centers_` (same order), so the
-  // per-update nearest-center scan runs as one batched devirtualized sweep
-  // instead of |T| virtual Distance calls, the phase-threshold pairwise
-  // scans run as blocked distance tiles (DistanceMatrix over the mirror),
-  // and merge steps scan their growing kept mirror in chunked batched
-  // sweeps. Appended to on insertion, replaced by the kept mirror after
-  // merges.
+  // per-update nearest-center scan runs as one screened devirtualized sweep
+  // (core/screen.h) instead of |T| virtual Distance calls, the
+  // phase-threshold pairwise scans run as blocked distance tiles
+  // (DistanceMatrix over the mirror), and merge steps scan their growing
+  // kept mirror in chunked screened threshold sweeps. Appended to on
+  // insertion, replaced by the kept mirror after merges.
   Dataset centers_columnar_;
-  std::vector<double> center_dist_;  // scratch for the batched sweep
   PointSet removed_;  // M: points dropped in the current phase's merges
   double threshold_ = 0.0;
   bool initializing_ = true;

@@ -19,6 +19,7 @@
 #include "core/dataset.h"
 #include "core/gmm.h"
 #include "core/metric.h"
+#include "core/screen.h"
 #include "core/sequential.h"
 #include "data/sparse_text.h"
 #include "data/synthetic.h"
@@ -177,13 +178,32 @@ TEST(BatchKernelTest, CountingMetricCountsBatchedEvaluationsExactly) {
 }
 
 TEST(BatchKernelTest, CountingMetricGmmCostIsExactlyKTimesN) {
-  PointSet pts = DensePoints(200, 3, /*seed=*/32);
+  // dim >= 8: single-query sweeps below that are gated back to the exact
+  // path (not enough per-row work to amortize a screen).
+  PointSet pts = DensePoints(200, 8, /*seed=*/32);
   Dataset data = Dataset::FromPoints(pts);
   EuclideanMetric base;
-  CountingMetric counting(&base);
   size_t k = 9;
-  Gmm(data, counting, k);
-  EXPECT_EQ(counting.count(), k * pts.size());
+  // Exact path: exactly k * n exact evaluations, nothing screened.
+  {
+    ScopedScreening off(false);
+    CountingMetric counting(&base);
+    Gmm(data, counting, k);
+    EXPECT_EQ(counting.count(), k * pts.size());
+    EXPECT_EQ(counting.screened_evals(), 0u);
+  }
+  // Screened path: the same k * n sweep positions go through the fp32
+  // kernels, and the exact (rescue) count never exceeds the pre-screening
+  // baseline. (On this workload most relax positions are certified skips.)
+  {
+    ScopedScreening on(true);
+    CountingMetric counting(&base);
+    Gmm(data, counting, k);
+    EXPECT_EQ(counting.screened_evals(), k * pts.size());
+    EXPECT_LE(counting.exact_evals(), k * pts.size());
+    EXPECT_GT(counting.exact_evals(), 0u);
+    EXPECT_LT(counting.exact_evals(), counting.screened_evals());
+  }
 }
 
 TEST(BatchKernelTest, GmmMatchesScalarReferenceAllMetricsAllLayouts) {

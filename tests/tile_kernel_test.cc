@@ -29,6 +29,7 @@
 #include "core/distance_matrix.h"
 #include "core/kcenter.h"
 #include "core/metric.h"
+#include "core/screen.h"
 #include "core/sequential.h"
 #include "core/vector_kernels.h"
 #include "data/sparse_text.h"
@@ -373,16 +374,35 @@ TEST(TileKernelTest, GreedyMatchingRefillScansOnlyLiveRows) {
   pts.push_back(Point::Dense2(1e6f, 1e6f));
 
   EuclideanMetric base;
-  CountingMetric counting(&base);
   Dataset data = Dataset::FromPoints(pts);
-  std::vector<size_t> chosen = GreedyMatchingOnDataset(data, counting, 4);
-  EXPECT_EQ(chosen.size(), 4u);
-
   // Initial scan: n(n-1)/2. One refill over the 68 live rows after the hub
   // pair is consumed: 68*67/2. Nothing else.
   uint64_t initial = static_cast<uint64_t>(n) * (n - 1) / 2;
   uint64_t refill = static_cast<uint64_t>(n - 2) * (n - 3) / 2;
-  EXPECT_EQ(counting.count(), initial + refill);
+
+  // Exact path: every scanned pair is an exact evaluation.
+  std::vector<size_t> chosen;
+  {
+    ScopedScreening off(false);
+    CountingMetric counting(&base);
+    chosen = GreedyMatchingOnDataset(data, counting, 4);
+    EXPECT_EQ(chosen.size(), 4u);
+    EXPECT_EQ(counting.count(), initial + refill);
+    EXPECT_EQ(counting.screened_evals(), 0u);
+  }
+
+  // Screened path: the same pairs are screened in fp32 and only the pairs
+  // the buffer could keep are re-evaluated exactly — never more than the
+  // pre-screening baseline, and the selection is unchanged.
+  {
+    ScopedScreening on(true);
+    CountingMetric counting(&base);
+    std::vector<size_t> screened = GreedyMatchingOnDataset(data, counting, 4);
+    EXPECT_EQ(screened, chosen);
+    EXPECT_EQ(counting.screened_evals(), initial + refill);
+    EXPECT_LE(counting.exact_evals(), initial + refill);
+    EXPECT_GT(counting.exact_evals(), 0u);
+  }
 
   // Same selection as the matrix reference.
   DistanceMatrix d(std::span<const Point>(pts), base);
