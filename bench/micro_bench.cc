@@ -34,6 +34,7 @@
 #include "core/metric.h"
 #include "core/screen.h"
 #include "core/sequential.h"
+#include "core/unfused_screen_metric.h"
 #include "core/vector_kernels.h"
 #include "data/sparse_text.h"
 #include "data/synthetic.h"
@@ -735,6 +736,143 @@ void BM_ScreenedSweepSparseEuclideanExact(benchmark::State& state) {
   state.SetLabel("euclidean");
 }
 BENCHMARK(BM_ScreenedSweepSparseEuclideanExact)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+
+void BM_FusedScreenRelaxDense(benchmark::State& state) {
+  EuclideanMetric m;
+  size_t dim = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeDenseScreenedSweep(dim);
+  if (!s.VerifyAndReportRescue(state, m)) return;
+  for (auto _ : state) {
+    s.dist.assign(kScreenN, std::numeric_limits<double>::infinity());
+    size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+        m, s.center_rows, 0, s.center_rows.size(), 0, s.data, s.dist,
+        s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScreenN * kScreenK));
+  state.counters["n"] = static_cast<double>(kScreenN);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_FusedScreenRelaxDense)->Arg(3)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FusedScreenRelaxDenseUnfused(benchmark::State& state) {
+  EuclideanMetric inner;
+  UnfusedScreenMetric m(&inner);
+  size_t dim = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeDenseScreenedSweep(dim);
+  if (!s.VerifyAndReportRescue(state, m)) return;
+  for (auto _ : state) {
+    s.dist.assign(kScreenN, std::numeric_limits<double>::infinity());
+    size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+        m, s.center_rows, 0, s.center_rows.size(), 0, s.data, s.dist,
+        s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScreenN * kScreenK));
+  state.counters["n"] = static_cast<double>(kScreenN);
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean/unfused");
+}
+BENCHMARK(BM_FusedScreenRelaxDenseUnfused)->Arg(3)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// The fused SMM "argmin + threshold" update sweep at dim 3 — below the old
+// >=8-coords-per-row gate, so the pre-fusion engine ran this exact. Arg(1)
+// screens (fused sweep), Arg(0) is the exact baseline.
+void BM_FusedScreenSmmUpdate(benchmark::State& state) {
+  EuclideanMetric m;
+  bool screening = state.range(0) != 0;
+  SetGlobalThreadPoolSize(1);
+  PointSet pts = GenerateUniformCube(100000, 3, 4);
+  ScopedScreening guard(screening);
+  Smm smm(&m, 64, 128);
+  size_t i = 0;
+  for (auto _ : state) {
+    smm.Update(pts[i++ % pts.size()]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["n"] = 128;
+  state.counters["dim"] = 3;
+  state.counters["threads"] = 1;
+  state.SetLabel(screening ? "euclidean/screened" : "euclidean/exact");
+}
+BENCHMARK(BM_FusedScreenSmmUpdate)->Arg(1)->Arg(0);
+
+// The cosine-space angular screen on an all-sparse corpus: the skip path
+// pays one multiply-compare per lane off the blocked CSR dot engine — no
+// arccos — which is what finally lets sparse cosine screen profitably
+// (the pre-fusion gate kept it on the exact path).
+ScreenedSweepSetup MakeSparseCosineScreenedSweep(size_t n) {
+  ScreenedSweepSetup s;
+  SparseTextOptions opts;
+  opts.n = n;
+  opts.vocab_size = 5000;
+  opts.min_terms = 60;
+  opts.max_terms = 120;
+  opts.seed = 16;
+  s.data = Dataset::FromPoints(GenerateSparseTextDataset(opts));
+  CosineMetric m;
+  for (size_t c : Gmm(s.data, m, kScreenK).selected) {
+    s.center_rows.Append(s.data.point(c));
+  }
+  s.assignment.resize(n);
+  return s;
+}
+
+void BM_FusedScreenSparseCosine(benchmark::State& state) {
+  CosineMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeSparseCosineScreenedSweep(n);
+  if (!s.VerifyAndReportRescue(state, m)) return;
+  for (auto _ : state) {
+    s.dist.assign(n, std::numeric_limits<double>::infinity());
+    size_t farthest = ScreenedRelaxTilesAndArgFarthest(
+        m, s.center_rows, 0, s.center_rows.size(), 0, s.data, s.dist,
+        s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * kScreenK));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 5000;
+  state.counters["threads"] = 1;
+  state.SetLabel("cosine");
+}
+BENCHMARK(BM_FusedScreenSparseCosine)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FusedScreenSparseCosineExact(benchmark::State& state) {
+  CosineMetric m;
+  size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  ScreenedSweepSetup s = MakeSparseCosineScreenedSweep(n);
+  ScopedScreening off(false);
+  for (auto _ : state) {
+    s.dist.assign(n, std::numeric_limits<double>::infinity());
+    size_t farthest =
+        RelaxTilesAndArgFarthest(m, s.center_rows, 0, s.center_rows.size(), 0,
+                                 s.data, s.dist, s.assignment);
+    benchmark::DoNotOptimize(farthest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * kScreenK));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 5000;
+  state.counters["threads"] = 1;
+  state.SetLabel("cosine");
+}
+BENCHMARK(BM_FusedScreenSparseCosineExact)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
 // Screened GMM end to end at dim 16 (single-query sweeps below ~dim 8 are

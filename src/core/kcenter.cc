@@ -113,10 +113,12 @@ KCenterResult SolveKCenterDoubling(std::span<const Point> points,
   // Final assignment: one blocked multi-center tile pass over the columnar
   // rows (every row block is loaded once for all centers instead of once per
   // center), recording the rank of the first nearest center exactly like the
-  // per-center relax sweeps did. The pass is screened: fp32 tiles prove most
-  // (center, row) pairs cannot improve the row's distance, and only the
-  // rest are re-evaluated exactly — assignment, radius, and ties are
-  // bit-identical to the exact tile pass.
+  // per-center relax sweeps did. The pass is screened through the fused
+  // Metric::ScreenedRelaxTile kernel: fp32 lane values prove most
+  // (center, row) pairs cannot improve the row's distance without ever
+  // materializing an fp32 tile, and only band hits are re-evaluated
+  // exactly — assignment, radius, and ties are bit-identical to the exact
+  // tile pass.
   Dataset data = Dataset::FromPoints(points);
   Dataset center_rows;
   for (size_t c : result.centers) center_rows.Append(points[c]);

@@ -1,11 +1,13 @@
 #include "core/metric.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/screen.h"
 #include "core/sparse_kernels.h"
 #include "core/vector_kernels.h"
 #include "util/check.h"
@@ -403,24 +405,280 @@ ScreenBound AdditiveBound(size_t m) {
   return ScreenBound{(2.0 * static_cast<double>(m) + 64.0) * kF32Eps, 1e-18};
 }
 
-// Cosine: |dot32 - dot| <= gamma(m+1) * ||a|| ||b|| (Cauchy-Schwarz over
-// the absolute terms) gives an absolute error e_c on the cosine after the
-// exact-double norm division (the fp32 narrowing of the quotient is
-// another u, inside the 2x margin), inflated by the denormal floor over
-// the smallest positive norm product; acos turns it into an absolute
-// angular band via the Hölder-type bound
-// |acos x - acos y| <= sqrt(2|x-y|) + |x-y| (the endpoint increment
-// acos(1 - e) is the maximum and is below sqrt(2e) + e for every e in
-// [0, 2]). The screened kernels evaluate the arccos itself with
-// kernels::AcosScreenPoly, whose absolute error is under 1e-5 — added
-// last. Zero-norm pairs take the exact convention values and carry no
-// error at all.
-ScreenBound CosineBound(size_t m, double min_norm_q, double min_norm_r) {
+// Cosine-space error band of the fp32 dot kernels:
+// |dot32 - dot| <= gamma(m+1) * ||a|| ||b|| (Cauchy-Schwarz over the
+// absolute terms, any summation order) gives an absolute error e_c on the
+// cosine after the exact-double norm division (the fp32 narrowing of the
+// quotient is another u, inside the 2x margin), inflated by the denormal
+// floor over the smallest positive norm product. Zero-norm pairs take the
+// exact convention values and carry no error at all. The cosine-space
+// sparse screen (CosineSparseScreenedRelaxTile) compares in this band
+// directly; CosineBound below turns it into an absolute angular band via
+// the Hölder-type bound |acos x - acos y| <= sqrt(2|x-y|) + |x-y| (the
+// endpoint increment acos(1 - e) is the maximum and is below sqrt(2e) + e
+// for every e in [0, 2]), plus 1e-5 for kernels::AcosScreenPoly — the
+// screened angular kernels evaluate the arccos with that polynomial.
+double CosineSpaceError(size_t m, double min_norm_q, double min_norm_r) {
   double md = static_cast<double>(m);
-  double e_c = (2.0 * md + 32.0) * kF32Eps;
-  e_c += md * 3e-45 / (min_norm_q * min_norm_r);
+  return (2.0 * md + 32.0) * kF32Eps +
+         md * 3e-45 / (min_norm_q * min_norm_r);
+}
+
+ScreenBound CosineBound(size_t m, double min_norm_q, double min_norm_r) {
+  double e_c = CosineSpaceError(m, min_norm_q, min_norm_r);
   double e_d = std::sqrt(2.0 * e_c) + e_c + 1e-5;
   return ScreenBound{0.0, std::min(e_d, 4.0)};
+}
+
+// --- Fused screened tile relax --------------------------------------------
+// Certain-skip cutoff in squared space for the fused Euclidean kernel: the
+// lane values stay SQUARED (no SQRTPS on the skip path), so the
+// distance-space skip threshold thr must map to a squared cutoff hi with
+//   v > hi (finite)  =>  sqrtf(v) > thr.
+// IEEE sqrt is correctly rounded and monotone, so the exact boundary is
+// within ~2.5 float ulps of thr^2; a 1e-6 relative inflation clears it with
+// orders of magnitude to spare. Outside the float range where the relative
+// margin is trustworthy (subnormal or near-overflow squares) the cutoff
+// degrades to +inf — no certain skip, every lane goes through the certified
+// candidate test, which is always safe.
+float SquaredSkipCutoff(float thr) {
+  if (!(thr < std::numeric_limits<float>::infinity())) {
+    return std::numeric_limits<float>::infinity();
+  }
+  float t2 = thr * thr;
+  if (t2 >= 1e-30f && t2 <= 1e37f) return t2 * (1.0f + 1e-6f);
+  return std::numeric_limits<float>::infinity();
+}
+
+// The register-resident screen + relax + rescue loop behind
+// Metric::ScreenedRelaxTile for all-dense layouts. Per data row: one
+// 16-lane fp32 kernel call into a 64-byte stack buffer and one packed
+// compare against the row's certain-skip cutoff (kernels::RescueMask16F32);
+// only rows with a lane in the certified band do further work. Besides
+// removing the fp32 tile traffic (write + re-read of nq x nr floats, which
+// dominates at low dimension), the fused loop certifies skips MORE
+// aggressively than the unfused base loop: band-hit rows resolve through a
+// per-row argmin screen instead of the serial per-center cascade, so the
+// rescue set is typically SMALLER (never more than nq * nr; fused <=
+// unfused is pinned in screen_test) while the final dist / assignment /
+// argmax stay bit-identical to the exact relax fold.
+
+// The fused loop. Two facts make it both fast and safe:
+//
+//   * The tile relax is a strict-min fold: the final (dist[r],
+//     assignment[r]) is the exact minimum over incoming dist and all lane
+//     distances, with the FIRST rank winning exact ties — a pure function
+//     of the pair distances, independent of relax order. So a fused kernel
+//     need not replay the unfused loop's serial lane cascade; it only has
+//     to produce that function's value bit for bit.
+//   * Per row, the candidates for that minimum are certified by the
+//     argmin-screening argument (see ScreenedArgClosestWithin): with
+//     U = min(dist[r], ScreenedUpper(smin)) over the row's finite lane
+//     values, any lane whose certified lower bound exceeds U provably
+//     cannot improve or tie the final minimum. Evaluating only the
+//     candidates, in ascending rank with a strict-min relax, reproduces
+//     the exact fold — typically ONE exact evaluation per touched row,
+//     against the serial cascade's string of band hits (and strictly no
+//     more than the nq * nr the unscreened path pays).
+//
+// The fast path stays one packed compare: rows where every lane clears the
+// certain-skip cutoff (mask_thr[r], in the lane kernels' native value
+// space — squared for Euclidean, so no SQRTPS runs there) are done in
+// ~RescueMask16F32 alone. A band-hit row's argmin screen is packed too:
+// MinFinite16F32 reduces the lane block (still in native space — sqrt and
+// min commute, so Euclidean pays ONE scalar sqrt on the reduced value,
+// `to_distance_scalar`), the candidate cutoff maps back through
+// mask_cutoff, and a second RescueMask16F32 yields the candidate bitset —
+// walked in ascending rank so exact ties keep first-rank semantics.
+template <typename LaneF32Fn, typename FinishFn, typename ToDistanceFn,
+          typename MaskCutoffFn, typename ExactPairFn>
+size_t FusedDenseScreenedRelaxTile(
+    const Dataset& queries, size_t q_begin, size_t nq, size_t rank_base,
+    const Dataset& data, size_t r_begin, size_t nr, const ScreenBound& bound,
+    std::span<double> dist, std::span<size_t> assignment,
+    const LaneF32Fn& lanes, const FinishFn& finish,
+    const ToDistanceFn& to_distance_scalar, const MaskCutoffFn& mask_cutoff,
+    const ExactPairFn& exact_pair) {
+  constexpr size_t kRowBlock = 256;
+  constexpr size_t kLanes = kernels::kTileLanesF32;
+  const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
+  const size_t dim = data.dim();
+  size_t exact_evals = 0;
+  thread_local std::vector<float> qt;
+  thread_local std::vector<float> mask_thr;
+  qt.resize(dim * kLanes);
+  kernels::VecView qv[kLanes];
+  float vals[kLanes];
+  for (size_t rb = 0; rb < nr; rb += kRowBlock) {
+    size_t rn = std::min(kRowBlock, nr - rb);
+    // Cache each row's certain-skip cutoff for the whole center sweep; it
+    // only changes when a rescue improves the row's distance.
+    mask_thr.resize(rn);
+    for (size_t i = 0; i < rn; ++i) {
+      mask_thr[i] = mask_cutoff(
+          ScreenSkipThreshold(dist[r_begin + rb + i], bound.abs, inv_rel));
+    }
+    for (size_t qc = 0; qc < nq; qc += kLanes) {
+      size_t qn = std::min(kLanes, nq - qc);
+      for (size_t l = 0; l < qn; ++l) {
+        qv[l] = queries.row(q_begin + qc + l);
+      }
+      kernels::PackQueryLanesF32(qv, qn, dim, qt.data());
+      const uint32_t lane_mask =
+          qn >= kLanes ? 0xFFFFu : ((1u << qn) - 1u);
+      for (size_t r = 0; r < rn; ++r) {
+        size_t gr = r_begin + rb + r;
+        kernels::VecView row = data.row(gr);
+        lanes(qt.data(), row.values, dim, vals);
+        finish(vals, qv, row, qn);
+        if ((kernels::RescueMask16F32(vals, mask_thr[r]) & lane_mask) == 0) {
+          continue;
+        }
+        // Band hit: run the certified argmin screen for this row's
+        // strict-min fold. Padding lanes (zero-filled queries) must not
+        // reach the packed min.
+        if (qn < kLanes) {
+          for (size_t l = qn; l < kLanes; ++l) {
+            vals[l] = std::numeric_limits<float>::infinity();
+          }
+        }
+        float smin = to_distance_scalar(kernels::MinFinite16F32(vals));
+        double min_upper = std::min(dist[gr], ScreenedUpper(smin, bound));
+        float cutoff = mask_cutoff(NextUpNonNegativeF32(
+            static_cast<float>((min_upper + bound.abs) * inv_rel)));
+        uint32_t cand = kernels::RescueMask16F32(vals, cutoff) & lane_mask;
+        bool improved = false;
+        while (cand != 0) {
+          size_t l = static_cast<size_t>(std::countr_zero(cand));
+          cand &= cand - 1;
+          double d = exact_pair(qv[l], row);
+          ++exact_evals;
+          if (d < dist[gr]) {
+            dist[gr] = d;
+            if (!assignment.empty()) assignment[gr] = rank_base + qc + l;
+            improved = true;
+          }
+        }
+        if (improved) {
+          mask_thr[r] = mask_cutoff(
+              ScreenSkipThreshold(dist[gr], bound.abs, inv_rel));
+        }
+      }
+    }
+  }
+  return exact_evals;
+}
+
+// Cosine-space screened relax for all-sparse tiles: the screen compares
+// raw fp32 dots against per-row cos thresholds, so the skip path costs the
+// SparseDotLanesF32 walks plus one multiply-compare per lane — no arccos
+// anywhere. Every center chunk is decoded ONCE per call and a row streams
+// against all of them back to back, so a band-hit row screens its ENTIRE
+// center set at once: the certified cosine-space argmin test (angular min
+// is cosine max; C_LO lower-bounds the cosine of the row's final minimum,
+// so lanes certified below it cannot improve or tie the strict-min fold)
+// leaves typically ONE candidate per row per sweep to pay the exact
+// per-pair merge — not one per 8-lane chunk, which is what makes sparse
+// cosine screening profitable at all (rescued merges are ~an order of
+// magnitude costlier than blocked pairs). Zero-norm rows and lanes always
+// rescue: their distances are convention values the screen does not model.
+// Deterministic: decode order, walk order, and thresholds depend only on
+// inputs.
+size_t CosineSparseScreenedRelaxTile(const Dataset& queries, size_t q_begin,
+                                     size_t nq, size_t rank_base,
+                                     const Dataset& data, size_t r_begin,
+                                     size_t nr, std::span<double> dist,
+                                     std::span<size_t> assignment) {
+  constexpr size_t kSub = kernels::kTileLanes;
+  const double inf = std::numeric_limits<double>::infinity();
+  const float flt_max = std::numeric_limits<float>::max();
+  ScreenSideStats qs = SideStatsOf(queries);
+  ScreenSideStats rs = SideStatsOf(data);
+  const double e_c = CosineSpaceError(MaxPairTerms(qs, rs, data.dim()),
+                                      qs.min_positive_norm,
+                                      rs.min_positive_norm);
+  // Absorbs the cos() rounding and the norm multiplications/divisions of
+  // the skip tests (each ~1e-16, far below this absolute cosine slack).
+  constexpr double kCosSlack = 1e-9;
+  size_t exact_evals = 0;
+  size_t num_sub = (nq + kSub - 1) / kSub;
+  thread_local std::vector<kernels::SparseTileScratch> ws_pool;
+  if (ws_pool.size() < num_sub) ws_pool.resize(num_sub);
+  thread_local std::vector<kernels::VecView> qv;
+  thread_local std::vector<double> qnorm;
+  thread_local std::vector<double> inv_nb;
+  thread_local std::vector<float> dots;
+  thread_local std::vector<double> cvals;
+  qv.resize(nq);
+  qnorm.resize(nq);
+  inv_nb.resize(nq);
+  dots.resize(num_sub * kSub);
+  cvals.resize(nq);
+  for (size_t l = 0; l < nq; ++l) {
+    qv[l] = queries.row(q_begin + l);
+    qnorm[l] = qv[l].norm;
+    inv_nb[l] = qnorm[l] > 0.0 ? 1.0 / qnorm[l] : 0.0;
+  }
+  const size_t direct_dim = DirectIndexDim(data, nr);
+  for (size_t sub = 0; sub < num_sub; ++sub) {
+    size_t sub_n = std::min(kSub, nq - sub * kSub);
+    kernels::PackSparseQueryLanes(qv.data() + sub * kSub, sub_n, direct_dim,
+                                  ws_pool[sub]);
+  }
+  auto row_cos_threshold = [&](double cur, double rnorm) -> double {
+    // (cos(cur) - slack - e_c) * row_norm; -inf (never skip) when the row
+    // norm is zero or the row has not been relaxed yet.
+    if (!(rnorm > 0.0) || !(cur < inf)) return -inf;
+    return (std::cos(cur) - kCosSlack - e_c) * rnorm;
+  };
+  for (size_t r = 0; r < nr; ++r) {
+    size_t gr = r_begin + r;
+    kernels::VecView row = data.row(gr);
+    double na = row.norm;
+    double cthr = row_cos_threshold(dist[gr], na);
+    uint32_t any = 0;
+    for (size_t sub = 0; sub < num_sub; ++sub) {
+      any |= kernels::SparseCosineScreenLanes(ws_pool[sub], row, cthr,
+                                              qnorm.data() + sub * kSub,
+                                              dots.data() + sub * kSub);
+    }
+    if (any == 0) continue;
+    if (na > 0.0) {
+      double inv_na = 1.0 / na;
+      // Lower bound on cos(dist[gr]), division rounding inside the slack.
+      double c_lo = cthr * inv_na + e_c;
+      for (size_t l = 0; l < nq; ++l) {
+        float s = dots[l];
+        if (qnorm[l] > 0.0 && s >= -flt_max && s <= flt_max) {
+          double c = static_cast<double>(s) * inv_na * inv_nb[l];
+          cvals[l] = c;
+          if (c - e_c > c_lo) c_lo = c - e_c;
+        } else {
+          cvals[l] = inf;  // convention / overflow lane: always a candidate
+        }
+      }
+      for (size_t l = 0; l < nq; ++l) {
+        if (cvals[l] + e_c < c_lo) continue;
+        double d = kernels::AngularCosine(qv[l], row);
+        ++exact_evals;
+        if (d < dist[gr]) {
+          dist[gr] = d;
+          if (!assignment.empty()) assignment[gr] = rank_base + l;
+        }
+      }
+    } else {
+      // Zero-norm row: every pair takes its exact convention value.
+      for (size_t l = 0; l < nq; ++l) {
+        double d = kernels::AngularCosine(qv[l], row);
+        ++exact_evals;
+        if (d < dist[gr]) {
+          dist[gr] = d;
+          if (!assignment.empty()) assignment[gr] = rank_base + l;
+        }
+      }
+    }
+  }
+  return exact_evals;
 }
 
 }  // namespace
@@ -506,6 +764,69 @@ bool Metric::ScreeningProfitableFor(const Dataset&, const Dataset&) const {
 
 bool Metric::ScreeningProfitableFor(const Point&, const Dataset&) const {
   return ScreeningProfitable();
+}
+
+bool Metric::RelaxTileScreeningProfitableFor(const Dataset& queries,
+                                             const Dataset& data) const {
+  return ScreeningProfitableFor(queries, data);
+}
+
+size_t Metric::ScreenedRelaxTile(const Dataset& queries, size_t q_begin,
+                                 size_t nq, size_t rank_base,
+                                 const Dataset& data, size_t r_begin,
+                                 size_t nr, const ScreenBound& bound,
+                                 std::span<double> dist,
+                                 std::span<size_t> assignment) const {
+  // Unfused fallback, correct for any metric: materialize a kQChunk x
+  // kRowBlock fp32 tile through DistanceTileF32, collect the band hits
+  // against cached per-row skip thresholds, and batch their exact
+  // re-evaluations through DistanceRowsMany. Overriding never changes the
+  // relax fold's result — only which (and how many, typically fewer) pairs
+  // pay an exact rescue evaluation.
+  constexpr size_t kRowBlock = 256;
+  constexpr size_t kQChunk = 64;
+  const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
+  size_t exact_evals = 0;
+  thread_local std::vector<float> tile;
+  thread_local std::vector<float> thr;
+  thread_local std::vector<uint32_t> rescue;
+  thread_local std::vector<double> rescued_d;
+  for (size_t rb = 0; rb < nr; rb += kRowBlock) {
+    size_t rn = std::min(kRowBlock, nr - rb);
+    size_t row0 = r_begin + rb;
+    thr.resize(rn);
+    for (size_t i = 0; i < rn; ++i) {
+      thr[i] = ScreenSkipThreshold(dist[row0 + i], bound.abs, inv_rel);
+    }
+    for (size_t qc = 0; qc < nq; qc += kQChunk) {
+      size_t qn = std::min(kQChunk, nq - qc);
+      tile.resize(qn * rn);
+      DistanceTileF32(queries, q_begin + qc, qn, data, row0, rn, tile.data(),
+                      rn);
+      for (size_t q = 0; q < qn; ++q) {
+        const float* tile_row = tile.data() + q * rn;
+        rescue.clear();
+        CollectScreenRescues(tile_row, thr.data(), rn,
+                             static_cast<uint32_t>(row0), rescue);
+        if (rescue.empty()) continue;
+        rescued_d.resize(rescue.size());
+        DistanceRowsMany(queries, q_begin + qc + q, data, rescue,
+                         rescued_d.data());
+        exact_evals += rescue.size();
+        size_t rank = rank_base + qc + q;
+        for (size_t t = 0; t < rescue.size(); ++t) {
+          size_t row = rescue[t];
+          double d = rescued_d[t];
+          if (d < dist[row]) {
+            dist[row] = d;
+            if (!assignment.empty()) assignment[row] = rank;
+            thr[row - row0] = ScreenSkipThreshold(d, bound.abs, inv_rel);
+          }
+        }
+      }
+    }
+  }
+  return exact_evals;
 }
 
 size_t RelaxTilesAndArgFarthest(const Metric& metric, const Dataset& queries,
@@ -693,6 +1014,37 @@ void EuclideanMetric::DistanceRowsMany(const Dataset& a, size_t i,
   kernels::SqrtLanes(out, rows.size());
 }
 
+size_t EuclideanMetric::ScreenedRelaxTile(const Dataset& queries,
+                                          size_t q_begin, size_t nq,
+                                          size_t rank_base,
+                                          const Dataset& data, size_t r_begin,
+                                          size_t nr, const ScreenBound& bound,
+                                          std::span<double> dist,
+                                          std::span<size_t> assignment) const {
+  if (queries.sparse_stats().rows > 0 || data.sparse_stats().rows > 0 ||
+      data.dim() == 0) {
+    // Sparse or mixed layouts keep the unfused tile path (the sparse
+    // engine's block decode already amortizes; the fusion win is dense tile
+    // traffic). Gate reads only dataset statistics — deterministic.
+    return Metric::ScreenedRelaxTile(queries, q_begin, nq, rank_base, data,
+                                     r_begin, nr, bound, dist, assignment);
+  }
+  // The lane values stay SQUARED everywhere (SquaredSkipCutoff maps both
+  // the certain-skip and the candidate cutoffs instead — sound by sqrt
+  // monotonicity, which also lets the packed min reduce in squared space):
+  // the only square root on the screen side is the one scalar sqrtf on a
+  // band-hit row's reduced minimum.
+  return FusedDenseScreenedRelaxTile(
+      queries, q_begin, nq, rank_base, data, r_begin, nr, bound, dist,
+      assignment, kernels::SquaredEuclideanLanesF32,
+      [](float*, const kernels::VecView*, const kernels::VecView&, size_t) {},
+      [](float v) { return std::sqrt(v); },
+      [](float thr) { return SquaredSkipCutoff(thr); },
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return kernels::Euclidean(q, row);
+      });
+}
+
 ScreenBound EuclideanMetric::ScreenErrorBound(const Dataset& queries,
                                               const Dataset& data) const {
   return AdditiveBound(
@@ -771,6 +1123,29 @@ void ManhattanMetric::DistanceToManyF32(const Point& query,
 double ManhattanMetric::DistanceRows(const Dataset& a, size_t i,
                                      const Dataset& b, size_t j) const {
   return kernels::L1(a.row(i), b.row(j));
+}
+
+size_t ManhattanMetric::ScreenedRelaxTile(const Dataset& queries,
+                                          size_t q_begin, size_t nq,
+                                          size_t rank_base,
+                                          const Dataset& data, size_t r_begin,
+                                          size_t nr, const ScreenBound& bound,
+                                          std::span<double> dist,
+                                          std::span<size_t> assignment) const {
+  if (queries.sparse_stats().rows > 0 || data.sparse_stats().rows > 0 ||
+      data.dim() == 0) {
+    return Metric::ScreenedRelaxTile(queries, q_begin, nq, rank_base, data,
+                                     r_begin, nr, bound, dist, assignment);
+  }
+  return FusedDenseScreenedRelaxTile(
+      queries, q_begin, nq, rank_base, data, r_begin, nr, bound, dist,
+      assignment, kernels::L1LanesF32,
+      [](float*, const kernels::VecView*, const kernels::VecView&, size_t) {},
+      [](float v) { return v; },
+      [](float thr) { return thr; },
+      [](const kernels::VecView& q, const kernels::VecView& row) {
+        return kernels::L1(q, row);
+      });
 }
 
 ScreenBound ManhattanMetric::ScreenErrorBound(const Dataset& queries,
@@ -881,6 +1256,58 @@ void CosineMetric::DistanceToManyF32(const Point& query, const Dataset& data,
 double CosineMetric::DistanceRows(const Dataset& a, size_t i,
                                   const Dataset& b, size_t j) const {
   return kernels::AngularCosine(a.row(i), b.row(j));
+}
+
+size_t CosineMetric::ScreenedRelaxTile(const Dataset& queries, size_t q_begin,
+                                       size_t nq, size_t rank_base,
+                                       const Dataset& data, size_t r_begin,
+                                       size_t nr, const ScreenBound& bound,
+                                       std::span<double> dist,
+                                       std::span<size_t> assignment) const {
+  bool all_dense = queries.sparse_stats().rows == 0 &&
+                   data.sparse_stats().rows == 0 && data.dim() > 0;
+  if (all_dense) {
+    // Dense tiles keep the angular screen (identical fp32 values and
+    // rescue decisions to the unfused tile), fused: the acos polynomial
+    // runs in the register-resident loop instead of over a materialized
+    // tile.
+    return FusedDenseScreenedRelaxTile(
+        queries, q_begin, nq, rank_base, data, r_begin, nr, bound, dist,
+        assignment, kernels::DotLanesF32,
+        [](float* vals, const kernels::VecView* qv,
+           const kernels::VecView& row, size_t qn) {
+          for (size_t l = 0; l < qn; ++l) {
+            vals[l] =
+                static_cast<float>(kernels::AngularCosineFromScreenedDot(
+                    vals[l], row.norm, qv[l].norm));
+          }
+        },
+        [](float v) { return v; },
+        [](float thr) { return thr; },
+        [](const kernels::VecView& q, const kernels::VecView& row) {
+          return kernels::AngularCosine(q, row);
+        });
+  }
+  if (queries.sparse_stats().rows == queries.size() &&
+      data.sparse_stats().rows == data.size() && !data.empty()) {
+    // All-sparse: the cosine-space screen over the blocked CSR dot engine.
+    return CosineSparseScreenedRelaxTile(queries, q_begin, nq, rank_base,
+                                         data, r_begin, nr, dist, assignment);
+  }
+  // Mixed layouts are gated off by RelaxTileScreeningProfitableFor; keep a
+  // correct fallback anyway.
+  return Metric::ScreenedRelaxTile(queries, q_begin, nq, rank_base, data,
+                                   r_begin, nr, bound, dist, assignment);
+}
+
+bool CosineMetric::RelaxTileScreeningProfitableFor(const Dataset& queries,
+                                                   const Dataset& data) const {
+  bool all_dense = queries.sparse_stats().rows == 0 &&
+                   data.sparse_stats().rows == 0;
+  bool all_sparse = queries.sparse_stats().rows == queries.size() &&
+                    data.sparse_stats().rows == data.size() &&
+                    !queries.empty() && !data.empty();
+  return all_dense || all_sparse;
 }
 
 ScreenBound CosineMetric::ScreenErrorBound(const Dataset& queries,

@@ -166,6 +166,43 @@ class Metric {
                                 std::span<const uint32_t> rows,
                                 double* out) const;
 
+  /// Fused screen + relax + rescue over a row range — the screened tile
+  /// sweep without the intermediate fp32 tile. Produces EXACTLY the relax
+  /// fold of RelaxTilesAndArgFarthest over centers [q_begin, q_begin + nq)
+  /// and rows [r_begin, r_begin + nr): final dist[r] is the exact minimum
+  /// over the incoming value and all center distances, assignment[r] the
+  /// rank_base-relative rank of the FIRST center achieving it (strict-min
+  /// semantics, exact ties to the lowest rank) — bit-identical to the
+  /// exact tile path. The fp32 screen and the certified skip tests (per-
+  /// row thresholds derived from dist[r] and `bound`; see core/screen.h)
+  /// only decide WHICH pairs pay an exact evaluation. Returns that number
+  /// of exact evaluations, which CountingMetric adds to its exact counter.
+  /// Implementations may certify skips more aggressively than the base
+  /// loop — the count is deterministic (a function of fp32 values and the
+  /// bound alone) and never exceeds nq * nr, but it is NOT promised equal
+  /// across implementations: the fused overrides typically rescue fewer
+  /// pairs than the base loop (tested fused <= unfused in screen_test).
+  /// dist/assignment span the whole dataset (absolute row indexing);
+  /// computed on the calling thread (screened sweeps partition rows
+  /// themselves). Requires bound.rel < 1 and bound == the value
+  /// ScreenErrorBound(queries, data) returned; callers gate on
+  /// RelaxTileScreeningProfitableFor first.
+  ///
+  /// The base implementation materializes thread-local fp32 tiles through
+  /// DistanceTileF32 and batches rescues through DistanceRowsMany — correct
+  /// for any metric. The concrete dense metrics override it with a
+  /// register-resident fused loop (one 16-lane fp32 kernel call and one
+  /// packed threshold compare per row, band hits resolved by a certified
+  /// per-row argmin screen), and CosineMetric additionally screens sparse
+  /// blocks in cosine space (per-row cos thresholds — no acos on the skip
+  /// path).
+  virtual size_t ScreenedRelaxTile(const Dataset& queries, size_t q_begin,
+                                   size_t nq, size_t rank_base,
+                                   const Dataset& data, size_t r_begin,
+                                   size_t nr, const ScreenBound& bound,
+                                   std::span<double> dist,
+                                   std::span<size_t> assignment) const;
+
   /// Certified |screened - exact| bound valid for every (query row, data
   /// row) pair of DistanceTileF32 over these datasets. Reads only dataset
   /// statistics (dim, nnz maxima, norm extrema), so the bound — and hence
@@ -199,6 +236,14 @@ class Metric {
                                       const Dataset& data) const;
   virtual bool ScreeningProfitableFor(const Point& query,
                                       const Dataset& data) const;
+
+  /// Gate for the fused screened tile relax (ScreenedRelaxTile). Defaults
+  /// to ScreeningProfitableFor(queries, data); CosineMetric widens it to
+  /// all-sparse layouts, which its fused kernel screens in cosine space —
+  /// profitable where the unfused angular tile (an acos per pair even on
+  /// the skip path) measured a net loss. Reads only dataset statistics.
+  virtual bool RelaxTileScreeningProfitableFor(const Dataset& queries,
+                                               const Dataset& data) const;
 
   /// Human-readable metric name, e.g. "euclidean".
   virtual std::string Name() const = 0;
@@ -243,6 +288,11 @@ class EuclideanMetric final : public Metric {
   void DistanceRowsMany(const Dataset& a, size_t i, const Dataset& b,
                         std::span<const uint32_t> rows,
                         double* out) const override;
+  size_t ScreenedRelaxTile(const Dataset& queries, size_t q_begin, size_t nq,
+                           size_t rank_base, const Dataset& data,
+                           size_t r_begin, size_t nr, const ScreenBound& bound,
+                           std::span<double> dist,
+                           std::span<size_t> assignment) const override;
   ScreenBound ScreenErrorBound(const Dataset& queries,
                                const Dataset& data) const override;
   ScreenBound ScreenErrorBound(const Point& query,
@@ -271,6 +321,11 @@ class ManhattanMetric final : public Metric {
                          size_t begin, std::span<float> out) const override;
   double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
                       size_t j) const override;
+  size_t ScreenedRelaxTile(const Dataset& queries, size_t q_begin, size_t nq,
+                           size_t rank_base, const Dataset& data,
+                           size_t r_begin, size_t nr, const ScreenBound& bound,
+                           std::span<double> dist,
+                           std::span<size_t> assignment) const override;
   ScreenBound ScreenErrorBound(const Dataset& queries,
                                const Dataset& data) const override;
   ScreenBound ScreenErrorBound(const Point& query,
@@ -303,6 +358,11 @@ class CosineMetric final : public Metric {
                          size_t begin, std::span<float> out) const override;
   double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
                       size_t j) const override;
+  size_t ScreenedRelaxTile(const Dataset& queries, size_t q_begin, size_t nq,
+                           size_t rank_base, const Dataset& data,
+                           size_t r_begin, size_t nr, const ScreenBound& bound,
+                           std::span<double> dist,
+                           std::span<size_t> assignment) const override;
   ScreenBound ScreenErrorBound(const Dataset& queries,
                                const Dataset& data) const override;
   ScreenBound ScreenErrorBound(const Point& query,
@@ -312,6 +372,11 @@ class CosineMetric final : public Metric {
                               const Dataset& data) const override;
   bool ScreeningProfitableFor(const Point& query,
                               const Dataset& data) const override;
+  /// Dense tiles screen in angular space (fused); all-sparse tiles screen
+  /// in cosine space through the blocked CSR dot engine — the skip path
+  /// pays one multiply-compare per pair instead of an arccos.
+  bool RelaxTileScreeningProfitableFor(const Dataset& queries,
+                                       const Dataset& data) const override;
   std::string Name() const override { return "cosine"; }
 };
 
@@ -408,6 +473,22 @@ class CountingMetric final : public Metric {
     base_->DistanceRowsMany(a, i, b, rows, out);
   }
 
+  size_t ScreenedRelaxTile(const Dataset& queries, size_t q_begin, size_t nq,
+                           size_t rank_base, const Dataset& data,
+                           size_t r_begin, size_t nr, const ScreenBound& bound,
+                           std::span<double> dist,
+                           std::span<size_t> assignment) const override {
+    // Every pair is screened in fp32; the fused kernel reports its exact
+    // rescue evaluations in the return value (its internal exact calls run
+    // devirtualized on base_, so this is the only accounting point).
+    screened_.fetch_add(nq * nr, std::memory_order_relaxed);
+    size_t rescued = base_->ScreenedRelaxTile(queries, q_begin, nq, rank_base,
+                                              data, r_begin, nr, bound, dist,
+                                              assignment);
+    count_.fetch_add(rescued, std::memory_order_relaxed);
+    return rescued;
+  }
+
   ScreenBound ScreenErrorBound(const Dataset& queries,
                                const Dataset& data) const override {
     return base_->ScreenErrorBound(queries, data);
@@ -430,6 +511,11 @@ class CountingMetric final : public Metric {
   bool ScreeningProfitableFor(const Point& query,
                               const Dataset& data) const override {
     return base_->ScreeningProfitableFor(query, data);
+  }
+
+  bool RelaxTileScreeningProfitableFor(const Dataset& queries,
+                                       const Dataset& data) const override {
+    return base_->RelaxTileScreeningProfitableFor(queries, data);
   }
 
   std::string Name() const override { return "counting(" + base_->Name() + ")"; }

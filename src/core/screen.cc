@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -32,52 +31,54 @@ size_t GrainRows(const Dataset& data) {
   return std::max(kMinGrainRows, kGrainOps / dim);
 }
 
-// Conservative skip machinery for the hot relax loops. The mathematically
-// exact skip test is ScreenedLower(t, bound) > cur; evaluating it per pair
-// costs a multiply-add, and the tile sweep compares each row's dist against
-// up to 64 centers. Instead, SkipThreshold precomputes — once per row, or
-// on a rescue that improves the row — the float threshold T(cur) such that
-// a finite screened value t > T certifies exact > cur: the exact condition
-// is t > (cur + abs) / (1 - rel), inflated by 1e-12 against the double
-// rounding of the transform and rounded UP to the next float (both slops
-// only widen the rescue band — more rescues, never an unsafe skip). The
-// inner loops then run one float compare per pair, vectorized four wide by
-// CollectRescues. NaN and +inf screened values (overflowed fp32
-// accumulators certify nothing) always rescue: NaN fails every comparison
-// and +inf fails t <= FLT_MAX.
-
-// Next float up for nonnegative input (+inf stays +inf): for positive IEEE
-// floats the bit pattern is monotone, so incrementing it is nextafterf
-// without the libm call.
-float NextUpNonNegative(float f) {
-  if (!(f < std::numeric_limits<float>::infinity())) {
-    return std::numeric_limits<float>::infinity();
+// Single-query *relax* sweeps (GMM's per-center loop) still gate on per-row
+// coordinate work: their fp32 pass re-reads a materialized buffer and the
+// rescue band stays populated throughout the k-step trajectory, so below
+// ~8 coords per row the screen only ties the exact sweep. The fused SMM
+// sweeps (ScreenedArgClosest / ScreenedArgClosestWithin /
+// ScreenedFirstWithin) carry no such gate: their skip path is one float
+// compare against precomputed cutoffs, profitable at any dimension. The
+// decision reads only dataset statistics — deterministic, and either
+// verdict is bit-identical.
+bool SingleQueryScreenWorthwhile(const Dataset& data) {
+  size_t work = data.has_dense_rows() ? data.dim() : 0;
+  const Dataset::SparseStats& ss = data.sparse_stats();
+  if (ss.rows > 0) {
+    work = std::max(work, static_cast<size_t>(2.0 * ss.AvgNnz()));
   }
-  uint32_t bits;
-  std::memcpy(&bits, &f, sizeof(bits));
-  ++bits;
-  std::memcpy(&f, &bits, sizeof(bits));
-  return f;
+  return work >= 8;
 }
 
-float SkipThreshold(double cur, double abs_term, double inv_one_minus_rel) {
-  if (!(cur < std::numeric_limits<double>::infinity())) {
-    return std::numeric_limits<float>::infinity();
+// Exact (unscreened) first-strict-argmin sweep — the fallback of the fused
+// nearest-center sweeps.
+size_t ExactArgClosest(const Metric& metric, const Point& query,
+                       const Dataset& data, double* min_dist) {
+  size_t n = data.size();
+  thread_local std::vector<double> d;
+  d.resize(n);
+  metric.DistanceToMany(query, data, 0, std::span<double>(d.data(), n));
+  size_t best = 0;
+  double best_val = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    if (d[i] < best_val) {
+      best_val = d[i];
+      best = i;
+    }
   }
-  double thr = (cur + abs_term) * inv_one_minus_rel;
-  return NextUpNonNegative(static_cast<float>(thr));
+  if (min_dist != nullptr) *min_dist = best_val;
+  return best;
 }
 
-// Appends base + i for every position whose screened value cannot be
-// certified-skipped: rescue iff !(t[i] > thr[i] && t[i] <= FLT_MAX). The
-// SSE2 fast path tests four lanes per compare and decodes lanes only when
-// at least one of the four rescues — on realistic sweeps the vast majority
-// of quads skip in two packed compares.
-void CollectRescues(const float* t, const float* thr, size_t count,
-                    uint32_t base, std::vector<uint32_t>& out) {
+}  // namespace
+
+void CollectScreenRescues(const float* t, const float* thr, size_t count,
+                          uint32_t base, std::vector<uint32_t>& out) {
   const float flt_max = std::numeric_limits<float>::max();
   size_t i = 0;
 #if defined(__x86_64__) && defined(__SSE2__)
+  // The SSE2 fast path tests four lanes per compare and decodes lanes only
+  // when at least one of the four rescues — on realistic sweeps the vast
+  // majority of quads skip in two packed compares.
   const __m128 vmax = _mm_set1_ps(flt_max);
   for (; i + 4 <= count; i += 4) {
     __m128 tv = _mm_loadu_ps(t + i);
@@ -98,25 +99,6 @@ void CollectRescues(const float* t, const float* thr, size_t count,
     out.push_back(base + static_cast<uint32_t>(i));
   }
 }
-
-// Single-query sweeps (one center against all rows) screen only when each
-// row carries enough coordinate work to amortize the per-row screening
-// overhead (threshold transform, rescue bookkeeping, the extra pass over
-// the fp32 buffer). Measured crossover on dense uniform cubes is ~dim 8;
-// sparse rows count their average stored coordinates on both operands. The
-// decision reads only dataset statistics — deterministic, and either
-// verdict is bit-identical. Tile sweeps amortize the same overhead across
-// the whole center chunk and are not gated.
-bool SingleQueryScreenWorthwhile(const Dataset& data) {
-  size_t work = data.has_dense_rows() ? data.dim() : 0;
-  const Dataset::SparseStats& ss = data.sparse_stats();
-  if (ss.rows > 0) {
-    work = std::max(work, static_cast<size_t>(2.0 * ss.AvgNnz()));
-  }
-  return work >= 8;
-}
-
-}  // namespace
 
 bool ScreeningEnabled() {
   return g_screening_enabled.load(std::memory_order_relaxed);
@@ -142,7 +124,8 @@ size_t ScreenedRelaxTilesAndArgFarthest(const Metric& metric,
                                         const Dataset& data,
                                         std::span<double> dist,
                                         std::span<size_t> assignment) {
-  if (!UseScreening(metric) || !metric.ScreeningProfitableFor(queries, data)) {
+  if (!UseScreening(metric) ||
+      !metric.RelaxTileScreeningProfitableFor(queries, data)) {
     return RelaxTilesAndArgFarthest(metric, queries, q_begin, nq, rank_base,
                                     data, dist, assignment);
   }
@@ -156,74 +139,30 @@ size_t ScreenedRelaxTilesAndArgFarthest(const Metric& metric,
   // One bound for the whole sweep; reading it also builds both datasets'
   // lazy screen stats on this thread, before the parallel fan-out. A
   // degenerate bound (rel >= 1 — possible only at astronomical term
-  // counts) would invert the skip-threshold transform below, so such
-  // sweeps run exact instead.
+  // counts) would invert the skip-threshold transform, so such sweeps run
+  // exact instead.
   const ScreenBound bound = metric.ScreenErrorBound(queries, data);
   if (!(bound.rel < 1.0)) {
     return RelaxTilesAndArgFarthest(metric, queries, q_begin, nq, rank_base,
                                     data, dist, assignment);
   }
 
-  // Same tile geometry as the exact path; the fp32 scratch is half the
-  // bytes, so a kQChunk x kRowBlock tile is 64 KiB.
-  constexpr size_t kRowBlock = 256;
-  constexpr size_t kQChunk = 64;
-
   size_t grain = GrainRows(data);
   size_t num_ranges = (n + grain - 1) / grain;
   std::vector<size_t> range_best(num_ranges, SIZE_MAX);
-  const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
   GlobalThreadPool().ParallelForRanges(n, grain, [&](size_t lo, size_t hi) {
-    thread_local std::vector<float> tile;
-    thread_local std::vector<float> thr;       // per-row skip thresholds
-    thread_local std::vector<uint32_t> rescue;  // absolute rescued row ids
-    thread_local std::vector<double> rescued_d;
+    // The whole screen + relax + rescue loop for this row range runs inside
+    // the metric's fused kernel — no intermediate fp32 tile for the dense
+    // metrics, cosine-space thresholds for all-sparse cosine tiles, and
+    // the unfused materialize-then-collect fallback otherwise.
+    metric.ScreenedRelaxTile(queries, q_begin, nq, rank_base, data, lo,
+                             hi - lo, bound, dist, assignment);
     size_t local_best = lo;
     double local_val = -std::numeric_limits<double>::infinity();
-    for (size_t rb = lo; rb < hi; rb += kRowBlock) {
-      size_t rn = std::min(kRowBlock, hi - rb);
-      // Cache each row's skip threshold for the whole center sweep; it only
-      // changes when a rescue improves the row's distance.
-      thr.resize(rn);
-      for (size_t i = 0; i < rn; ++i) {
-        thr[i] = SkipThreshold(dist[rb + i], bound.abs, inv_rel);
-      }
-      for (size_t qc = 0; qc < nq; qc += kQChunk) {
-        size_t qn = std::min(kQChunk, nq - qc);
-        tile.resize(qn * rn);
-        metric.DistanceTileF32(queries, q_begin + qc, qn, data, rb, rn,
-                               tile.data(), rn);
-        // Relax centers in ascending rank order, exactly like the exact
-        // tile path — but a row is touched only when the screened value
-        // cannot rule out an improvement (one float compare per pair); the
-        // block's rescues are batched into one exact DistanceRowsMany call
-        // and then relaxed with the exact comparison.
-        for (size_t q = 0; q < qn; ++q) {
-          const float* tile_row = tile.data() + q * rn;
-          rescue.clear();
-          CollectRescues(tile_row, thr.data(), rn, static_cast<uint32_t>(rb),
-                         rescue);
-          if (rescue.empty()) continue;
-          rescued_d.resize(rescue.size());
-          metric.DistanceRowsMany(queries, q_begin + qc + q, data, rescue,
-                                  rescued_d.data());
-          size_t rank = rank_base + qc + q;
-          for (size_t t = 0; t < rescue.size(); ++t) {
-            size_t row = rescue[t];
-            double d = rescued_d[t];
-            if (d < dist[row]) {
-              dist[row] = d;
-              if (!assignment.empty()) assignment[row] = rank;
-              thr[row - rb] = SkipThreshold(d, bound.abs, inv_rel);
-            }
-          }
-        }
-      }
-      for (size_t i = rb; i < rb + rn; ++i) {
-        if (dist[i] > local_val) {
-          local_val = dist[i];
-          local_best = i;
-        }
+    for (size_t i = lo; i < hi; ++i) {
+      if (dist[i] > local_val) {
+        local_val = dist[i];
+        local_best = i;
       }
     }
     range_best[lo / grain] = local_best;
@@ -281,11 +220,11 @@ size_t ScreenedRelaxArgFarthest(const Metric& metric, const Dataset& queries,
       metric.DistanceToManyF32(query, data, c0,
                                std::span<float>(buf.data(), cn));
       for (size_t i = 0; i < cn; ++i) {
-        thr[i] = SkipThreshold(dist[c0 + i], bound.abs, inv_rel);
+        thr[i] = ScreenSkipThreshold(dist[c0 + i], bound.abs, inv_rel);
       }
       rescue.clear();
-      CollectRescues(buf.data(), thr.data(), cn, static_cast<uint32_t>(c0),
-                     rescue);
+      CollectScreenRescues(buf.data(), thr.data(), cn,
+                           static_cast<uint32_t>(c0), rescue);
       if (!rescue.empty()) {
         rescued_d.resize(rescue.size());
         metric.DistanceRowsMany(queries, q_index, data, rescue,
@@ -318,44 +257,67 @@ size_t ScreenedRelaxArgFarthest(const Metric& metric, const Dataset& queries,
   return best;
 }
 
-size_t ScreenedArgClosest(const Metric& metric, const Point& query,
-                          const Dataset& data, double* min_dist) {
+ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
+                                         const Point& query,
+                                         const Dataset& data,
+                                         double cover_threshold) {
   size_t n = data.size();
   DIVERSE_CHECK_GE(n, 1u);
-  if (!UseScreening(metric) || !SingleQueryScreenWorthwhile(data) ||
-      !metric.ScreeningProfitableFor(query, data)) {
-    thread_local std::vector<double> d;
-    d.resize(n);
-    metric.DistanceToMany(query, data, 0, std::span<double>(d.data(), n));
-    size_t best = 0;
-    double best_val = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < n; ++i) {
-      if (d[i] < best_val) {
-        best_val = d[i];
-        best = i;
-      }
-    }
-    if (min_dist != nullptr) *min_dist = best_val;
-    return best;
+  DIVERSE_CHECK_GE(cover_threshold, 0.0);
+  ScreenedNearest out;
+  if (!UseScreening(metric) || !metric.ScreeningProfitableFor(query, data)) {
+    out.index = ExactArgClosest(metric, query, data, &out.dist);
+    return out;
   }
   const ScreenBound bound = metric.ScreenErrorBound(query, data);
+  if (!(bound.rel < 1.0)) {
+    out.index = ExactArgClosest(metric, query, data, &out.dist);
+    return out;
+  }
+  const float flt_max = std::numeric_limits<float>::max();
+  const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
   thread_local std::vector<float> s;
   s.resize(n);
   metric.DistanceToManyF32(query, data, 0, std::span<float>(s.data(), n));
-  // Every index whose certified lower bound is at or below the smallest
-  // certified upper bound could be (or tie) the minimum; the true argmin is
-  // always among them, and no skipped index can match the minimum (its
-  // lower bound strictly exceeds it), so the first-strict-min scan over the
-  // rescued indices in ascending order picks the same index as the exact
-  // sweep.
-  double best_upper = std::numeric_limits<double>::infinity();
+  // Smallest finite screened value; non-finite values (overflowed fp32
+  // accumulators) certify nothing and keep every certificate off.
+  float smin = std::numeric_limits<float>::infinity();
+  bool any_nonfinite = false;
   for (size_t i = 0; i < n; ++i) {
-    best_upper = std::min(best_upper, ScreenedUpper(s[i], bound));
+    float v = s[i];
+    if (v >= -flt_max && v <= flt_max) {
+      smin = std::min(smin, v);
+    } else {
+      any_nonfinite = true;
+    }
   }
+  // Coverage certificate: when every row's certified lower bound clears the
+  // cover threshold, the caller's coverage decision is settled with zero
+  // exact evaluations (the skip-threshold transform is exactly the
+  // "certify exact > t" test, applied with t = cover_threshold).
+  float beyond = ScreenSkipThreshold(cover_threshold, bound.abs, inv_rel);
+  if (!any_nonfinite && smin > beyond) {
+    out.beyond = true;
+    return out;
+  }
+  // Argmin: every index whose certified lower bound is at or below the
+  // smallest certified upper bound could be (or tie) the minimum; the true
+  // argmin is always among them, and no skipped index can match the
+  // minimum (its lower bound strictly exceeds it), so the first-strict-min
+  // scan over the candidates in ascending order picks the same index as
+  // the exact sweep. Both transforms are monotone in the screened value,
+  // so the candidate test is one float compare against a precomputed
+  // cutoff.
+  double min_upper = ScreenedUpper(smin, bound);
+  float candidate_cutoff =
+      NextUpNonNegativeF32(static_cast<float>((min_upper + bound.abs) *
+                                              inv_rel));
   size_t best = n;
   double best_val = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < n; ++i) {
-    if (ScreenedLower(s[i], bound) > best_upper) continue;
+    float v = s[i];
+    bool finite = v >= -flt_max && v <= flt_max;
+    if (finite && v > candidate_cutoff) continue;
     double d = metric.Distance(query, data.point(i));
     if (d < best_val) {
       best_val = d;
@@ -363,16 +325,26 @@ size_t ScreenedArgClosest(const Metric& metric, const Point& query,
     }
   }
   DIVERSE_CHECK_LT(best, n);
-  if (min_dist != nullptr) *min_dist = best_val;
-  return best;
+  out.index = best;
+  out.dist = best_val;
+  return out;
+}
+
+size_t ScreenedArgClosest(const Metric& metric, const Point& query,
+                          const Dataset& data, double* min_dist) {
+  // +inf cover threshold: the coverage certificate can never fire, so this
+  // is the plain fused screened argmin.
+  ScreenedNearest r = ScreenedArgClosestWithin(
+      metric, query, data, std::numeric_limits<double>::infinity());
+  if (min_dist != nullptr) *min_dist = r.dist;
+  return r.index;
 }
 
 size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
                            const Dataset& data, double threshold) {
   size_t n = data.size();
   constexpr size_t kChunk = 16;
-  if (!UseScreening(metric) || !SingleQueryScreenWorthwhile(data) ||
-      !metric.ScreeningProfitableFor(query, data)) {
+  if (!UseScreening(metric) || !metric.ScreeningProfitableFor(query, data)) {
     double buf[kChunk];
     for (size_t b = 0; b < n; b += kChunk) {
       size_t bn = std::min(kChunk, n - b);
@@ -383,14 +355,35 @@ size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
     }
     return n;
   }
+  if (threshold < 0.0) return n;  // distances are nonnegative; nothing fits
   const ScreenBound bound = metric.ScreenErrorBound(query, data);
+  if (!(bound.rel < 1.0)) {
+    double buf[kChunk];
+    for (size_t b = 0; b < n; b += kChunk) {
+      size_t bn = std::min(kChunk, n - b);
+      metric.DistanceToMany(query, data, b, std::span<double>(buf, bn));
+      for (size_t i = 0; i < bn; ++i) {
+        if (buf[i] <= threshold) return b + i;
+      }
+    }
+    return n;
+  }
+  // Two precomputed float cutoffs replace the per-row double bound
+  // transforms: s <= within certifies d < threshold (qualify), a finite
+  // s > beyond certifies d > threshold (skip), and only band hits pay an
+  // exact evaluation. Chunked so a merge-heavy scan keeps its early exit.
+  const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
+  const float within = ScreenCertifiedBelow(threshold, bound);
+  const float beyond = ScreenSkipThreshold(threshold, bound.abs, inv_rel);
+  const float flt_max = std::numeric_limits<float>::max();
   float buf[kChunk];
   for (size_t b = 0; b < n; b += kChunk) {
     size_t bn = std::min(kChunk, n - b);
     metric.DistanceToManyF32(query, data, b, std::span<float>(buf, bn));
     for (size_t i = 0; i < bn; ++i) {
-      if (ScreenedUpper(buf[i], bound) <= threshold) return b + i;
-      if (ScreenedLower(buf[i], bound) > threshold) continue;
+      float v = buf[i];
+      if (v >= -flt_max && v <= within) return b + i;
+      if (v > beyond && v <= flt_max) continue;
       if (metric.Distance(query, data.point(b + i)) <= threshold) {
         return b + i;
       }

@@ -33,13 +33,83 @@
 #define DIVERSE_CORE_SCREEN_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <span>
+#include <vector>
 
 #include "core/dataset.h"
 #include "core/metric.h"
 #include "core/point.h"
 
 namespace diverse {
+
+// --- Certified-skip machinery ---------------------------------------------
+// Shared by the screened sweeps below and by the fused tile kernels
+// (Metric::ScreenedRelaxTile in core/metric.cc). The mathematically exact
+// skip test is ScreenedLower(s, bound) > cur; evaluating it per pair costs
+// a multiply-add in double. Instead, the sweeps precompute — once per row,
+// or on a rescue that improves the row — the float threshold T(cur) such
+// that a finite screened value s > T certifies exact > cur: the exact
+// condition is s > (cur + abs) / (1 - rel), inflated by 1e-12 against the
+// double rounding of the transform and rounded UP to the next float (both
+// slops only widen the rescue band — more rescues, never an unsafe skip).
+// Inner loops then run one float compare per pair. NaN and +inf screened
+// values (overflowed fp32 accumulators certify nothing) always rescue: NaN
+// fails every comparison and +inf fails s <= FLT_MAX.
+
+/// Next float up for nonnegative input (+inf stays +inf): for positive IEEE
+/// floats the bit pattern is monotone, so incrementing it is nextafterf
+/// without the libm call.
+inline float NextUpNonNegativeF32(float f) {
+  if (!(f < std::numeric_limits<float>::infinity())) {
+    return std::numeric_limits<float>::infinity();
+  }
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  ++bits;
+  std::memcpy(&f, &bits, sizeof(bits));
+  return f;
+}
+
+/// Float threshold T such that a screened value s with s > T && s <= FLT_MAX
+/// certifies exact > cur under the bound whose abs term is `abs_term` and
+/// whose precomputed (1 + 1e-12) / (1 - rel) is `inv_one_minus_rel`.
+/// Requires cur >= 0 (distances) or +inf (never skip).
+inline float ScreenSkipThreshold(double cur, double abs_term,
+                                 double inv_one_minus_rel) {
+  if (!(cur < std::numeric_limits<double>::infinity())) {
+    return std::numeric_limits<float>::infinity();
+  }
+  double thr = (cur + abs_term) * inv_one_minus_rel;
+  return NextUpNonNegativeF32(static_cast<float>(thr));
+}
+
+/// Largest float W such that a screened value s <= W certifies
+/// exact < threshold (strictly) under `bound`; returns -1.0f when no
+/// nonnegative screened value can certify it (threshold too small — every
+/// candidate falls to the exact test). Monotone-safe: W under-approximates
+/// the real transform by a relative 1e-12 margin that absorbs every double
+/// rounding in the chain.
+inline float ScreenCertifiedBelow(double threshold, const ScreenBound& bound) {
+  double w = (threshold - bound.abs) / (1.0 + bound.rel) * (1.0 - 1e-12);
+  if (!(w > 0.0)) return -1.0f;
+  float f = static_cast<float>(w);
+  while (static_cast<double>(f) >= w && f > 0.0f) {
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    --bits;
+    std::memcpy(&f, &bits, sizeof(bits));
+  }
+  return f;
+}
+
+/// Appends base + i for every position whose screened value cannot be
+/// certified-skipped against its per-row threshold: rescue iff
+/// !(t[i] > thr[i] && t[i] <= FLT_MAX). Vectorized four-wide on x86-64.
+void CollectScreenRescues(const float* t, const float* thr, size_t count,
+                          uint32_t base, std::vector<uint32_t>& out);
 
 /// Process-global screening toggle, default on. Results are bit-identical
 /// either way; the toggle exists for A/B benchmarking and as an escape
@@ -65,9 +135,12 @@ class ScopedScreening {
 bool UseScreening(const Metric& metric);
 
 /// Screened drop-in for RelaxTilesAndArgFarthest (core/metric.h): identical
-/// dist / assignment updates and return value, but each tile is swept in
-/// fp32 first and only rows the new centers could improve are re-evaluated
-/// exactly. Falls back to the exact tile path when screening is off.
+/// dist / assignment updates and return value, but each row range is swept
+/// through the metric's fused Metric::ScreenedRelaxTile kernel — fp32
+/// screen, certified skip test, and exact rescue in one register-resident
+/// loop, with no intermediate fp32 tile. Falls back to the exact tile path
+/// when screening is off or Metric::RelaxTileScreeningProfitableFor says
+/// the layout does not pay.
 size_t ScreenedRelaxTilesAndArgFarthest(const Metric& metric,
                                         const Dataset& queries, size_t q_begin,
                                         size_t nq, size_t rank_base,
@@ -88,13 +161,39 @@ size_t ScreenedRelaxArgFarthest(const Metric& metric, const Dataset& queries,
 /// First row index minimizing Distance(query, row) — ties to the smallest
 /// index, exactly like a sequential strict-min scan — with the exact
 /// minimum distance in *min_dist. Requires data nonempty. (SMM's
-/// nearest-center update scan.)
+/// nearest-center update scan.) The fused sweep compares raw fp32 values
+/// against precomputed float cutoffs (no per-row double bound transforms)
+/// and carries no per-row work gate: it screens at any dimension.
 size_t ScreenedArgClosest(const Metric& metric, const Point& query,
                           const Dataset& data, double* min_dist);
 
+/// Outcome of the fused nearest-center + coverage sweep.
+struct ScreenedNearest {
+  /// True when the screen certified min distance > cover_threshold without
+  /// any exact evaluation; index/dist are then unset.
+  bool beyond = false;
+  /// First strict argmin row (exact tie semantics) when !beyond.
+  size_t index = 0;
+  /// Exact minimum distance when !beyond.
+  double dist = 0.0;
+};
+
+/// Fused screened "argmin + threshold" sweep (SMM's update step): one fp32
+/// pass decides, per row, whether it can be the nearest center and whether
+/// the whole sweep can certify min distance > cover_threshold. When it can,
+/// the caller's coverage decision needs no exact evaluation at all;
+/// otherwise the exact first-strict argmin and minimum are returned, bit-
+/// identical to the exact scan. Requires data nonempty.
+ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
+                                         const Point& query,
+                                         const Dataset& data,
+                                         double cover_threshold);
+
 /// First row index with Distance(query, row) <= threshold, or data.size()
 /// when no row qualifies, scanning ascending with chunked early exit.
-/// (SMM's merge-step membership scan.)
+/// (SMM's merge-step membership scan.) Fused like ScreenedArgClosest: two
+/// precomputed float cutoffs (certainly-within / certainly-beyond) replace
+/// the per-row double bound transforms, and no per-row work gate applies.
 size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
                            const Dataset& data, double threshold);
 

@@ -164,6 +164,25 @@ void ScanLivePairsTiled(const Dataset& data, const Metric& metric,
       UseScreening(metric) && metric.ScreeningProfitableFor(*src, *src);
   ScreenBound bound;
   if (screened) bound = metric.ScreenErrorBound(*src, *src);
+  // Fused cutoff test: instead of a double bound transform plus a cutoff()
+  // probe per pair, the cutoff is transformed ONCE into a float
+  // (ScreenCertifiedBelow: s <= fcut certifies exact < cutoff strictly,
+  // which is the only pruning the GreedyHeaviestPairs contract allows) and
+  // refreshed only when an emit may have advanced the heap — cutoff() is
+  // monotone nondecreasing and changes only on emits, so the refreshed
+  // value is exactly as fresh as the old per-pair probe.
+  double cut = 0.0;
+  float fcut = -1.0f;
+  auto refresh_cut = [&] {
+    cut = cutoff();
+    fcut = screened ? ScreenCertifiedBelow(cut, bound) : -1.0f;
+  };
+  refresh_cut();
+  auto emit_tracking_cutoff = [&](size_t i, size_t j, double d) {
+    emit(i, j, d);
+    if (cutoff() != cut) refresh_cut();
+  };
+  const float flt_max = std::numeric_limits<float>::max();
   constexpr size_t kQBlock = 64;   // pair-scan tile: kQBlock x kRBlock
   constexpr size_t kRBlock = 256;
   std::vector<double> tile(std::max(kQBlock * kRBlock, kQBlock));
@@ -179,8 +198,10 @@ void ScanLivePairsTiled(const Dataset& data, const Metric& metric,
         std::span<float> out(ftile.data(), count);
         metric.DistanceToManyF32(src->point(i), *src, i + 1, out);
         for (size_t j = i + 1; j < ib + in; ++j) {
-          if (ScreenedUpper(out[j - i - 1], bound) < cutoff()) continue;
-          emit(live[i], live[j], metric.DistanceRows(*src, i, *src, j));
+          float s = out[j - i - 1];
+          if (s >= -flt_max && s <= fcut) continue;
+          emit_tracking_cutoff(live[i], live[j],
+                               metric.DistanceRows(*src, i, *src, j));
         }
       } else {
         std::span<double> out(tile.data(), count);
@@ -197,9 +218,11 @@ void ScanLivePairsTiled(const Dataset& data, const Metric& metric,
         metric.DistanceTileF32(*src, ib, in, *src, jb, jn, ftile.data(), jn);
         for (size_t q = 0; q < in; ++q) {
           for (size_t r = 0; r < jn; ++r) {
-            if (ScreenedUpper(ftile[q * jn + r], bound) < cutoff()) continue;
-            emit(live[ib + q], live[jb + r],
-                 metric.DistanceRows(*src, ib + q, *src, jb + r));
+            float s = ftile[q * jn + r];
+            if (s >= -flt_max && s <= fcut) continue;
+            emit_tracking_cutoff(live[ib + q], live[jb + r],
+                                 metric.DistanceRows(*src, ib + q, *src,
+                                                     jb + r));
           }
         }
       } else {

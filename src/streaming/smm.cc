@@ -42,16 +42,18 @@ void SmmEngine::Update(const Point& p) {
     return;
   }
 
-  // Update step of the current phase: one screened nearest-center sweep
-  // over the columnar center mirror — fp32 distances rule out all but the
-  // near-minimal centers, which are re-evaluated exactly, so the chosen
-  // host (first strict minimum) and the coverage decision below are
-  // bit-identical to the exact batched sweep it falls back to when
-  // screening is off.
-  double closest_dist = std::numeric_limits<double>::infinity();
-  size_t closest =
-      ScreenedArgClosest(*metric_, p, centers_columnar_, &closest_dist);
-  if (closest_dist > 4.0 * threshold_) {
+  // Update step of the current phase: one fused screened "argmin +
+  // threshold" sweep over the columnar center mirror. When the fp32 pass
+  // certifies that every center is beyond 4 d_i, the point opens a new
+  // center with zero exact evaluations; otherwise the exact first-strict
+  // argmin decides the host. Either way the decision is bit-identical to
+  // the exact batched sweep it falls back to when screening is off, and —
+  // unlike the pre-fusion sweep — it screens at any dimension (no
+  // >=8-coords-per-row gate).
+  ScreenedNearest nearest =
+      ScreenedArgClosestWithin(*metric_, p, centers_columnar_,
+                               4.0 * threshold_);
+  if (nearest.beyond || nearest.dist > 4.0 * threshold_) {
     Entry e;
     e.center = p;
     if (mode_ == Mode::kDelegates) e.delegates.push_back(p);
@@ -65,7 +67,7 @@ void SmmEngine::Update(const Point& p) {
   }
   // Covered point: delegate bookkeeping in the EXT/GEN variants, plain
   // discard in base SMM.
-  Entry& host = centers_[closest];
+  Entry& host = centers_[nearest.index];
   if (mode_ == Mode::kDelegates && host.delegates.size() < k_) {
     host.delegates.push_back(p);
   } else if (mode_ == Mode::kCounts && host.count < k_) {

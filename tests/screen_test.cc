@@ -31,6 +31,7 @@
 #include "core/metric.h"
 #include "core/screen.h"
 #include "core/sequential.h"
+#include "core/unfused_screen_metric.h"
 #include "data/sparse_text.h"
 #include "data/synthetic.h"
 #include "streaming/smm.h"
@@ -417,6 +418,107 @@ TEST(ScreenTest, ScreenedCountsDeterministicAcrossThreadCounts) {
     } else {
       EXPECT_EQ(counting.exact_evals(), exact_ref) << threads;
       EXPECT_EQ(counting.screened_evals(), screened_ref) << threads;
+    }
+  }
+  SetGlobalThreadPoolSize(1);
+}
+
+
+// The fused tile kernels (Metric::ScreenedRelaxTile overrides) must match
+// the unfused materialize-then-collect loop bit for bit AND never pay more
+// exact rescues than it: the dense kernels certify skips against the same
+// thresholds and screen the remaining candidates with a per-row argmin
+// test that can only shrink the rescue set.
+TEST(ScreenTest, FusedTileRelaxNoMoreExactEvalsThanUnfused) {
+  for (size_t dim : {3u, 16u}) {
+    Dataset data = Dataset::FromPoints(DensePoints(3000, dim, /*seed=*/230));
+    EuclideanMetric inner;
+    UnfusedScreenMetric unfused_inner(&inner);
+    size_t nq = 48;
+
+    CountingMetric fused(&inner);
+    std::vector<double> fdist(data.size(),
+                              std::numeric_limits<double>::infinity());
+    std::vector<size_t> fassign(data.size(), 0);
+    size_t fbest = ScreenedRelaxTilesAndArgFarthest(fused, data, 0, nq, 0,
+                                                    data, fdist, fassign);
+
+    CountingMetric unfused(&unfused_inner);
+    std::vector<double> udist(data.size(),
+                              std::numeric_limits<double>::infinity());
+    std::vector<size_t> uassign(data.size(), 0);
+    size_t ubest = ScreenedRelaxTilesAndArgFarthest(unfused, data, 0, nq, 0,
+                                                    data, udist, uassign);
+
+    EXPECT_EQ(fbest, ubest) << dim;
+    EXPECT_EQ(fdist, udist) << dim;
+    EXPECT_EQ(fassign, uassign) << dim;
+    EXPECT_EQ(fused.screened_evals(), unfused.screened_evals()) << dim;
+    EXPECT_GT(fused.screened_evals(), 0u) << dim;
+    EXPECT_LE(fused.exact_evals(), unfused.exact_evals()) << dim;
+    EXPECT_LE(fused.exact_evals(), nq * data.size()) << dim;
+  }
+}
+
+// The fused SMM sweeps dropped the >=8-coords-per-row gate: a dim-3 dense
+// stream now actually screens (screened_evals > 0) while staying
+// bit-identical (covered by SmmStreamsBitIdenticalToExact above), and the
+// exact (rescue) count stays below the pre-screening baseline.
+TEST(ScreenTest, FusedSmmSweepsScreenAtLowDimension) {
+  PointSet pts = DensePoints(400, 3, /*seed=*/231);
+  EuclideanMetric base;
+  CountingMetric counting(&base);
+  ScopedScreening on(true);
+  Smm smm(&counting, 8, 16);
+  for (const Point& p : pts) smm.Update(p);
+  EXPECT_GT(counting.screened_evals(), 0u);
+  // Coverage certificates and argmin screening keep the exact evals well
+  // under one-per-(point, center) pair.
+  EXPECT_LT(counting.exact_evals(),
+            counting.screened_evals() + 17 * 17 * pts.size() / 100);
+  EXPECT_GE(smm.Finalize().size(), 1u);
+}
+
+// The cosine-space angular screen: all-sparse cosine tiles now pass the
+// fused gate (RelaxTileScreeningProfitableFor) and screen — bit-identical
+// to the exact tile relax, with deterministic counts across thread counts.
+TEST(ScreenTest, SparseCosineTileRelaxScreensAndMatchesExact) {
+  PointSet docs = SparsePoints(600, /*seed=*/232);
+  Dataset data = Dataset::FromPoints(docs);
+  CosineMetric base;
+  ASSERT_TRUE(base.RelaxTileScreeningProfitableFor(data, data));
+  size_t nq = 24;
+  std::vector<double> exact_dist(data.size(),
+                                 std::numeric_limits<double>::infinity());
+  std::vector<size_t> exact_assign(data.size(), 0);
+  size_t exact_best;
+  {
+    ScopedScreening off(false);
+    exact_best = RelaxTilesAndArgFarthest(base, data, 0, nq, 0, data,
+                                          exact_dist, exact_assign);
+  }
+  uint64_t screened_ref = 0, exact_ref = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetGlobalThreadPoolSize(threads);
+    ScopedScreening on(true);
+    CountingMetric counting(&base);
+    std::vector<double> dist(data.size(),
+                             std::numeric_limits<double>::infinity());
+    std::vector<size_t> assign(data.size(), 0);
+    size_t best = ScreenedRelaxTilesAndArgFarthest(counting, data, 0, nq, 0,
+                                                   data, dist, assign);
+    EXPECT_EQ(best, exact_best) << threads;
+    EXPECT_EQ(dist, exact_dist) << threads;
+    EXPECT_EQ(assign, exact_assign) << threads;
+    EXPECT_EQ(counting.screened_evals(), nq * data.size()) << threads;
+    EXPECT_LE(counting.exact_evals(), nq * data.size()) << threads;
+    EXPECT_GT(counting.exact_evals(), 0u) << threads;
+    if (threads == 1) {
+      screened_ref = counting.screened_evals();
+      exact_ref = counting.exact_evals();
+    } else {
+      EXPECT_EQ(counting.screened_evals(), screened_ref) << threads;
+      EXPECT_EQ(counting.exact_evals(), exact_ref) << threads;
     }
   }
   SetGlobalThreadPoolSize(1);
