@@ -11,9 +11,9 @@
 // records the run configuration (git sha, hardware thread count, AVX2
 // dispatch state, fp32 screening mode) so trajectories are comparable
 // across commits and machines, and whose entries each carry
-// {op, n, dim, threads, metric, ns_per_op, rescue_pct}. Benchmarks report
-// n / dim / threads / rescue_pct through counters of those names and the
-// metric through the label.
+// {op, n, dim, threads, metric, ns_per_op, rescue_pct, pruned_pct}.
+// Benchmarks report n / dim / threads / rescue_pct / pruned_pct through
+// counters of those names and the metric through the label.
 
 #include <benchmark/benchmark.h>
 
@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/coreset.h"
+#include "core/cover_tree.h"
 #include "core/dataset.h"
 #include "core/distance_matrix.h"
 #include "core/diversity.h"
@@ -916,6 +917,133 @@ void BM_ParallelForRangesDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForRangesDispatch)->Arg(2)->Arg(4);
 
+// --- Cover-tree metric index (third screening tier) ----------------------
+// Clustered corpus in the regime the index targets: 8 well-separated blobs
+// at dim 16 with small spread, so the profitability probe sees low doubling
+// dimension and gates the index ON (setup SkipWithErrors if it ever gates
+// off — the acceptance criterion). The uniform dim-32 corpus is the
+// complement: the probe must gate OFF and the gated Gmm() must ride within
+// a few percent of the pinned flat path (the probe is the only overhead).
+
+Dataset MakeClusteredCorpus(size_t n) {
+  return Dataset::FromPoints(GenerateGaussianBlobs(n, 8, 16, 0.02, 17));
+}
+
+void BM_CoverTreeBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalThreadPoolSize(1);
+  EuclideanMetric m;
+  Dataset data = MakeClusteredCorpus(n);
+  for (auto _ : state) {
+    CoverTree tree = CoverTree::Build(data, m);
+    benchmark::DoNotOptimize(tree.nodes().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 16;
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_CoverTreeBuild)->Arg(20000)->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end gated GMM on the clustered corpus: probe + build + lazy-greedy
+// traversal per call (the honest cost an API caller pays). Setup verifies
+// the gate fires and the indexed result is bit-identical to the flat
+// screened sweep, and reports the node-prune rate through pruned_pct.
+void BM_LazyGreedyGmmClustered(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  SetGlobalThreadPoolSize(1);
+  EuclideanMetric m;
+  Dataset data = MakeClusteredCorpus(n);
+  if (!IndexProfitable(data, m, k)) {
+    state.SkipWithError("index gated off on the clustered corpus");
+    return;
+  }
+  GmmResult flat;
+  {
+    ScopedIndexing off(false);
+    flat = Gmm(data, m, k);
+  }
+  CoverTree tree = CoverTree::Build(data, m);
+  CoverTreeQueryStats stats;
+  GmmResult indexed = LazyGreedyGmm(data, tree, m, k, 0, &stats);
+  if (indexed.selected != flat.selected || indexed.range != flat.range ||
+      indexed.assignment != flat.assignment ||
+      indexed.distance_to_selected != flat.distance_to_selected) {
+    state.SkipWithError("indexed GMM diverged from flat screened GMM");
+    return;
+  }
+  for (auto _ : state) {
+    GmmResult r = Gmm(data, m, k);
+    benchmark::DoNotOptimize(r.range);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * k));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 16;
+  state.counters["threads"] = 1;
+  state.counters["pruned_pct"] =
+      100.0 * static_cast<double>(stats.pruned_pairs) /
+      static_cast<double>(stats.pruned_pairs + stats.applied_pairs);
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_LazyGreedyGmmClustered)->Args({20000, 64})->Args({200000, 256})
+    ->Unit(benchmark::kMillisecond);
+
+// The flat screened baseline on the identical corpus and k (indexing pinned
+// off) — the pair of entries is the measured speedup.
+void BM_LazyGreedyGmmClusteredFlat(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  SetGlobalThreadPoolSize(1);
+  EuclideanMetric m;
+  Dataset data = MakeClusteredCorpus(n);
+  ScopedIndexing off(false);
+  for (auto _ : state) {
+    GmmResult r = Gmm(data, m, k);
+    benchmark::DoNotOptimize(r.range);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * k));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = 16;
+  state.counters["threads"] = 1;
+  state.SetLabel("euclidean");
+}
+BENCHMARK(BM_LazyGreedyGmmClusteredFlat)->Args({20000, 64})
+    ->Args({200000, 256})->Unit(benchmark::kMillisecond);
+
+// Uniform high-dimensional corpus: the probe gates OFF (setup verifies) and
+// Gmm() pays only the probe before falling back — Arg(1) measures the gated
+// call, Arg(0) the flat path with indexing pinned off. Their ratio is the
+// gated-off regression the acceptance bound caps at 5%.
+void BM_LazyGreedyGmmUniformGated(benchmark::State& state) {
+  bool gated = state.range(0) != 0;
+  SetGlobalThreadPoolSize(1);
+  EuclideanMetric m;
+  Dataset data = Dataset::FromPoints(GenerateUniformCube(20000, 32, 19));
+  if (IndexProfitable(data, m, 64)) {
+    state.SkipWithError("index gated on for the uniform corpus");
+    return;
+  }
+  ScopedIndexing guard(gated);
+  for (auto _ : state) {
+    GmmResult r = Gmm(data, m, 64);
+    benchmark::DoNotOptimize(r.range);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(20000 * 64));
+  state.counters["n"] = 20000;
+  state.counters["dim"] = 32;
+  state.counters["threads"] = 1;
+  state.SetLabel(gated ? "euclidean/gated-off" : "euclidean/flat");
+}
+BENCHMARK(BM_LazyGreedyGmmUniformGated)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace diverse
 
@@ -934,6 +1062,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     std::string metric;
     double ns_per_op = 0.0;
     double rescue_pct = -1.0;  // < 0: benchmark did not screen
+    double pruned_pct = -1.0;  // < 0: benchmark did not index
   };
 
   // google-benchmark < 1.8 reports failures via Run::error_occurred; 1.8
@@ -966,6 +1095,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       if (t_it != run.counters.end()) e.threads = t_it->second.value;
       auto rescue_it = run.counters.find("rescue_pct");
       if (rescue_it != run.counters.end()) e.rescue_pct = rescue_it->second.value;
+      auto pruned_it = run.counters.find("pruned_pct");
+      if (pruned_it != run.counters.end()) e.pruned_pct = pruned_it->second.value;
       e.metric = run.report_label;
       if (run.iterations > 0) {
         e.ns_per_op =
@@ -998,6 +1129,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
                    Escaped(e.metric).c_str(), e.ns_per_op);
       if (e.rescue_pct >= 0.0) {
         std::fprintf(f, ", \"rescue_pct\": %.3f", e.rescue_pct);
+      }
+      if (e.pruned_pct >= 0.0) {
+        std::fprintf(f, ", \"pruned_pct\": %.3f", e.pruned_pct);
       }
       std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/cover_tree.h"
 #include "core/screen.h"
 #include "core/sequential.h"
 #include "mapreduce/mr_diversity.h"
@@ -150,6 +151,7 @@ SolveResult Solve(const Dataset& data, const Metric& metric,
   // The flag can only disable screening for this call; when true the
   // process-global default (on unless SetScreeningEnabled(false)) applies.
   ScopedScreening screening_guard(o.screening && ScreeningEnabled());
+  ScopedIndexing indexing_guard(o.indexing && IndexingEnabled());
   Timer timer;
   SolveResult result;
   if (o.backend == Backend::kSequential) {
@@ -178,6 +180,7 @@ SolveResult Solve(const PointSet& points, const Metric& metric,
   } else {
     SolveOptions o = Normalize(options);
     ScopedScreening screening_guard(o.screening && ScreeningEnabled());
+    ScopedIndexing indexing_guard(o.indexing && IndexingEnabled());
     result = SolveStreamingOrMr(points, metric, o);
   }
   result.seconds = timer.Seconds();

@@ -59,6 +59,13 @@ struct SolveOptions {
   /// escape hatch). The flag scopes a process-global toggle for the
   /// duration of the call.
   bool screening = true;
+  /// Metric-index tier (core/cover_tree.h): cover-tree node bounds prune
+  /// whole row ranges above the fp32 screen, and GMM runs its lazy-greedy
+  /// traversal, when the metric supports triangle-inequality pruning and
+  /// the deterministic profitability probe approves. Bit-identical either
+  /// way — set false to pin the flat screened sweeps (A/B benchmarking,
+  /// escape hatch). Scopes the process-global toggle like `screening`.
+  bool indexing = true;
   uint64_t seed = 1;
 };
 

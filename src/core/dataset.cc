@@ -1,12 +1,26 @@
 #include "core/dataset.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <utility>
 
 #include "util/check.h"
 
 namespace diverse {
+
+namespace {
+
+// Process-global stamp source for Dataset::content_stamp(): relaxed is
+// enough (the counter only needs uniqueness, not ordering), and 64 bits
+// never wrap in practice.
+std::atomic<uint64_t> g_next_content_stamp{1};
+
+uint64_t NextContentStamp() {
+  return g_next_content_stamp.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Dataset::Dataset(PointSet points) {
   points_.reserve(points.size());
@@ -30,13 +44,24 @@ void Dataset::Append(const Point& p) {
 }
 
 void Dataset::AppendColumnar(const Point& p) {
-  if (points_.empty()) {
+  if (rows_.empty()) {
     dim_ = p.dim();
   } else {
     DIVERSE_CHECK_EQ(p.dim(), dim_);
   }
   col_occupancy_valid_ = false;
-  screen_stats_valid_ = false;
+  content_stamp_ = NextContentStamp();
+  // A valid screen-stats cache stays valid: fold the new row's norm in
+  // instead of invalidating (the lazy rebuild is O(n), and SMM's merge loop
+  // appends to a mirror it screens against after every append).
+  if (screen_stats_valid_) {
+    double n = p.norm();
+    if (n > 0.0) {
+      screen_stats_.min_positive_norm =
+          std::min(screen_stats_.min_positive_norm, n);
+    }
+    screen_stats_.max_norm = std::max(screen_stats_.max_norm, n);
+  }
   RowRef r;
   if (p.is_sparse()) {
     const auto& idx = p.sparse_indices();
@@ -83,6 +108,55 @@ void Dataset::Clear() {
   sparse_stats_ = SparseStats();
   col_occupancy_valid_ = false;
   screen_stats_valid_ = false;
+  content_stamp_ = NextContentStamp();
+}
+
+void Dataset::AssignGatherColumnar(const Dataset& src,
+                                   std::span<const uint32_t> rows) {
+  DIVERSE_CHECK(this != &src);
+  Clear();
+  dim_ = src.dim_;
+  rows_.reserve(rows.size());
+  norms_.reserve(rows.size());
+  size_t dense_total = 0;
+  size_t csr_total = 0;
+  for (uint32_t ri : rows) {
+    const RowRef& rr = src.rows_[ri];
+    (rr.sparse != 0 ? csr_total : dense_total) += rr.len;
+  }
+  dense_.reserve(dense_total);
+  csr_indices_.reserve(csr_total);
+  csr_values_.reserve(csr_total);
+  ScreenStats s;
+  s.min_positive_norm = std::numeric_limits<double>::infinity();
+  for (uint32_t ri : rows) {
+    const RowRef& rr = src.rows_[ri];
+    RowRef out = rr;
+    if (rr.sparse != 0) {
+      out.start = csr_values_.size();
+      csr_indices_.insert(csr_indices_.end(),
+                          src.csr_indices_.begin() + rr.start,
+                          src.csr_indices_.begin() + rr.start + rr.len);
+      csr_values_.insert(csr_values_.end(),
+                         src.csr_values_.begin() + rr.start,
+                         src.csr_values_.begin() + rr.start + rr.len);
+      ++sparse_stats_.rows;
+      sparse_stats_.total_nnz += rr.len;
+      sparse_stats_.max_nnz = std::max<size_t>(sparse_stats_.max_nnz, rr.len);
+    } else {
+      out.start = dense_.size();
+      dense_.insert(dense_.end(), src.dense_.begin() + rr.start,
+                    src.dense_.begin() + rr.start + rr.len);
+    }
+    rows_.push_back(out);
+    double n = src.norms_[ri];
+    norms_.push_back(n);
+    if (n > 0.0) s.min_positive_norm = std::min(s.min_positive_norm, n);
+    s.max_norm = std::max(s.max_norm, n);
+  }
+  screen_stats_ = s;
+  screen_stats_valid_ = true;
+  content_stamp_ = NextContentStamp();
 }
 
 const Dataset::ScreenStats& Dataset::screen_stats() const {

@@ -51,9 +51,9 @@ class Dataset {
   static Dataset FromPoints(std::span<const Point> points);
 
   /// Number of rows.
-  size_t size() const { return points_.size(); }
+  size_t size() const { return rows_.size(); }
 
-  bool empty() const { return points_.empty(); }
+  bool empty() const { return rows_.empty(); }
 
   /// Ambient dimension (0 while empty).
   size_t dim() const { return dim_; }
@@ -144,6 +144,16 @@ class Dataset {
   /// use dim() as the worst-case term count for such rows).
   bool has_dense_rows() const { return rows_.size() > sparse_stats_.rows; }
 
+  /// Content identity stamp: every mutation (Append/Assign/Clear) draws a
+  /// fresh value from a process-global monotonic counter, so two datasets
+  /// reporting the SAME nonzero stamp hold identical content — copies share
+  /// the stamp until either side mutates, and stamps are never reused. The
+  /// sparse decode cache (core/metric.cc) keys thread-local query-block
+  /// scratch on it. 0 means "never mutated" (necessarily empty) and is
+  /// treated as uncacheable. Moved-from datasets are valid-but-unspecified
+  /// as usual; mutate (or Clear) before reusing one.
+  uint64_t content_stamp() const { return content_stamp_; }
+
   /// Appends one row. The first row fixes dim(); later rows must match it.
   void Append(const Point& p);
 
@@ -156,6 +166,18 @@ class Dataset {
 
   /// Removes all rows (dimension resets with the next Append).
   void Clear();
+
+  /// Replaces the contents with src rows `rows` (in that order), copying
+  /// ONLY the columnar arrays, norms, and aggregate statistics — points()
+  /// stays empty, so the value-typed accessors (point(), points()) must not
+  /// be used on the result. Kernels, norms, and screening statistics see
+  /// exactly the content Append of the same rows would have produced, at
+  /// raw array-copy speed instead of per-Point heap copies. This is the
+  /// scratch path of the metric-index build (core/cover_tree.cc), which
+  /// re-materializes every tree node's row range once to keep its pole
+  /// sweeps on contiguous rows.
+  void AssignGatherColumnar(const Dataset& src,
+                            std::span<const uint32_t> rows);
 
   /// Approximate heap footprint in bytes (points + columnar arrays).
   size_t MemoryBytes() const;
@@ -180,9 +202,13 @@ class Dataset {
   std::vector<uint32_t> col_occupancy_;
   bool col_occupancy_valid_ = false;
   // Lazy screening-bound cache (see screen_stats()); mutable so the
-  // const accessor can build it on first use.
+  // const accessor can build it on first use. Appends keep a valid cache
+  // valid by folding the new row's norm in, so append-heavy loops that
+  // screen between appends (SMM's growing merge mirror) never pay a full
+  // O(n) rebuild per append.
   mutable ScreenStats screen_stats_;
   mutable bool screen_stats_valid_ = false;
+  uint64_t content_stamp_ = 0;
 };
 
 }  // namespace diverse

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/cover_tree.h"
 #include "core/screen.h"
 #include "util/check.h"
 
 namespace diverse {
 
-GmmResult Gmm(const Dataset& data, const Metric& metric, size_t k,
-              size_t first) {
+namespace {
+
+// The k-sequential-sweep path: one screened relax-and-argmax sweep over all
+// n rows per selected center. The public Gmm below routes here whenever the
+// metric index is off, unsupported, or gated unprofitable.
+GmmResult GmmFlat(const Dataset& data, const Metric& metric, size_t k,
+                  size_t first) {
   size_t n = data.size();
   DIVERSE_CHECK_GE(k, 1u);
   DIVERSE_CHECK_LE(k, n);
@@ -52,6 +58,22 @@ GmmResult Gmm(const Dataset& data, const Metric& metric, size_t k,
     current = farthest;
   }
   return result;
+}
+
+}  // namespace
+
+GmmResult Gmm(const Dataset& data, const Metric& metric, size_t k,
+              size_t first) {
+  // Third screening tier: when the metric satisfies the triangle inequality
+  // and the deterministic probe says the corpus has low doubling dimension,
+  // build the metric index once and run the lazy-greedy traversal — bit-
+  // identical selections, trajectories, assignments, and range, with per-
+  // step work proportional to the contended frontier instead of n.
+  if (UseIndexing(metric) && IndexProfitable(data, metric, k)) {
+    CoverTree tree = CoverTree::Build(data, metric);
+    return LazyGreedyGmm(data, tree, metric, k, first);
+  }
+  return GmmFlat(data, metric, k, first);
 }
 
 GmmResult Gmm(std::span<const Point> points, const Metric& metric, size_t k,

@@ -1,6 +1,7 @@
 #include "core/metric.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -171,6 +172,47 @@ double ExpectedColumnHits(const Dataset& data,
          static_cast<double>(data.sparse_stats().rows);
 }
 
+// --- Sparse query-block decode cache --------------------------------------
+// PackSparseQueryLanes re-walks a query block's CSR lanes (and rebuilds the
+// direct-index slot table) on every call, but the decoded scratch is
+// read-only while data rows stream against it — so a thread that decodes
+// the same block twice in a row does pure rework. That happens constantly
+// in tiled sweeps (one query chunk against many row blocks) and in the
+// cover-tree leaf path (one center against many leaf slabs). Each
+// thread-local scratch slot therefore remembers what it holds: the owning
+// dataset's content stamp (globally unique per mutation, so equal stamps
+// imply identical content — see Dataset::content_stamp), the lane block's
+// absolute row span, the sub-block index, and the direct-index dimension
+// the decode was built for. A matching key skips the decode outright.
+// Process-global relaxed counters prove the reuse in tests.
+
+struct SparseDecodeKey {
+  uint64_t stamp = 0;      // Dataset::content_stamp() of the query side
+  size_t block_begin = 0;  // absolute first row of the lane block
+  size_t block_n = 0;      // lanes in the block (its sparse subset derives)
+  size_t sub = 0;          // sub-block index within the lane block
+  size_t direct_dim = 0;   // direct-index dim the decode was built for
+  friend bool operator==(const SparseDecodeKey&,
+                         const SparseDecodeKey&) = default;
+};
+
+std::atomic<uint64_t> g_sparse_decode_count{0};
+std::atomic<uint64_t> g_sparse_decode_hits{0};
+
+// True (and counted as a hit) when `have` already holds `want`'s decode;
+// otherwise records `want` into `have` and tells the caller to decode.
+// Stamp 0 marks a never-mutated dataset (necessarily empty — no sparse
+// lanes to decode) and never caches.
+bool SparseDecodeCached(const SparseDecodeKey& want, SparseDecodeKey& have) {
+  if (want.stamp != 0 && have == want) {
+    g_sparse_decode_hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  g_sparse_decode_count.fetch_add(1, std::memory_order_relaxed);
+  have = want;
+  return false;
+}
+
 // Shared tile driver for the four concrete metrics, parameterized on the
 // output scalar: Out = double is the exact engine (8 query lanes, the
 // bit-identical lane kernels), Out = float the fp32 screening engine (16
@@ -240,6 +282,7 @@ void BatchTileImpl(const Dataset& queries, size_t q_begin, size_t nq,
   constexpr size_t kMaxSub = (kQBlock + kSub - 1) / kSub;
   thread_local std::vector<float> qt;  // transposed dense lane block
   thread_local kernels::SparseTileScratch sparse_ws[kMaxSub];
+  thread_local SparseDecodeKey sparse_key[kMaxSub];
   kernels::VecView dv[kQBlock];  // compacted dense lane views
   kernels::VecView sv[kQBlock];  // compacted sparse lane views
   size_t dense_id[kQBlock];
@@ -270,8 +313,12 @@ void BatchTileImpl(const Dataset& queries, size_t q_begin, size_t nq,
       size_t direct_dim = sparse_union_walk ? 0 : DirectIndexDim(data, nr);
       for (size_t sub = 0; sub < num_sub; ++sub) {
         size_t sub_n = std::min(kSub, sn - sub * kSub);
-        kernels::PackSparseQueryLanes(sv + sub * kSub, sub_n, direct_dim,
-                                      sparse_ws[sub]);
+        SparseDecodeKey want{queries.content_stamp(), q_begin + q0, qn, sub,
+                             direct_dim};
+        if (!SparseDecodeCached(want, sparse_key[sub])) {
+          kernels::PackSparseQueryLanes(sv + sub * kSub, sub_n, direct_dim,
+                                        sparse_ws[sub]);
+        }
         if (sparse_union_walk &&
             !UnionWalkProfitable(sparse_ws[sub].indices.size(),
                                  sparse_ws[sub].total_nnz, sub_n,
@@ -427,6 +474,39 @@ double CosineSpaceError(size_t m, double min_norm_q, double min_norm_r) {
 ScreenBound CosineBound(size_t m, double min_norm_q, double min_norm_r) {
   double e_c = CosineSpaceError(m, min_norm_q, min_norm_r);
   double e_d = std::sqrt(2.0 * e_c) + e_c + 1e-5;
+  return ScreenBound{0.0, std::min(e_d, 4.0)};
+}
+
+// --- Metric-index pruning slack -------------------------------------------
+// The cover tree (core/cover_tree.h) prunes with chains of EXACT-double
+// kernel values: d(q, center) - radius lower-bounds d(q, x) for any x in
+// the node, d(q, center) + radius upper-bounds it. The exact kernels round,
+// so each computed value carries the double analog of the fp32 screening
+// band above — the same derivations with u = 2^-52 and the same >=2x safety
+// factors. A pruning test chains at most three computed values (the pair
+// bound, the center distance, and the radius, itself a computed pair
+// distance), so the traversal widens by FOUR times this band before any
+// comparison: sound for every chain it forms, and still orders of magnitude
+// below the distances the tests discriminate on.
+
+constexpr double kDblEps = 2.220446049250313e-16;  // 2^-52
+
+ScreenBound AdditiveIndexSlack(size_t m) {
+  // Euclidean / L1: (2m + 64) u relative — more than twice the (m + 6) u
+  // worst case on the distance — plus a floor soaking double underflow.
+  return ScreenBound{(2.0 * static_cast<double>(m) + 64.0) * kDblEps, 1e-30};
+}
+
+ScreenBound CosineIndexSlack(size_t m, double min_norm) {
+  // Cosine-space band of the exact double dot (Cauchy-Schwarz over absolute
+  // terms, any order) with a denormal floor over the smallest positive norm
+  // product, lifted to the angle by |acos x - acos y| <= sqrt(2|x-y|) +
+  // |x-y|, plus ulp-scale headroom for the exact std::acos itself. Degrades
+  // to the never-prune band (abs = 4 >= pi) when norms underflow the floor.
+  double md = static_cast<double>(m);
+  double e_c =
+      (2.0 * md + 64.0) * kDblEps + md * 1e-315 / (min_norm * min_norm);
+  double e_d = std::sqrt(2.0 * e_c) + e_c + 1e-12;
   return ScreenBound{0.0, std::min(e_d, 4.0)};
 }
 
@@ -620,10 +700,16 @@ size_t CosineSparseScreenedRelaxTile(const Dataset& queries, size_t q_begin,
     inv_nb[l] = qnorm[l] > 0.0 ? 1.0 / qnorm[l] : 0.0;
   }
   const size_t direct_dim = DirectIndexDim(data, nr);
+  thread_local std::vector<SparseDecodeKey> key_pool;
+  if (key_pool.size() < ws_pool.size()) key_pool.resize(ws_pool.size());
   for (size_t sub = 0; sub < num_sub; ++sub) {
     size_t sub_n = std::min(kSub, nq - sub * kSub);
-    kernels::PackSparseQueryLanes(qv.data() + sub * kSub, sub_n, direct_dim,
-                                  ws_pool[sub]);
+    SparseDecodeKey want{queries.content_stamp(), q_begin, nq, sub,
+                         direct_dim};
+    if (!SparseDecodeCached(want, key_pool[sub])) {
+      kernels::PackSparseQueryLanes(qv.data() + sub * kSub, sub_n, direct_dim,
+                                    ws_pool[sub]);
+    }
   }
   auto row_cos_threshold = [&](double cur, double rnorm) -> double {
     // (cos(cur) - slack - e_c) * row_norm; -inf (never skip) when the row
@@ -769,6 +855,12 @@ bool Metric::ScreeningProfitableFor(const Point&, const Dataset&) const {
 bool Metric::RelaxTileScreeningProfitableFor(const Dataset& queries,
                                              const Dataset& data) const {
   return ScreeningProfitableFor(queries, data);
+}
+
+ScreenBound Metric::IndexSlack(const Dataset&) const {
+  // Unbounded band: every prune test fails — sound, and consistent with
+  // SupportsMetricIndexing() == false.
+  return ScreenBound{0.0, std::numeric_limits<double>::infinity()};
 }
 
 size_t Metric::ScreenedRelaxTile(const Dataset& queries, size_t q_begin,
@@ -1057,6 +1149,11 @@ ScreenBound EuclideanMetric::ScreenErrorBound(const Point& query,
       MaxPairTerms(SideStatsOf(query), SideStatsOf(data), data.dim()));
 }
 
+ScreenBound EuclideanMetric::IndexSlack(const Dataset& data) const {
+  ScreenSideStats s = SideStatsOf(data);
+  return AdditiveIndexSlack(MaxPairTerms(s, s, data.dim()));
+}
+
 double ManhattanMetric::Distance(const Point& a, const Point& b) const {
   return a.L1DistanceTo(b);
 }
@@ -1158,6 +1255,11 @@ ScreenBound ManhattanMetric::ScreenErrorBound(const Point& query,
                                               const Dataset& data) const {
   return AdditiveBound(
       MaxPairTerms(SideStatsOf(query), SideStatsOf(data), data.dim()));
+}
+
+ScreenBound ManhattanMetric::IndexSlack(const Dataset& data) const {
+  ScreenSideStats s = SideStatsOf(data);
+  return AdditiveIndexSlack(MaxPairTerms(s, s, data.dim()));
 }
 
 double CosineMetric::Distance(const Point& a, const Point& b) const {
@@ -1339,6 +1441,15 @@ bool CosineMetric::ScreeningProfitableFor(const Point& query,
   return !query.is_sparse() && data.sparse_stats().rows == 0;
 }
 
+ScreenBound CosineMetric::IndexSlack(const Dataset& data) const {
+  // The distance here is the ANGULAR cosine — a genuine metric, so the
+  // triangle inequality holds in angle space and that is where the tree
+  // prunes; the slack is the angular lift of the double dot's cosine band.
+  ScreenSideStats s = SideStatsOf(data);
+  return CosineIndexSlack(MaxPairTerms(s, s, data.dim()),
+                          s.min_positive_norm);
+}
+
 double JaccardMetric::Distance(const Point& a, const Point& b) const {
   return a.SupportJaccardDistanceTo(b);
 }
@@ -1386,6 +1497,26 @@ void JaccardMetric::DistanceTile(const Dataset& queries, size_t q_begin,
 double JaccardMetric::DistanceRows(const Dataset& a, size_t i,
                                    const Dataset& b, size_t j) const {
   return kernels::SupportJaccard(a.row(i), b.row(j));
+}
+
+ScreenBound JaccardMetric::IndexSlack(const Dataset&) const {
+  // Support Jaccard is a ratio of exact integer counts: one double divide
+  // and one subtract round, so a couple of ulps relative plus an underflow
+  // floor covers it with the usual >=2x margin.
+  return ScreenBound{8.0 * kDblEps, 1e-30};
+}
+
+uint64_t SparseQueryDecodeCount() {
+  return g_sparse_decode_count.load(std::memory_order_relaxed);
+}
+
+uint64_t SparseQueryDecodeHits() {
+  return g_sparse_decode_hits.load(std::memory_order_relaxed);
+}
+
+void ResetSparseQueryDecodeStats() {
+  g_sparse_decode_count.store(0, std::memory_order_relaxed);
+  g_sparse_decode_hits.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace diverse

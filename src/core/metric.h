@@ -245,6 +245,28 @@ class Metric {
   virtual bool RelaxTileScreeningProfitableFor(const Dataset& queries,
                                                const Dataset& data) const;
 
+  /// True when Distance is a genuine metric whose triangle inequality the
+  /// metric index (core/cover_tree.h) may prune with, and IndexSlack()
+  /// below returns a certified rounding band for the exact kernels. The
+  /// base class returns false: user-defined "distances" (dot-product
+  /// similarity and friends) need not satisfy the triangle inequality at
+  /// all, so indexing stays gated off unless a metric opts in. All four
+  /// built-in metrics opt in — the cosine distance here is the *angular*
+  /// distance, a genuine metric, so its node bounds prune in angular space.
+  virtual bool SupportsMetricIndexing() const { return false; }
+
+  /// Certified rounding slack of the *exact double* kernels: for every row
+  /// pair, |computed - true| <= rel * computed + abs. The metric index
+  /// chains three computed distances through the triangle inequality
+  /// (center-to-center, node radius, and the bounded pair), so it inflates
+  /// each bound by a 4x multiple of this band before pruning — a prune is
+  /// then sound even though the chained values are computed doubles, not
+  /// true reals (derivation in the README). Reads only dataset statistics,
+  /// so every prune decision is deterministic. The base returns an
+  /// unbounded band (abs = +inf): every prune test fails — sound, and
+  /// consistent with SupportsMetricIndexing() == false.
+  virtual ScreenBound IndexSlack(const Dataset& data) const;
+
   /// Human-readable metric name, e.g. "euclidean".
   virtual std::string Name() const = 0;
 };
@@ -298,6 +320,8 @@ class EuclideanMetric final : public Metric {
   ScreenBound ScreenErrorBound(const Point& query,
                                const Dataset& data) const override;
   bool ScreeningProfitable() const override { return true; }
+  bool SupportsMetricIndexing() const override { return true; }
+  ScreenBound IndexSlack(const Dataset& data) const override;
   std::string Name() const override { return "euclidean"; }
 };
 
@@ -331,6 +355,8 @@ class ManhattanMetric final : public Metric {
   ScreenBound ScreenErrorBound(const Point& query,
                                const Dataset& data) const override;
   bool ScreeningProfitable() const override { return true; }
+  bool SupportsMetricIndexing() const override { return true; }
+  ScreenBound IndexSlack(const Dataset& data) const override;
   std::string Name() const override { return "manhattan"; }
 };
 
@@ -377,6 +403,8 @@ class CosineMetric final : public Metric {
   /// pays one multiply-compare per pair instead of an arccos.
   bool RelaxTileScreeningProfitableFor(const Dataset& queries,
                                        const Dataset& data) const override;
+  bool SupportsMetricIndexing() const override { return true; }
+  ScreenBound IndexSlack(const Dataset& data) const override;
   std::string Name() const override { return "cosine"; }
 };
 
@@ -400,6 +428,8 @@ class JaccardMetric final : public Metric {
   // discrete value set would make screened ties (always rescued) common.
   double DistanceRows(const Dataset& a, size_t i, const Dataset& b,
                       size_t j) const override;
+  bool SupportsMetricIndexing() const override { return true; }
+  ScreenBound IndexSlack(const Dataset& data) const override;
   std::string Name() const override { return "jaccard"; }
 };
 
@@ -518,6 +548,14 @@ class CountingMetric final : public Metric {
     return base_->RelaxTileScreeningProfitableFor(queries, data);
   }
 
+  bool SupportsMetricIndexing() const override {
+    return base_->SupportsMetricIndexing();
+  }
+
+  ScreenBound IndexSlack(const Dataset& data) const override {
+    return base_->IndexSlack(data);
+  }
+
   std::string Name() const override { return "counting(" + base_->Name() + ")"; }
 
   /// Number of exact distance evaluations since construction or the last
@@ -543,6 +581,19 @@ class CountingMetric final : public Metric {
   mutable std::atomic<uint64_t> count_{0};
   mutable std::atomic<uint64_t> screened_{0};
 };
+
+/// Sparse query-block decode-cache instrumentation (the CountingMetric-style
+/// proof of reuse asked of the cache): the blocked sparse engines decode
+/// each query block's CSR lanes into per-thread scratch
+/// (kernels::PackSparseQueryLanes) before streaming data rows. The decode is
+/// now cached per thread, keyed on (Dataset::content_stamp, absolute block
+/// rows, lane count, direct-index dim), so a block re-swept by the same
+/// thread — consecutive row ranges of one tiled sweep, or one center
+/// applied to many cover-tree leaf slabs — skips the re-decode. Counters
+/// are process-global, relaxed, and test-only.
+uint64_t SparseQueryDecodeCount();  ///< decodes performed (cache misses)
+uint64_t SparseQueryDecodeHits();   ///< decodes skipped by the cache
+void ResetSparseQueryDecodeStats();
 
 }  // namespace diverse
 

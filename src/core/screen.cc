@@ -178,6 +178,90 @@ size_t ScreenedRelaxTilesAndArgFarthest(const Metric& metric,
   return best;
 }
 
+RelaxScreenPlan PlanScreenedRelax(const Metric& metric, const Dataset& queries,
+                                  const Dataset& data) {
+  RelaxScreenPlan plan;
+  if (!UseScreening(metric) || !SingleQueryScreenWorthwhile(data) ||
+      !metric.ScreeningProfitableFor(queries, data)) {
+    return plan;
+  }
+  plan.bound = metric.ScreenErrorBound(queries, data);
+  if (!(plan.bound.rel < 1.0)) return plan;  // degenerate: run exact
+  plan.inv_rel = (1.0 + 1e-12) / (1.0 - plan.bound.rel);
+  plan.screen = true;
+  return plan;
+}
+
+size_t ScreenedRelaxRange(const Metric& metric, const Dataset& queries,
+                          size_t q_index, const Dataset& data, size_t begin,
+                          size_t count, const RelaxScreenPlan& plan,
+                          std::span<double> dist, std::span<size_t> assignment,
+                          size_t center_rank) {
+  DIVERSE_CHECK_LT(q_index, queries.size());
+  DIVERSE_CHECK_LE(begin + count, data.size());
+  DIVERSE_CHECK_EQ(dist.size(), data.size());
+  if (!assignment.empty()) DIVERSE_CHECK_EQ(assignment.size(), data.size());
+  if (count == 0) return 0;
+  const Point& query = queries.point(q_index);
+  constexpr size_t kChunk = 512;
+  size_t end = begin + count;
+  if (!plan.screen) {
+    // Exact per-pair relax through the batched kernel — the same doubles
+    // Metric::RelaxAndArgFarthest folds, chunked to bound scratch.
+    thread_local std::vector<double> dbuf;
+    for (size_t c0 = begin; c0 < end; c0 += kChunk) {
+      size_t cn = std::min(kChunk, end - c0);
+      dbuf.resize(cn);
+      metric.DistanceToMany(query, data, c0,
+                            std::span<double>(dbuf.data(), cn));
+      for (size_t i = 0; i < cn; ++i) {
+        if (dbuf[i] < dist[c0 + i]) {
+          dist[c0 + i] = dbuf[i];
+          if (!assignment.empty()) assignment[c0 + i] = center_rank;
+        }
+      }
+    }
+    return count;
+  }
+  // The flat sweep's chunk body verbatim, over [begin, end). Per-row fp32
+  // values, skip thresholds, and rescue verdicts are functions of the pair
+  // and the row's incoming dist alone (the per-row kernels do not couple
+  // rows), so chunk alignment cannot move a decision: this IS the flat
+  // sweep restricted to these rows.
+  thread_local std::vector<float> buf;
+  thread_local std::vector<float> thr;
+  thread_local std::vector<uint32_t> rescue;
+  thread_local std::vector<double> rescued_d;
+  size_t exact_evals = 0;
+  for (size_t c0 = begin; c0 < end; c0 += kChunk) {
+    size_t cn = std::min(kChunk, end - c0);
+    buf.resize(cn);
+    thr.resize(cn);
+    metric.DistanceToManyF32(query, data, c0,
+                             std::span<float>(buf.data(), cn));
+    for (size_t i = 0; i < cn; ++i) {
+      thr[i] = ScreenSkipThreshold(dist[c0 + i], plan.bound.abs, plan.inv_rel);
+    }
+    rescue.clear();
+    CollectScreenRescues(buf.data(), thr.data(), cn,
+                         static_cast<uint32_t>(c0), rescue);
+    if (!rescue.empty()) {
+      rescued_d.resize(rescue.size());
+      metric.DistanceRowsMany(queries, q_index, data, rescue,
+                              rescued_d.data());
+      exact_evals += rescue.size();
+      for (size_t t = 0; t < rescue.size(); ++t) {
+        size_t row = rescue[t];
+        if (rescued_d[t] < dist[row]) {
+          dist[row] = rescued_d[t];
+          if (!assignment.empty()) assignment[row] = center_rank;
+        }
+      }
+    }
+  }
+  return exact_evals;
+}
+
 size_t ScreenedRelaxArgFarthest(const Metric& metric, const Dataset& queries,
                                 size_t q_index, const Dataset& data,
                                 std::span<double> dist,
@@ -257,25 +341,20 @@ size_t ScreenedRelaxArgFarthest(const Metric& metric, const Dataset& queries,
   return best;
 }
 
-ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
-                                         const Point& query,
-                                         const Dataset& data,
-                                         double cover_threshold) {
+namespace {
+
+// The fused argmin + coverage sweep under an already-resolved bound: shared
+// by the one-shot overload (per-query bound) and the persistent-context
+// overload (cached dataset-worst-case bound). `beyond` is the precomputed
+// certify-beyond cutoff at the caller's cover threshold.
+ScreenedNearest ScreenedArgClosestWithinBody(const Metric& metric,
+                                             const Point& query,
+                                             const Dataset& data,
+                                             const ScreenBound& bound,
+                                             double inv_rel, float beyond) {
   size_t n = data.size();
-  DIVERSE_CHECK_GE(n, 1u);
-  DIVERSE_CHECK_GE(cover_threshold, 0.0);
   ScreenedNearest out;
-  if (!UseScreening(metric) || !metric.ScreeningProfitableFor(query, data)) {
-    out.index = ExactArgClosest(metric, query, data, &out.dist);
-    return out;
-  }
-  const ScreenBound bound = metric.ScreenErrorBound(query, data);
-  if (!(bound.rel < 1.0)) {
-    out.index = ExactArgClosest(metric, query, data, &out.dist);
-    return out;
-  }
   const float flt_max = std::numeric_limits<float>::max();
-  const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
   thread_local std::vector<float> s;
   s.resize(n);
   metric.DistanceToManyF32(query, data, 0, std::span<float>(s.data(), n));
@@ -295,7 +374,6 @@ ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
   // cover threshold, the caller's coverage decision is settled with zero
   // exact evaluations (the skip-threshold transform is exactly the
   // "certify exact > t" test, applied with t = cover_threshold).
-  float beyond = ScreenSkipThreshold(cover_threshold, bound.abs, inv_rel);
   if (!any_nonfinite && smin > beyond) {
     out.beyond = true;
     return out;
@@ -328,6 +406,128 @@ ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
   out.index = best;
   out.dist = best_val;
   return out;
+}
+
+// The fused first-within loop under already-resolved cutoffs: shared by
+// the one-shot and persistent-context overloads of ScreenedFirstWithin.
+size_t ScreenedFirstWithinBody(const Metric& metric, const Point& query,
+                               const Dataset& data, double threshold,
+                               float within, float beyond) {
+  size_t n = data.size();
+  constexpr size_t kChunk = 16;
+  const float flt_max = std::numeric_limits<float>::max();
+  float buf[kChunk];
+  for (size_t b = 0; b < n; b += kChunk) {
+    size_t bn = std::min(kChunk, n - b);
+    metric.DistanceToManyF32(query, data, b, std::span<float>(buf, bn));
+    for (size_t i = 0; i < bn; ++i) {
+      float v = buf[i];
+      if (v >= -flt_max && v <= within) return b + i;
+      if (v > beyond && v <= flt_max) continue;
+      if (metric.Distance(query, data.point(b + i)) <= threshold) {
+        return b + i;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
+                                         const Point& query,
+                                         const Dataset& data,
+                                         double cover_threshold) {
+  size_t n = data.size();
+  DIVERSE_CHECK_GE(n, 1u);
+  DIVERSE_CHECK_GE(cover_threshold, 0.0);
+  ScreenedNearest out;
+  if (!UseScreening(metric) || !metric.ScreeningProfitableFor(query, data)) {
+    out.index = ExactArgClosest(metric, query, data, &out.dist);
+    return out;
+  }
+  const ScreenBound bound = metric.ScreenErrorBound(query, data);
+  if (!(bound.rel < 1.0)) {
+    out.index = ExactArgClosest(metric, query, data, &out.dist);
+    return out;
+  }
+  const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
+  const float beyond = ScreenSkipThreshold(cover_threshold, bound.abs,
+                                           inv_rel);
+  return ScreenedArgClosestWithinBody(metric, query, data, bound, inv_rel,
+                                      beyond);
+}
+
+// True when the context's cached dataset-worst-case bound covers `query`:
+// the query's side statistics are dominated by the data's own extremes, so
+// the cached bound is at least as wide as the per-call bound (see the
+// header's soundness note).
+bool ScreenContextCovers(const PersistentScreenContext& ctx,
+                         const Point& query) {
+  if (query.is_sparse()) {
+    if (query.sparse_values().size() > ctx.max_nnz_) return false;
+  } else if (!ctx.has_dense_) {
+    return false;
+  }
+  double qn = query.norm();
+  return qn == 0.0 || qn >= ctx.min_positive_norm_;
+}
+
+// Rebuilds the context's cached bound and cutoffs when the (data stats,
+// threshold) key moved; counts a hit otherwise. Returns false when the
+// cached bound is degenerate (rel >= 1) and callers must take the one-shot
+// path.
+bool RefreshScreenContext(PersistentScreenContext& ctx, const Metric& metric,
+                          const Dataset& data, double threshold) {
+  const Dataset::ScreenStats& ss = data.screen_stats();
+  bool same = ctx.valid_ && ctx.dim_ == data.dim() &&
+              ctx.has_dense_ == data.has_dense_rows() &&
+              ctx.max_nnz_ == data.sparse_stats().max_nnz &&
+              ctx.min_positive_norm_ == ss.min_positive_norm &&
+              ctx.threshold_ == threshold;
+  if (same) {
+    ++ctx.hits_;
+  } else {
+    ctx.dim_ = data.dim();
+    ctx.has_dense_ = data.has_dense_rows();
+    ctx.max_nnz_ = data.sparse_stats().max_nnz;
+    ctx.min_positive_norm_ = ss.min_positive_norm;
+    ctx.threshold_ = threshold;
+    ctx.bound_ = metric.ScreenErrorBound(data, data);
+    if (ctx.bound_.rel < 1.0) {
+      ctx.inv_rel_ = (1.0 + 1e-12) / (1.0 - ctx.bound_.rel);
+      ctx.beyond_ = ScreenSkipThreshold(threshold, ctx.bound_.abs,
+                                        ctx.inv_rel_);
+      ctx.within_ = ScreenCertifiedBelow(threshold, ctx.bound_);
+    }
+    ctx.valid_ = true;
+    ++ctx.rebuilds_;
+  }
+  return ctx.bound_.rel < 1.0;
+}
+
+ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
+                                         const Point& query,
+                                         const Dataset& data,
+                                         double cover_threshold,
+                                         PersistentScreenContext* ctx) {
+  if (ctx == nullptr) {
+    return ScreenedArgClosestWithin(metric, query, data, cover_threshold);
+  }
+  size_t n = data.size();
+  DIVERSE_CHECK_GE(n, 1u);
+  DIVERSE_CHECK_GE(cover_threshold, 0.0);
+  if (!UseScreening(metric) || !metric.ScreeningProfitableFor(query, data)) {
+    ScreenedNearest out;
+    out.index = ExactArgClosest(metric, query, data, &out.dist);
+    return out;
+  }
+  if (!RefreshScreenContext(*ctx, metric, data, cover_threshold) ||
+      !ScreenContextCovers(*ctx, query)) {
+    return ScreenedArgClosestWithin(metric, query, data, cover_threshold);
+  }
+  return ScreenedArgClosestWithinBody(metric, query, data, ctx->bound_,
+                                      ctx->inv_rel_, ctx->beyond_);
 }
 
 size_t ScreenedArgClosest(const Metric& metric, const Point& query,
@@ -375,21 +575,28 @@ size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
   const double inv_rel = (1.0 + 1e-12) / (1.0 - bound.rel);
   const float within = ScreenCertifiedBelow(threshold, bound);
   const float beyond = ScreenSkipThreshold(threshold, bound.abs, inv_rel);
-  const float flt_max = std::numeric_limits<float>::max();
-  float buf[kChunk];
-  for (size_t b = 0; b < n; b += kChunk) {
-    size_t bn = std::min(kChunk, n - b);
-    metric.DistanceToManyF32(query, data, b, std::span<float>(buf, bn));
-    for (size_t i = 0; i < bn; ++i) {
-      float v = buf[i];
-      if (v >= -flt_max && v <= within) return b + i;
-      if (v > beyond && v <= flt_max) continue;
-      if (metric.Distance(query, data.point(b + i)) <= threshold) {
-        return b + i;
-      }
-    }
+  return ScreenedFirstWithinBody(metric, query, data, threshold, within,
+                                 beyond);
+}
+
+size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
+                           const Dataset& data, double threshold,
+                           PersistentScreenContext* ctx) {
+  if (ctx == nullptr) {
+    return ScreenedFirstWithin(metric, query, data, threshold);
   }
-  return n;
+  size_t n = data.size();
+  if (n == 0) return 0;
+  if (!UseScreening(metric) || !metric.ScreeningProfitableFor(query, data) ||
+      threshold < 0.0) {
+    return ScreenedFirstWithin(metric, query, data, threshold);
+  }
+  if (!RefreshScreenContext(*ctx, metric, data, threshold) ||
+      !ScreenContextCovers(*ctx, query)) {
+    return ScreenedFirstWithin(metric, query, data, threshold);
+  }
+  return ScreenedFirstWithinBody(metric, query, data, threshold,
+                                 ctx->within_, ctx->beyond_);
 }
 
 }  // namespace diverse

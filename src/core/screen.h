@@ -158,6 +158,40 @@ size_t ScreenedRelaxArgFarthest(const Metric& metric, const Dataset& queries,
                                 std::span<size_t> assignment = {},
                                 size_t center_rank = 0);
 
+/// Precomputed decision state of one ScreenedRelaxArgFarthest-style sweep:
+/// whether the sweep screens at all (all the flat path's gates folded in —
+/// the global toggle, the metric's profitability verdicts, the per-row-work
+/// gate, and the degenerate-bound check), and when it does, the certified
+/// bound plus its precomputed (1 + 1e-12) / (1 - rel). The metric index
+/// (core/cover_tree.h) plans ONCE per relax step and applies the plan to
+/// each surviving leaf range, so per-pair screening decisions — fp32
+/// values, skip thresholds, rescue sets — are exactly the flat sweep's
+/// restricted to those rows; that containment is what keeps indexed exact-
+/// eval counts at or below the flat screened baseline.
+struct RelaxScreenPlan {
+  bool screen = false;  ///< false: every pair pays the exact kernel
+  ScreenBound bound;    ///< valid when screen
+  double inv_rel = 0.0; ///< (1 + 1e-12) / (1 - bound.rel) when screen
+};
+
+/// Builds the plan ScreenedRelaxArgFarthest would follow for a sweep of
+/// queries-rows against `data` (reads both datasets' lazy screen stats on
+/// the calling thread, like the flat sweep does before fanning out).
+RelaxScreenPlan PlanScreenedRelax(const Metric& metric, const Dataset& queries,
+                                  const Dataset& data);
+
+/// The relax body of ScreenedRelaxArgFarthest restricted to rows
+/// [begin, begin + count): relaxes dist/assignment (full-dataset spans,
+/// absolute row indexing) against queries.point(q_index) under `plan`, with
+/// per-pair decisions identical to the flat sweep's, and returns the number
+/// of exact evaluations paid. No argmax — callers (the cover-tree leaf
+/// scan) fold their own.
+size_t ScreenedRelaxRange(const Metric& metric, const Dataset& queries,
+                          size_t q_index, const Dataset& data, size_t begin,
+                          size_t count, const RelaxScreenPlan& plan,
+                          std::span<double> dist, std::span<size_t> assignment,
+                          size_t center_rank);
+
 /// First row index minimizing Distance(query, row) — ties to the smallest
 /// index, exactly like a sequential strict-min scan — with the exact
 /// minimum distance in *min_dist. Requires data nonempty. (SMM's
@@ -196,6 +230,81 @@ ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
 /// the per-row double bound transforms, and no per-row work gate applies.
 size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
                            const Dataset& data, double threshold);
+
+/// Reusable screening state for engines that issue MANY structurally
+/// identical point-vs-dataset sweeps against a slowly changing dataset and
+/// a slowly changing threshold (SMM: one nearest-center sweep per stream
+/// point, one membership sweep per merge candidate). The one-shot sweeps
+/// above recompute the error bound and both float cutoffs on every call —
+/// fixed work that dominates at low dimension. A context snapshots that
+/// state keyed on the dataset's aggregate statistics (dim, dense presence,
+/// max sparse support, smallest positive norm) plus the threshold, and
+/// replays it until the key moves (appends rarely move the stats).
+///
+/// Soundness: the cached bound is the dataset-vs-dataset worst case
+/// ScreenErrorBound(data, data), substituted for the per-query bound only
+/// when the query's side statistics are dominated by the data's own
+/// extremes (a dense query needs dense rows present; a sparse query's
+/// support must not exceed the data's max; a positive query norm must not
+/// undercut the data's smallest positive norm). Dominated queries see a
+/// bound at least as wide as their per-call bound — wider bounds rescue
+/// more and skip less, never unsafely — because every ScreenErrorBound
+/// here is monotone in those statistics (the base default is constant).
+/// Non-dominated queries silently take the one-shot path. Results are
+/// bit-identical with or without a context; only evaluation counts move.
+class PersistentScreenContext {
+ public:
+  PersistentScreenContext() = default;
+
+  /// Times the cached cutoffs were rebuilt because the key moved (tests
+  /// assert amortization: rebuilds stay O(stat changes), not O(calls)).
+  uint64_t rebuilds() const { return rebuilds_; }
+  /// Calls that replayed the cached cutoffs without rebuilding.
+  uint64_t hits() const { return hits_; }
+
+ private:
+  friend ScreenedNearest ScreenedArgClosestWithin(
+      const Metric& metric, const Point& query, const Dataset& data,
+      double cover_threshold, PersistentScreenContext* ctx);
+  friend size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
+                                    const Dataset& data, double threshold,
+                                    PersistentScreenContext* ctx);
+  friend bool RefreshScreenContext(PersistentScreenContext& ctx,
+                                   const Metric& metric, const Dataset& data,
+                                   double threshold);
+  friend bool ScreenContextCovers(const PersistentScreenContext& ctx,
+                                  const Point& query);
+
+  // Snapshot key.
+  bool valid_ = false;
+  size_t dim_ = 0;
+  bool has_dense_ = false;
+  size_t max_nnz_ = 0;
+  double min_positive_norm_ = 0.0;
+  double threshold_ = -1.0;
+  // Cached derived state (meaningful while valid_).
+  ScreenBound bound_;
+  double inv_rel_ = 0.0;
+  float beyond_ = 0.0f;   // certify exact > threshold_ cutoff
+  float within_ = -1.0f;  // certify exact < threshold_ cutoff
+  uint64_t rebuilds_ = 0;
+  uint64_t hits_ = 0;
+};
+
+/// ScreenedArgClosestWithin with a persistent context (nullptr falls back
+/// to the one-shot overload). Bit-identical results; the context only
+/// amortizes the per-call bound and cutoff precomputation.
+ScreenedNearest ScreenedArgClosestWithin(const Metric& metric,
+                                         const Point& query,
+                                         const Dataset& data,
+                                         double cover_threshold,
+                                         PersistentScreenContext* ctx);
+
+/// ScreenedFirstWithin with a persistent context (nullptr falls back to
+/// the one-shot overload). Bit-identical results.
+size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
+                           const Dataset& data, double threshold,
+                           PersistentScreenContext* ctx);
 
 }  // namespace diverse
 

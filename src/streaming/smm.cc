@@ -52,7 +52,7 @@ void SmmEngine::Update(const Point& p) {
   // >=8-coords-per-row gate).
   ScreenedNearest nearest =
       ScreenedArgClosestWithin(*metric_, p, centers_columnar_,
-                               4.0 * threshold_);
+                               4.0 * threshold_, &update_ctx_);
   if (nearest.beyond || nearest.dist > 4.0 * threshold_) {
     Entry e;
     e.center = p;
@@ -121,7 +121,8 @@ void SmmEngine::MergeStep() {
   kept.reserve(centers_.size());
   Dataset kept_mirror;  // columnar mirror of `kept`, same order
   for (Entry& e : centers_) {
-    size_t host = ScreenedFirstWithin(*metric_, e.center, kept_mirror, radius);
+    size_t host = ScreenedFirstWithin(*metric_, e.center, kept_mirror, radius,
+                                      &merge_ctx_);
     if (host == kept.size()) {
       kept_mirror.Append(e.center);
       kept.push_back(std::move(e));

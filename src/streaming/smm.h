@@ -34,6 +34,7 @@
 #include "core/generalized_coreset.h"
 #include "core/metric.h"
 #include "core/point.h"
+#include "core/screen.h"
 
 namespace diverse {
 
@@ -111,6 +112,13 @@ class SmmEngine {
   // kept mirror in chunked screened threshold sweeps. Appended to on
   // insertion, replaced by the kept mirror after merges.
   Dataset centers_columnar_;
+  // Persistent screen contexts for the two screened sweep shapes above: the
+  // per-update nearest-center scan and the merge-step membership scan. The
+  // cached fp32 cutoffs replay across calls while the mirror's aggregate
+  // statistics and the phase threshold stay put (rebuilds are O(stat
+  // changes), not O(points)); results are bit-identical either way.
+  PersistentScreenContext update_ctx_;
+  PersistentScreenContext merge_ctx_;
   PointSet removed_;  // M: points dropped in the current phase's merges
   double threshold_ = 0.0;
   bool initializing_ = true;

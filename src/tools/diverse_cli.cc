@@ -74,6 +74,7 @@ commands:
             [--k_prime=N] [--partitions=N] [--workers=N]
             [--metric=euclidean|manhattan|cosine|jaccard] [--out=FILE]
             [--screening=0|1]  (fp32 screen-then-certify sweeps, default on)
+            [--indexing=0|1]   (cover-tree metric-index tier, default on)
   generate  --kind=sphere|cube|text --n=N --out=FILE
             [--k=planted] [--dim=D] [--vocab=V] [--topics=T] [--seed=S]
             [--format=bin|txt]
@@ -148,6 +149,7 @@ int RunSolve(const CliFlags& flags) {
   opts.num_workers = static_cast<size_t>(flags.GetInt("workers", 0));
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   opts.screening = flags.GetInt("screening", 1) != 0;
+  opts.indexing = flags.GetInt("indexing", 1) != 0;
 
   SolveResult result = Solve(*points, *metric, opts);
   std::printf("n:          %zu\n", points->size());

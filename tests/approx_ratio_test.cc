@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "api/solve.h"
+#include "core/cover_tree.h"
 #include "core/diversity.h"
 #include "core/exact.h"
 #include "core/metric.h"
@@ -103,6 +104,14 @@ void ExpectWithinFactor(double achieved, double opt, double factor,
 
 TEST_P(ApproxRatioThreads, AllBackendsWithinProvenFactorOfOracle) {
   SetGlobalThreadPoolSize(GetParam());
+  // Force the metric-index gate on so the indexed dimension of the grid
+  // actually exercises the cover-tree traversals on these tiny instances
+  // (the real profitability probe would gate them off as too small); the
+  // indexing-off dimension pins the flat sweeps. Indexing is bit-identical
+  // by contract, so the assertions are unchanged.
+  IndexGate forced;
+  forced.force = +1;
+  SetIndexGateForTesting(forced);
   for (const NamedLayout& layout : Layouts()) {
     for (const auto& metric : AllMetrics()) {
       for (DiversityProblem p : kAllProblems) {
@@ -110,10 +119,13 @@ TEST_P(ApproxRatioThreads, AllBackendsWithinProvenFactorOfOracle) {
             ExactDiversityMaximization(p, layout.pts, *metric, kK).value;
         double alpha = SequentialAlpha(p);
         for (bool screening : {true, false}) {
+        for (bool indexing : {true, false}) {
           ScopedScreening guard(screening);
+          ScopedIndexing index_guard(indexing);
           std::string ctx = layout.name + "/" + metric->Name() + "/" +
                             ProblemName(p) +
                             (screening ? "/screened" : "/exact") +
+                            (indexing ? "/indexed" : "/flat") +
                             "/threads=" + std::to_string(GetParam());
           // Sequential GMM / matching (per problem family).
           {
@@ -170,9 +182,11 @@ TEST_P(ApproxRatioThreads, AllBackendsWithinProvenFactorOfOracle) {
             ExpectWithinFactor(ls_value, opt, alpha, ctx + "/local-search");
           }
         }
+        }
       }
     }
   }
+  SetIndexGateForTesting(IndexGate{});
   SetGlobalThreadPoolSize(1);
 }
 

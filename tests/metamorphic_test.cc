@@ -34,6 +34,7 @@
 #include <gtest/gtest.h>
 
 #include "api/solve.h"
+#include "core/cover_tree.h"
 #include "core/dataset.h"
 #include "core/diversity.h"
 #include "core/exact.h"
@@ -168,8 +169,16 @@ TEST_P(MetamorphicThreads, PermutationLeavesSequentialSelectionsUnchanged) {
   metrics.push_back(std::make_unique<ManhattanMetric>());
   metrics.push_back(std::make_unique<CosineMetric>());
 
+  // The indexed dimension forces the metric-index gate on (the probe would
+  // gate these 60-point sets off); equivariance must survive because the
+  // cover-tree traversal is bit-identical to the flat sweep.
+  IndexGate forced;
+  forced.force = +1;
+  SetIndexGateForTesting(forced);
   for (bool screening : {true, false}) {
+  for (bool indexing : {true, false}) {
     ScopedScreening guard(screening);
+    ScopedIndexing index_guard(indexing);
     for (const PointSet* pts : {&dense, &sparse}) {
       bool sparse_layout = pts == &sparse;
       std::vector<size_t> perm = RandomPermutation(pts->size(), 503);
@@ -182,8 +191,9 @@ TEST_P(MetamorphicThreads, PermutationLeavesSequentialSelectionsUnchanged) {
         // permutation changes. Equivariance needs tie-free distances, so
         // cosine runs on the dense layout only.
         if (sparse_layout && metric->Name() == "cosine") continue;
-        std::string ctx =
-            metric->Name() + (screening ? "/screened" : "/exact");
+        std::string ctx = metric->Name() +
+                          (screening ? "/screened" : "/exact") +
+                          (indexing ? "/indexed" : "/flat");
         // GMM: map the start index through the permutation, then the
         // selected point set must map back exactly (tie-free distances).
         size_t pfirst = 0;
@@ -213,6 +223,8 @@ TEST_P(MetamorphicThreads, PermutationLeavesSequentialSelectionsUnchanged) {
       }
     }
   }
+  }
+  SetIndexGateForTesting(IndexGate{});
 }
 
 TEST_P(MetamorphicThreads, PermutationKeepsExactEvalCountsInvariant) {
