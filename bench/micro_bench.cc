@@ -39,6 +39,7 @@
 #include "core/vector_kernels.h"
 #include "data/sparse_text.h"
 #include "data/synthetic.h"
+#include "mapreduce/mr_diversity.h"
 #include "streaming/smm.h"
 #include "util/thread_pool.h"
 
@@ -1043,6 +1044,51 @@ void BM_LazyGreedyGmmUniformGated(benchmark::State& state) {
 }
 BENCHMARK(BM_LazyGreedyGmmUniformGated)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
+
+// Fault-tolerant executor overhead. The 2-round MR driver now runs every
+// round through RunFallibleRound (per-attempt bookkeeping, commit closures,
+// injector probes) even when no injector is configured; the acceptance
+// bound caps the fault-free overhead at 2% of end-to-end driver time.
+//   Arg(0): fault-free — the number CI tracks.
+//   Arg(1): a 4-fault schedule (3 crashes + 1 corrupt partition) on 16
+//           partitions — the recovery cost when faults DO fire, for
+//           context (not bounded).
+void BM_MrFaultRecovery(benchmark::State& state) {
+  const bool faulty = state.range(0) != 0;
+  SetGlobalThreadPoolSize(4);
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(20000, 8, /*seed=*/23);
+  FaultInjector faults;
+  if (faulty) {
+    faults.Add({"coreset", 2, 0, FaultKind::kCrash, 0});
+    faults.Add({"coreset", 7, 0, FaultKind::kCrash, 0});
+    faults.Add({"coreset", 11, 0, FaultKind::kCrash, 0});
+    faults.Add({"coreset", 5, 0, FaultKind::kCorruptPartition, 9});
+  }
+  MrOptions o;
+  o.k = 16;
+  o.k_prime = 64;
+  o.num_partitions = 16;
+  o.num_workers = 4;
+  o.seed = 23;
+  if (faulty) o.faults = &faults;
+  MapReduceDiversity driver(&m, DiversityProblem::kRemoteEdge, o);
+  for (auto _ : state) {
+    StatusOr<MrResult> r = driver.TryRun(pts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->diversity);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+  state.counters["n"] = static_cast<double>(pts.size());
+  state.counters["dim"] = 8;
+  state.counters["threads"] = 4;
+  state.SetLabel(faulty ? "euclidean/faulty" : "euclidean/fault-free");
+}
+BENCHMARK(BM_MrFaultRecovery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace diverse

@@ -1,6 +1,8 @@
 #include "api/solve.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "core/cover_tree.h"
 #include "core/screen.h"
@@ -79,7 +81,51 @@ SolveResult FromMr(const MrResult& r) {
   out.diversity = r.diversity;
   out.coreset_size = r.coreset_size;
   out.rounds_or_passes = r.rounds;
+  out.degraded = r.degraded;
   return out;
+}
+
+bool PointIsFinite(const Point& p) {
+  const std::vector<float>& vals =
+      p.is_sparse() ? p.sparse_values() : p.dense_values();
+  for (float v : vals) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+// The strict-contract checks of TrySolve (Solve keeps its historical
+// clamping behavior and skips these).
+Status ValidateSolveInput(const PointSet& points, const SolveOptions& o) {
+  if (o.k == 0) {
+    return InvalidArgumentError("k must be at least 1");
+  }
+  if (o.k > points.size()) {
+    return InvalidArgumentError("k (" + std::to_string(o.k) +
+                                ") exceeds the input size (" +
+                                std::to_string(points.size()) + ")");
+  }
+  if (o.k_prime != 0 && o.k_prime < o.k) {
+    return InvalidArgumentError("k_prime (" + std::to_string(o.k_prime) +
+                                ") must be 0 (auto) or at least k (" +
+                                std::to_string(o.k) + ")");
+  }
+  if ((o.backend == Backend::kStreamingTwoPass ||
+       o.backend == Backend::kMapReduceGeneralized) &&
+      !RequiresInjectiveProxies(o.problem)) {
+    return InvalidArgumentError(
+        "backend '" + BackendName(o.backend) +
+        "' uses generalized core-sets, which the paper defines only for "
+        "injective-proxy problems; '" +
+        ProblemName(o.problem) + "' is not one");
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!PointIsFinite(points[i])) {
+      return InvalidArgumentError("input point " + std::to_string(i) +
+                                  " has a non-finite (NaN/inf) coordinate");
+    }
+  }
+  return OkStatus();
 }
 
 }  // namespace
@@ -90,8 +136,9 @@ namespace {
 // stream engines copy what they keep; the MR drivers partition and re-lay
 // out per reducer), so both Solve overloads funnel through this helper
 // without forcing a columnar conversion of the whole input.
-SolveResult SolveStreamingOrMr(const PointSet& points, const Metric& metric,
-                               const SolveOptions& o) {
+StatusOr<SolveResult> TrySolveStreamingOrMr(const PointSet& points,
+                                            const Metric& metric,
+                                            const SolveOptions& o) {
   SolveResult result;
   switch (o.backend) {
     case Backend::kSequential:
@@ -125,18 +172,34 @@ SolveResult SolveStreamingOrMr(const PointSet& points, const Metric& metric,
       mr.seed = o.seed;
       mr.randomized_delegate_cap =
           (o.backend == Backend::kMapReduceRandomized);
+      mr.max_retries = o.max_retries;
+      mr.task_timeout_ms = o.task_timeout_ms;
+      mr.allow_degraded = o.allow_degraded;
+      mr.faults = o.faults;
       MapReduceDiversity driver(&metric, o.problem, mr);
-      if (o.backend == Backend::kMapReduceGeneralized) {
-        result = FromMr(driver.RunGeneralized(points));
-      } else if (o.backend == Backend::kMapReduceRecursive) {
-        result = FromMr(driver.RunRecursive(points, o.local_memory_budget));
-      } else {
-        result = FromMr(driver.Run(points));
-      }
+      StatusOr<MrResult> run =
+          o.backend == Backend::kMapReduceGeneralized
+              ? driver.TryRunGeneralized(points)
+              : o.backend == Backend::kMapReduceRecursive
+                    ? driver.TryRunRecursive(points, o.local_memory_budget)
+                    : driver.TryRun(points);
+      if (!run.ok()) return run.status();
+      result = FromMr(*run);
       break;
     }
   }
   return result;
+}
+
+SolveResult SolveStreamingOrMr(const PointSet& points, const Metric& metric,
+                               const SolveOptions& o) {
+  StatusOr<SolveResult> result = TrySolveStreamingOrMr(points, metric, o);
+  if (!result.ok()) {
+    std::fprintf(stderr, "Solve failed: %s\n",
+                 result.status().ToString().c_str());
+  }
+  DIVERSE_CHECK(result.ok());
+  return std::move(*result);
 }
 
 }  // namespace
@@ -183,6 +246,45 @@ SolveResult Solve(const PointSet& points, const Metric& metric,
     ScopedIndexing indexing_guard(o.indexing && IndexingEnabled());
     result = SolveStreamingOrMr(points, metric, o);
   }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<SolveResult> TrySolve(const Dataset& data, const Metric& metric,
+                               const SolveOptions& options) {
+  DIVERSE_RETURN_IF_ERROR(ValidateSolveInput(data.points(), options));
+  SolveOptions o = Normalize(options);
+  ScopedScreening screening_guard(o.screening && ScreeningEnabled());
+  ScopedIndexing indexing_guard(o.indexing && IndexingEnabled());
+  Timer timer;
+  SolveResult result;
+  if (o.backend == Backend::kSequential) {
+    // k <= n is validated above, so no clamping happens here.
+    std::vector<size_t> picked = SolveSequential(o.problem, data, metric, o.k);
+    for (size_t idx : picked) result.solution.push_back(data.point(idx));
+    result.diversity = EvaluateDiversitySubset(o.problem, data, picked, metric);
+  } else {
+    StatusOr<SolveResult> run = TrySolveStreamingOrMr(data.points(), metric, o);
+    if (!run.ok()) return run.status();
+    result = std::move(*run);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<SolveResult> TrySolve(const PointSet& points, const Metric& metric,
+                               const SolveOptions& options) {
+  DIVERSE_RETURN_IF_ERROR(ValidateSolveInput(points, options));
+  if (options.backend == Backend::kSequential) {
+    return TrySolve(Dataset::FromPoints(points), metric, options);
+  }
+  SolveOptions o = Normalize(options);
+  ScopedScreening screening_guard(o.screening && ScreeningEnabled());
+  ScopedIndexing indexing_guard(o.indexing && IndexingEnabled());
+  Timer timer;
+  StatusOr<SolveResult> run = TrySolveStreamingOrMr(points, metric, o);
+  if (!run.ok()) return run.status();
+  SolveResult result = std::move(*run);
   result.seconds = timer.Seconds();
   return result;
 }

@@ -10,12 +10,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/dataset.h"
 #include "core/diversity.h"
 #include "core/metric.h"
 #include "core/point.h"
+#include "mapreduce/mr_diversity.h"
+#include "util/status.h"
 
 namespace diverse {
 
@@ -67,6 +70,21 @@ struct SolveOptions {
   /// escape hatch). Scopes the process-global toggle like `screening`.
   bool indexing = true;
   uint64_t seed = 1;
+
+  // Fault tolerance (MapReduce backends; see README "Fault tolerance &
+  // degradation").
+  /// Retries per MapReduce task beyond the first attempt.
+  size_t max_retries = 2;
+  /// Straggler wall-clock budget per task attempt in ms (0 disables the
+  /// timeout; stragglers past it race a speculative duplicate).
+  uint64_t task_timeout_ms = 0;
+  /// Complete on surviving partitions (reporting SolveResult::degraded)
+  /// when a core-set partition permanently fails, instead of failing the
+  /// whole solve.
+  bool allow_degraded = true;
+  /// Deterministic fault schedule for testing recovery paths; not owned,
+  /// must outlive the call. Null = fault-free execution.
+  const FaultInjector* faults = nullptr;
 };
 
 /// Outcome of Solve().
@@ -81,6 +99,9 @@ struct SolveResult {
   size_t rounds_or_passes = 0;
   /// Wall time of the whole solve, seconds.
   double seconds = 0.0;
+  /// Present iff a MapReduce backend completed by dropping permanently
+  /// failed partitions: the certificate of what guarantee remains.
+  std::optional<DegradedResult> degraded;
 };
 
 /// Solves diversity maximization on the rows of `data` with the configured
@@ -98,6 +119,24 @@ SolveResult Solve(const Dataset& data, const Metric& metric,
 /// Shim: copies `points` into a Dataset and solves on it.
 SolveResult Solve(const PointSet& points, const Metric& metric,
                   const SolveOptions& options);
+
+/// Strictly validated entry point. Unlike Solve() — which keeps its
+/// historical clamping contract (k > n is clamped to n, empty input yields
+/// an empty result) — TrySolve rejects structurally invalid requests with a
+/// structured error instead of silently adjusting them:
+///   * kInvalidArgument: k == 0; k > n (including empty input); k' < k;
+///     a non-finite (NaN/inf) input coordinate; a backend/problem pairing
+///     the paper's algorithms are undefined for (generalized core-set
+///     backends on non-injective-proxy problems).
+/// MapReduce task failures surface as the underlying driver error
+/// (kDataLoss, kAborted, ...) when recovery and degradation cannot
+/// complete the run.
+StatusOr<SolveResult> TrySolve(const Dataset& data, const Metric& metric,
+                               const SolveOptions& options);
+
+/// Shim: validates `points` and solves on a Dataset copy.
+StatusOr<SolveResult> TrySolve(const PointSet& points, const Metric& metric,
+                               const SolveOptions& options);
 
 }  // namespace diverse
 

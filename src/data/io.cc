@@ -13,6 +13,11 @@ namespace {
 constexpr uint32_t kBinaryMagic = 0x44495650;  // "DIVP"
 constexpr uint8_t kDenseTag = 0;
 constexpr uint8_t kSparseTag = 1;
+// tag (1) + dim (4) + nnz (4): the smallest possible record. Used to reject
+// header counts no file of this size could hold before reserving memory.
+constexpr uint64_t kMinRecordBytes = 9;
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
 
 }  // namespace
 
@@ -82,16 +87,26 @@ bool SavePointsText(const PointSet& points, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<PointSet> LoadPointsText(const std::string& path) {
+StatusOr<PointSet> TryLoadPointsText(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return NotFoundError("cannot open " + Quoted(path));
   PointSet points;
   std::string line;
+  size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    auto p = PointFromTextLine(line);
-    if (!p.has_value()) return std::nullopt;
+    std::optional<Point> p = PointFromTextLine(line);
+    if (!p.has_value()) {
+      return InvalidArgumentError("malformed point on line " +
+                                  std::to_string(line_no) + " of " +
+                                  Quoted(path) + ": " + Quoted(line));
+    }
     points.push_back(std::move(*p));
+  }
+  if (in.bad()) {
+    return DataLossError("read error after line " + std::to_string(line_no) +
+                         " of " + Quoted(path));
   }
   return points;
 }
@@ -123,62 +138,134 @@ bool SavePointsBinary(const PointSet& points, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<PointSet> LoadPointsBinary(const std::string& path) {
+StatusOr<PointSet> TryLoadPointsBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return NotFoundError("cannot open " + Quoted(path));
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   uint32_t magic = 0;
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kBinaryMagic) return std::nullopt;
+  if (!in) {
+    return DataLossError("truncated header (" + std::to_string(file_size) +
+                         " bytes, want at least 12) in " + Quoted(path));
+  }
+  if (magic != kBinaryMagic) {
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "0x%08X", magic);
+    return InvalidArgumentError("bad magic " + std::string(hex) + " in " +
+                                Quoted(path) + " (want DIVP)");
+  }
+  // Reject record counts the file cannot possibly hold before reserving:
+  // a corrupted count field must not translate into a huge allocation.
+  const uint64_t payload = file_size - sizeof(magic) - sizeof(count);
+  if (count > payload / kMinRecordBytes) {
+    return InvalidArgumentError(
+        "header claims " + std::to_string(count) + " records but " +
+        Quoted(path) + " has only " + std::to_string(payload) +
+        " payload bytes");
+  }
   PointSet points;
   points.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
+    const std::string where =
+        "record " + std::to_string(i) + " of " + Quoted(path);
     uint8_t tag;
     uint32_t dim, nnz;
     in.read(reinterpret_cast<char*>(&tag), sizeof(tag));
     in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
     in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
-    if (!in) return std::nullopt;
+    if (!in) return DataLossError("truncated record header at " + where);
+    // A record's payload cannot exceed the whole file: reject corrupt nnz
+    // fields before they turn into huge allocations.
+    const uint64_t entry_bytes =
+        tag == kSparseTag ? sizeof(uint32_t) + sizeof(float) : sizeof(float);
+    if (static_cast<uint64_t>(nnz) * entry_bytes > payload) {
+      return DataLossError("record payload (" + std::to_string(nnz) +
+                           " entries) exceeds file size at " + where);
+    }
     if (tag == kDenseTag) {
-      if (nnz != dim) return std::nullopt;
+      if (nnz != dim) {
+        return InvalidArgumentError("dense record with nnz " +
+                                    std::to_string(nnz) + " != dim " +
+                                    std::to_string(dim) + " at " + where);
+      }
       std::vector<float> values(nnz);
       in.read(reinterpret_cast<char*>(values.data()),
               static_cast<std::streamsize>(nnz * sizeof(float)));
-      if (!in) return std::nullopt;
+      if (!in) return DataLossError("truncated dense payload at " + where);
       points.push_back(Point::Dense(std::move(values)));
     } else if (tag == kSparseTag) {
-      if (nnz > dim) return std::nullopt;
+      if (nnz > dim) {
+        return InvalidArgumentError("sparse record with nnz " +
+                                    std::to_string(nnz) + " > dim " +
+                                    std::to_string(dim) + " at " + where);
+      }
       std::vector<uint32_t> indices(nnz);
       std::vector<float> values(nnz);
       in.read(reinterpret_cast<char*>(indices.data()),
               static_cast<std::streamsize>(nnz * sizeof(uint32_t)));
       in.read(reinterpret_cast<char*>(values.data()),
               static_cast<std::streamsize>(nnz * sizeof(float)));
-      if (!in) return std::nullopt;
+      if (!in) return DataLossError("truncated sparse payload at " + where);
       for (size_t j = 0; j + 1 < indices.size(); ++j) {
-        if (indices[j] >= indices[j + 1]) return std::nullopt;
+        if (indices[j] >= indices[j + 1]) {
+          return InvalidArgumentError("unsorted sparse indices at " + where);
+        }
       }
-      if (!indices.empty() && indices.back() >= dim) return std::nullopt;
+      if (!indices.empty() && indices.back() >= dim) {
+        return InvalidArgumentError("sparse index " +
+                                    std::to_string(indices.back()) +
+                                    " out of range for dim " +
+                                    std::to_string(dim) + " at " + where);
+      }
       points.push_back(
           Point::Sparse(std::move(indices), std::move(values), dim));
     } else {
-      return std::nullopt;
+      return InvalidArgumentError("unknown record tag " +
+                                  std::to_string(static_cast<int>(tag)) +
+                                  " at " + where);
     }
   }
   return points;
 }
 
-std::optional<Dataset> LoadDatasetText(const std::string& path) {
-  std::optional<PointSet> points = LoadPointsText(path);
-  if (!points.has_value()) return std::nullopt;
+StatusOr<Dataset> TryLoadDatasetText(const std::string& path) {
+  StatusOr<PointSet> points = TryLoadPointsText(path);
+  if (!points.ok()) return points.status();
   return Dataset(std::move(*points));
 }
 
-std::optional<Dataset> LoadDatasetBinary(const std::string& path) {
-  std::optional<PointSet> points = LoadPointsBinary(path);
-  if (!points.has_value()) return std::nullopt;
+StatusOr<Dataset> TryLoadDatasetBinary(const std::string& path) {
+  StatusOr<PointSet> points = TryLoadPointsBinary(path);
+  if (!points.ok()) return points.status();
   return Dataset(std::move(*points));
+}
+
+std::optional<PointSet> LoadPointsText(const std::string& path) {
+  StatusOr<PointSet> points = TryLoadPointsText(path);
+  if (!points.ok()) return std::nullopt;
+  return std::move(*points);
+}
+
+std::optional<PointSet> LoadPointsBinary(const std::string& path) {
+  StatusOr<PointSet> points = TryLoadPointsBinary(path);
+  if (!points.ok()) return std::nullopt;
+  return std::move(*points);
+}
+
+std::optional<Dataset> LoadDatasetText(const std::string& path) {
+  StatusOr<Dataset> data = TryLoadDatasetText(path);
+  if (!data.ok()) return std::nullopt;
+  return std::move(*data);
+}
+
+std::optional<Dataset> LoadDatasetBinary(const std::string& path) {
+  StatusOr<Dataset> data = TryLoadDatasetBinary(path);
+  if (!data.ok()) return std::nullopt;
+  return std::move(*data);
 }
 
 }  // namespace diverse

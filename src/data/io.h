@@ -11,6 +11,14 @@
 // Binary format: a small header (magic, count) followed by records; see
 // io.cc for the exact layout. Both formats round-trip dense and sparse
 // points exactly.
+//
+// The Try* loaders are the primary interface: they validate everything a
+// hostile or half-written file could get wrong (missing file, bad magic,
+// truncated header or record, unknown record tag, nnz > dim, unsorted or
+// out-of-range sparse indices, a record count larger than the file could
+// possibly hold, malformed text lines) and return a Status naming the
+// offending record or line. The optional-returning loaders are shims over
+// them for callers that only care about success.
 
 #ifndef DIVERSE_DATA_IO_H_
 #define DIVERSE_DATA_IO_H_
@@ -20,27 +28,40 @@
 
 #include "core/dataset.h"
 #include "core/point.h"
+#include "util/status.h"
 
 namespace diverse {
 
 /// Writes `points` in the text format. Returns false on I/O failure.
 bool SavePointsText(const PointSet& points, const std::string& path);
 
-/// Reads a text-format file. Returns nullopt on I/O or parse failure.
-std::optional<PointSet> LoadPointsText(const std::string& path);
+/// Reads a text-format file. kNotFound when the file cannot be opened,
+/// kInvalidArgument (naming the 1-based line) on a malformed line.
+StatusOr<PointSet> TryLoadPointsText(const std::string& path);
 
 /// Writes `points` in the binary format. Returns false on I/O failure.
 bool SavePointsBinary(const PointSet& points, const std::string& path);
 
-/// Reads a binary-format file. Returns nullopt on I/O or format failure.
-std::optional<PointSet> LoadPointsBinary(const std::string& path);
+/// Reads a binary-format file. kNotFound when the file cannot be opened,
+/// kInvalidArgument on structural nonsense (bad magic, unknown record tag,
+/// nnz > dim, unsorted/out-of-range sparse indices, impossible record
+/// count), kDataLoss on truncation (short header or record, naming the
+/// record index).
+StatusOr<PointSet> TryLoadPointsBinary(const std::string& path);
 
 /// Reads a text-format file directly into columnar Dataset storage, ready
-/// for the batched kernels. Returns nullopt on I/O or parse failure.
-std::optional<Dataset> LoadDatasetText(const std::string& path);
+/// for the batched kernels. Same errors as TryLoadPointsText.
+StatusOr<Dataset> TryLoadDatasetText(const std::string& path);
 
 /// Reads a binary-format file directly into columnar Dataset storage.
-/// Returns nullopt on I/O or format failure.
+/// Same errors as TryLoadPointsBinary.
+StatusOr<Dataset> TryLoadDatasetBinary(const std::string& path);
+
+/// Shims over the Try* loaders: nullopt on any failure, diagnostics
+/// discarded.
+std::optional<PointSet> LoadPointsText(const std::string& path);
+std::optional<PointSet> LoadPointsBinary(const std::string& path);
+std::optional<Dataset> LoadDatasetText(const std::string& path);
 std::optional<Dataset> LoadDatasetBinary(const std::string& path);
 
 /// Serializes one point to its text-format line (no trailing newline).

@@ -1,0 +1,178 @@
+#include "mapreduce/fault_injector.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace diverse {
+
+namespace {
+
+// splitmix64 finalizer: the same mixer Rng seeds with, used here to turn a
+// (seed, round, task, attempt) tuple into an independent uniform draw. A
+// stateless hash (rather than an RNG stream) is what makes probes
+// order-independent: reducers can probe concurrently and in any schedule
+// without perturbing each other's draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashProbe(uint64_t seed, const std::string& round, size_t task,
+                   size_t attempt) {
+  uint64_t h = Mix64(seed);
+  for (char c : round) h = Mix64(h ^ static_cast<uint8_t>(c));
+  h = Mix64(h ^ static_cast<uint64_t>(task));
+  h = Mix64(h ^ (static_cast<uint64_t>(attempt) << 32));
+  return h;
+}
+
+double ToUnitDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kEmptyOutput: return "empty-output";
+    case FaultKind::kWrongOutput: return "wrong-output";
+    case FaultKind::kCorruptPartition: return "corrupt-partition";
+    case FaultKind::kStraggler: return "straggler";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Add(FaultSpec spec) { specs_.push_back(std::move(spec)); }
+
+FaultInjector FaultInjector::Seeded(uint64_t seed, const FaultRates& rates) {
+  FaultInjector injector;
+  injector.SetSeeded(seed, rates);
+  return injector;
+}
+
+void FaultInjector::SetSeeded(uint64_t seed, const FaultRates& rates) {
+  seeded_ = true;
+  seed_ = seed;
+  rates_ = rates;
+}
+
+bool FaultInjector::empty() const {
+  if (!specs_.empty()) return false;
+  if (!seeded_) return true;
+  return rates_.crash <= 0.0 && rates_.empty_output <= 0.0 &&
+         rates_.wrong_output <= 0.0 && rates_.corrupt_partition <= 0.0 &&
+         rates_.straggler <= 0.0;
+}
+
+InjectedFault FaultInjector::Probe(const std::string& round, size_t task,
+                                   size_t attempt) const {
+  for (const FaultSpec& s : specs_) {
+    if (s.task == task && s.attempt == attempt && s.round == round) {
+      return {s.kind, s.param};
+    }
+  }
+  if (seeded_) {
+    uint64_t h = HashProbe(seed_, round, task, attempt);
+    double u = ToUnitDouble(h);
+    double cum = rates_.crash;
+    if (u < cum) return {FaultKind::kCrash, 0};
+    cum += rates_.empty_output;
+    if (u < cum) return {FaultKind::kEmptyOutput, 0};
+    cum += rates_.wrong_output;
+    if (u < cum) return {FaultKind::kWrongOutput, Mix64(h)};
+    cum += rates_.corrupt_partition;
+    if (u < cum) return {FaultKind::kCorruptPartition, Mix64(h)};
+    cum += rates_.straggler;
+    if (u < cum) return {FaultKind::kStraggler, rates_.straggler_delay_ms};
+  }
+  return {};
+}
+
+namespace {
+
+StatusOr<FaultKind> ParseKind(const std::string& name) {
+  for (FaultKind k : {FaultKind::kCrash, FaultKind::kEmptyOutput,
+                      FaultKind::kWrongOutput, FaultKind::kCorruptPartition,
+                      FaultKind::kStraggler}) {
+    if (name == FaultKindName(k)) return k;
+  }
+  return InvalidArgumentError("unknown fault kind '" + name + "'");
+}
+
+// Strict non-negative integer parse (the field must be all digits).
+StatusOr<uint64_t> ParseUint(const std::string& field) {
+  if (field.empty()) return InvalidArgumentError("empty numeric field");
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("non-numeric field '" + field + "'");
+    }
+  }
+  return static_cast<uint64_t>(std::strtoull(field.c_str(), nullptr, 10));
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<FaultInjector> FaultInjector::Parse(const std::string& text) {
+  FaultInjector injector;
+  if (text.empty()) return injector;
+  for (const std::string& item : SplitOn(text, ',')) {
+    std::vector<std::string> fields = SplitOn(item, ':');
+    if (fields.size() < 4 || fields.size() > 5) {
+      return InvalidArgumentError(
+          "bad fault spec '" + item +
+          "': want round:task:attempt:kind[:param]");
+    }
+    FaultSpec spec;
+    spec.round = fields[0];
+    if (spec.round.empty()) {
+      return InvalidArgumentError("bad fault spec '" + item +
+                                  "': empty round name");
+    }
+    StatusOr<uint64_t> task = ParseUint(fields[1]);
+    if (!task.ok()) {
+      return InvalidArgumentError("bad fault spec '" + item + "': " +
+                                  task.status().message());
+    }
+    spec.task = static_cast<size_t>(*task);
+    StatusOr<uint64_t> attempt = ParseUint(fields[2]);
+    if (!attempt.ok()) {
+      return InvalidArgumentError("bad fault spec '" + item + "': " +
+                                  attempt.status().message());
+    }
+    spec.attempt = static_cast<size_t>(*attempt);
+    StatusOr<FaultKind> kind = ParseKind(fields[3]);
+    if (!kind.ok()) {
+      return InvalidArgumentError("bad fault spec '" + item + "': " +
+                                  kind.status().message());
+    }
+    spec.kind = *kind;
+    if (fields.size() == 5) {
+      StatusOr<uint64_t> param = ParseUint(fields[4]);
+      if (!param.ok()) {
+        return InvalidArgumentError("bad fault spec '" + item + "': " +
+                                    param.status().message());
+      }
+      spec.param = *param;
+    }
+    injector.Add(std::move(spec));
+  }
+  return injector;
+}
+
+}  // namespace diverse

@@ -1,0 +1,130 @@
+// Deterministic fault injection for the MapReduce executor.
+//
+// Every failure scenario the fault-tolerant executor must survive — reducer
+// crash, wrong or empty output, straggler delay, corrupted partition bytes —
+// is described by a FaultInjector and consulted by the executor per
+// (round, task, attempt). The injector is a pure function of its
+// configuration: an explicit spec list plus an optional seeded stochastic
+// layer whose draws are *hashes* of (seed, round, task, attempt), never a
+// shared mutable RNG stream. Probing is therefore thread-safe, independent
+// of scheduling order, and reproducible — the same schedule fires the same
+// faults on every run, which is what turns each recovery path into a unit
+// test instead of a flake.
+//
+// Text format (CLI --fault-spec, README "Fault tolerance & degradation"):
+//   spec      := round ":" task ":" attempt ":" kind [":" param]
+//   schedule  := spec { "," spec }
+//   kind      := crash | empty-output | wrong-output | corrupt-partition |
+//                straggler
+// e.g. "coreset:2:0:crash,coreset:5:0:straggler:100" crashes reducer 2's
+// first attempt of the round named "coreset" and delays reducer 5 by 100ms.
+
+#ifndef DIVERSE_MAPREDUCE_FAULT_INJECTOR_H_
+#define DIVERSE_MAPREDUCE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace diverse {
+
+/// What goes wrong with one task attempt.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// The reducer dies before producing output; the attempt fails
+  /// immediately with kAborted and never runs the task body.
+  kCrash,
+  /// The reducer completes but emits no output; caught by the round's
+  /// output validation and retried.
+  kEmptyOutput,
+  /// The reducer emits garbage output (the driver garbles its own result,
+  /// e.g. a NaN coordinate); caught by output validation and retried.
+  kWrongOutput,
+  /// The reducer's input partition arrives with corrupted bytes (the driver
+  /// scrambles its local copy); caught by input validation and retried —
+  /// re-reading the pristine partition makes the retry succeed.
+  kCorruptPartition,
+  /// The reducer runs correctly but only after sleeping `param`
+  /// milliseconds — the straggler the wall-clock timeout + speculative
+  /// re-launch path exists for.
+  kStraggler,
+};
+
+/// Short name, e.g. "crash".
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault: fires when the executor probes exactly
+/// (round, task, attempt).
+struct FaultSpec {
+  std::string round;
+  size_t task = 0;
+  size_t attempt = 0;
+  FaultKind kind = FaultKind::kNone;
+  /// kStraggler: delay in ms (0 means the 50ms default).
+  /// kWrongOutput/kCorruptPartition: corruption sub-seed.
+  uint64_t param = 0;
+};
+
+/// The fault (if any) an executor probe drew.
+struct InjectedFault {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t param = 0;
+};
+
+/// Per-probe firing probabilities of the seeded stochastic layer. All zero
+/// by default; rates apply independently per (round, task, attempt) probe
+/// in the listed priority order (first match wins).
+struct FaultRates {
+  double crash = 0.0;
+  double empty_output = 0.0;
+  double wrong_output = 0.0;
+  double corrupt_partition = 0.0;
+  double straggler = 0.0;
+  uint64_t straggler_delay_ms = 50;
+};
+
+/// A deterministic per-task fault schedule. Default-constructed: no faults.
+/// Probe() is const and thread-safe.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Adds an explicit scheduled fault.
+  void Add(FaultSpec spec);
+
+  /// An injector whose stochastic layer draws from hash(seed, probe) with
+  /// the given rates; explicit specs can still be Add()ed on top and take
+  /// precedence.
+  static FaultInjector Seeded(uint64_t seed, const FaultRates& rates);
+
+  /// Enables the stochastic layer on this injector (e.g. on top of a
+  /// Parse()d explicit schedule).
+  void SetSeeded(uint64_t seed, const FaultRates& rates);
+
+  /// Parses the comma-separated spec list documented above. Returns
+  /// kInvalidArgument with the offending spec quoted on malformed input.
+  static StatusOr<FaultInjector> Parse(const std::string& text);
+
+  /// The fault (kNone almost always) scheduled for this attempt.
+  InjectedFault Probe(const std::string& round, size_t task,
+                      size_t attempt) const;
+
+  /// True when no explicit spec is registered and no stochastic rate is
+  /// positive — Probe always returns kNone.
+  bool empty() const;
+
+  size_t num_specs() const { return specs_.size(); }
+
+ private:
+  std::vector<FaultSpec> specs_;
+  bool seeded_ = false;
+  uint64_t seed_ = 0;
+  FaultRates rates_;
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MAPREDUCE_FAULT_INJECTOR_H_

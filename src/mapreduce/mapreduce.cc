@@ -1,8 +1,13 @@
 #include "mapreduce/mapreduce.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
 
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace diverse {
@@ -38,6 +43,7 @@ void MapReduceSimulator::RunRoundWithSizes(
   RoundStats stats;
   stats.name = name;
   stats.num_reducers = num_reducers;
+  stats.attempts = num_reducers;
   stats.wall_seconds = timer.Seconds();
   stats.input_points.resize(num_reducers);
   stats.output_points.resize(num_reducers);
@@ -46,6 +52,176 @@ void MapReduceSimulator::RunRoundWithSizes(
     stats.output_points[i] = output_points_of(i);
   }
   rounds_.push_back(std::move(stats));
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-task scheduling state of one fallible round. Guarded by the round
+// mutex except where noted.
+struct FallibleTaskState {
+  size_t attempts_started = 0;
+  size_t attempts_in_flight = 0;
+  bool done = false;    // a successful attempt committed
+  bool failed = false;  // budget exhausted, nothing in flight
+  Clock::time_point last_launch{};
+  Status last_error;
+};
+
+}  // namespace
+
+RoundOutcome MapReduceSimulator::RunFallibleRound(
+    const std::string& name, size_t num_tasks, const FallibleReducer& task,
+    const FallibleRoundOptions& opts,
+    const std::function<size_t(size_t)>& input_points_of,
+    const std::function<size_t(size_t)>& output_points_of) {
+  DIVERSE_CHECK_GE(opts.max_attempts, 1u);
+  Timer timer;
+  RoundStats stats;
+  stats.name = name;
+  stats.num_reducers = num_tasks;
+  RoundOutcome outcome;
+
+  // All closures capture this stack frame by reference; the loop below does
+  // not return until every launched attempt has reported back (losers of
+  // speculative races included), so the references stay valid and the next
+  // round can safely reuse or destroy driver buffers.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<FallibleTaskState> tasks(num_tasks);
+  size_t unresolved = num_tasks;  // tasks neither done nor failed
+  size_t in_flight = 0;           // attempts launched but not reported
+
+  // Launches the next attempt of task i. Requires mu held.
+  std::function<void(size_t, bool)> launch = [&](size_t i, bool speculative) {
+    FallibleTaskState& ts = tasks[i];
+    const size_t attempt = ts.attempts_started++;
+    ++ts.attempts_in_flight;
+    ts.last_launch = Clock::now();
+    ++stats.attempts;
+    if (attempt > 0) ++stats.retries;
+    if (speculative) ++stats.timeouts;
+    InjectedFault fault;
+    if (opts.faults != nullptr) {
+      fault = opts.faults->Probe(name, i, attempt);
+      if (fault.kind != FaultKind::kNone) ++stats.faults_injected;
+    }
+    ++in_flight;
+    pool_.Submit([&, i, attempt, fault] {
+      Status status;
+      std::function<void()> commit;
+      if (fault.kind == FaultKind::kCrash) {
+        // The reducer dies before doing any work: no task body, no output.
+        status = AbortedError("injected crash (round '" + name + "', task " +
+                              std::to_string(i) + ", attempt " +
+                              std::to_string(attempt) + ")");
+      } else {
+        if (fault.kind == FaultKind::kStraggler) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              fault.param == 0 ? 50 : fault.param));
+        }
+        MrTaskContext ctx;
+        ctx.task = i;
+        ctx.attempt = attempt;
+        if (fault.kind == FaultKind::kEmptyOutput ||
+            fault.kind == FaultKind::kWrongOutput ||
+            fault.kind == FaultKind::kCorruptPartition) {
+          ctx.fault = fault.kind;
+          ctx.fault_param = fault.param;
+        }
+        status = task(ctx, &commit);
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      --in_flight;
+      FallibleTaskState& ts2 = tasks[i];
+      --ts2.attempts_in_flight;
+      if (!ts2.done && !ts2.failed) {
+        if (status.ok()) {
+          // First successful attempt wins; the commit runs under the round
+          // lock so a concurrent speculative duplicate can never interleave
+          // with it on the driver's output slot.
+          ts2.done = true;
+          --unresolved;
+          if (commit) commit();
+        } else {
+          ts2.last_error = status;
+          if (ts2.attempts_started < opts.max_attempts) {
+            launch(i, /*speculative=*/false);
+          } else if (ts2.attempts_in_flight == 0) {
+            // Budget spent and no speculative copy still racing: the task
+            // is permanently failed.
+            ts2.failed = true;
+            --unresolved;
+          }
+          // else: a duplicate attempt is still running and may yet succeed.
+        }
+      }
+      cv.notify_all();
+    });
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (size_t i = 0; i < num_tasks; ++i) launch(i, /*speculative=*/false);
+    const auto timeout = std::chrono::milliseconds(opts.task_timeout_ms);
+    while (unresolved > 0 || in_flight > 0) {
+      if (opts.task_timeout_ms == 0) {
+        cv.wait(lock);
+        continue;
+      }
+      // Earliest straggler deadline among running, relaunchable tasks.
+      bool have_deadline = false;
+      Clock::time_point next_deadline{};
+      for (const FallibleTaskState& ts : tasks) {
+        if (ts.done || ts.failed || ts.attempts_in_flight == 0) continue;
+        if (ts.attempts_started >= opts.max_attempts) continue;
+        Clock::time_point d = ts.last_launch + timeout;
+        if (!have_deadline || d < next_deadline) {
+          have_deadline = true;
+          next_deadline = d;
+        }
+      }
+      if (!have_deadline) {
+        cv.wait(lock);
+        continue;
+      }
+      cv.wait_until(lock, next_deadline);
+      const Clock::time_point now = Clock::now();
+      for (size_t i = 0; i < num_tasks; ++i) {
+        FallibleTaskState& ts = tasks[i];
+        if (ts.done || ts.failed || ts.attempts_in_flight == 0) continue;
+        if (ts.attempts_started >= opts.max_attempts) continue;
+        if (now - ts.last_launch >= timeout) {
+          // Straggler: leave the slow attempt running (it may still win)
+          // and race a speculative duplicate against it.
+          launch(i, /*speculative=*/true);
+        }
+      }
+    }
+    for (size_t i = 0; i < num_tasks; ++i) {
+      if (tasks[i].failed) {
+        outcome.failed_tasks.push_back(i);
+        if (outcome.first_error.ok()) {
+          outcome.first_error = tasks[i].last_error;
+        }
+      }
+    }
+  }
+
+  stats.failed_tasks = outcome.failed_tasks;
+  stats.wall_seconds = timer.Seconds();
+  stats.input_points.resize(num_tasks);
+  stats.output_points.resize(num_tasks);
+  for (size_t i = 0; i < num_tasks; ++i) {
+    stats.input_points[i] = input_points_of(i);
+    stats.output_points[i] = output_points_of(i);
+  }
+  rounds_.push_back(std::move(stats));
+  if (!outcome.failed_tasks.empty() && outcome.first_error.ok()) {
+    outcome.first_error = InternalError("task failed without an error");
+  }
+  return outcome;
 }
 
 }  // namespace diverse

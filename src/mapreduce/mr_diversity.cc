@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
 
 #include "core/coreset.h"
 #include "core/generalized_coreset.h"
@@ -10,6 +14,151 @@
 #include "util/timer.h"
 
 namespace diverse {
+
+namespace {
+
+bool PointIsFinite(const Point& p) {
+  const std::vector<float>& vals =
+      p.is_sparse() ? p.sparse_values() : p.dense_values();
+  for (float v : vals) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+// Deterministic single-coordinate corruption (NaN) used to simulate
+// wrong-output and corrupted-partition faults. The validators below are the
+// detection side of the same coin.
+Point GarblePoint(const Point& p, uint64_t sub_seed) {
+  const float bad = std::numeric_limits<float>::quiet_NaN();
+  if (p.is_sparse()) {
+    std::vector<uint32_t> idx = p.sparse_indices();
+    std::vector<float> val = p.sparse_values();
+    if (val.empty()) return p;
+    val[sub_seed % val.size()] = bad;
+    return Point::Sparse(std::move(idx), std::move(val), p.dim());
+  }
+  std::vector<float> val = p.dense_values();
+  if (val.empty()) return p;
+  val[sub_seed % val.size()] = bad;
+  return Point::Dense(std::move(val));
+}
+
+void GarbleOne(PointSet* pts, uint64_t sub_seed) {
+  if (pts->empty()) return;
+  size_t t = sub_seed % pts->size();
+  (*pts)[t] = GarblePoint((*pts)[t], sub_seed);
+}
+
+Status ValidateFinitePoints(const char* what, const std::string& round,
+                            size_t task, const PointSet& pts) {
+  for (size_t j = 0; j < pts.size(); ++j) {
+    if (!PointIsFinite(pts[j])) {
+      return DataLossError(std::string(what) +
+                           " contains a non-finite coordinate (round '" +
+                           round + "', task " + std::to_string(task) +
+                           ", point " + std::to_string(j) + ")");
+    }
+  }
+  return OkStatus();
+}
+
+// A core-set of a non-empty partition is non-empty and every coordinate is
+// finite. (No upper size bound: GMM-EXT may emit repeated entries when the
+// partition holds duplicate points, so the core-set can exceed the
+// partition's point count.) Violations mean the attempt's output cannot be
+// trusted and the task must re-execute.
+Status ValidateCoresetOutput(const std::string& round, size_t task,
+                             const PointSet& coreset, size_t part_size) {
+  if (coreset.empty() != (part_size == 0)) {
+    return DataLossError("core-set output size " +
+                         std::to_string(coreset.size()) +
+                         " inconsistent with partition size " +
+                         std::to_string(part_size) + " (round '" + round +
+                         "', task " + std::to_string(task) + ")");
+  }
+  return ValidateFinitePoints("core-set output", round, task, coreset);
+}
+
+Status ValidateGenEntries(const char* what, const std::string& round,
+                          size_t task, const GeneralizedCoreset& gen) {
+  for (size_t e = 0; e < gen.entries().size(); ++e) {
+    const WeightedPoint& wp = gen.entries()[e];
+    if (wp.multiplicity == 0) {
+      return DataLossError(std::string(what) +
+                           " has a zero multiplicity (round '" + round +
+                           "', task " + std::to_string(task) + ", entry " +
+                           std::to_string(e) + ")");
+    }
+    if (!PointIsFinite(wp.point)) {
+      return DataLossError(std::string(what) +
+                           " contains a non-finite coordinate (round '" +
+                           round + "', task " + std::to_string(task) +
+                           ", entry " + std::to_string(e) + ")");
+    }
+  }
+  return OkStatus();
+}
+
+GeneralizedCoreset GarbleGen(const GeneralizedCoreset& gen,
+                             uint64_t sub_seed) {
+  GeneralizedCoreset out;
+  if (gen.size() == 0) return out;
+  size_t target = sub_seed % gen.size();
+  for (size_t e = 0; e < gen.entries().size(); ++e) {
+    const WeightedPoint& wp = gen.entries()[e];
+    out.Add(e == target ? GarblePoint(wp.point, sub_seed) : wp.point,
+            wp.multiplicity);
+  }
+  return out;
+}
+
+Status AnnotateRoundFailure(const std::string& round_name,
+                            const Status& error) {
+  return Status(error.code(), "round '" + round_name +
+                                  "' permanently failed: " + error.message());
+}
+
+// Folds the permanently-failed tasks of a partition-level round into the
+// run's degradation certificate: the failed partitions are dropped and the
+// certificate records how much of the input the remaining guarantee still
+// covers. Returns the round error when degradation is disallowed or no
+// input point survives.
+Status ApplyRoundDegradation(const std::string& round_name,
+                             const std::vector<PointSet>& parts,
+                             const RoundOutcome& outcome, bool allow_degraded,
+                             std::optional<DegradedResult>* degraded) {
+  if (outcome.ok()) return OkStatus();
+  if (!allow_degraded) {
+    return Status(outcome.first_error.code(),
+                  "round '" + round_name + "' permanently failed " +
+                      std::to_string(outcome.failed_tasks.size()) +
+                      " task(s) and degradation is disabled: " +
+                      outcome.first_error.message());
+  }
+  size_t total = 0;
+  size_t lost = 0;
+  for (const PointSet& p : parts) total += p.size();
+  for (size_t f : outcome.failed_tasks) lost += parts[f].size();
+  if (total > 0 && lost >= total) {
+    return DataLossError("round '" + round_name +
+                         "': every input point was in a permanently failed "
+                         "partition; last error: " +
+                         outcome.first_error.message());
+  }
+  if (!degraded->has_value()) degraded->emplace();
+  DegradedResult& d = **degraded;
+  for (size_t f : outcome.failed_tasks) d.failed_partitions.push_back(f);
+  d.total_points += total;
+  d.surviving_points += total - lost;
+  if (total > 0) {
+    d.surviving_fraction *= static_cast<double>(total - lost) /
+                            static_cast<double>(total);
+  }
+  return OkStatus();
+}
+
+}  // namespace
 
 MapReduceDiversity::MapReduceDiversity(const Metric* metric,
                                        DiversityProblem problem,
@@ -29,6 +178,10 @@ void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result) {
     result->max_local_memory_points =
         std::max(result->max_local_memory_points, r.MaxInputPoints());
     result->shuffle_points += r.TotalOutputPoints();
+    result->task_attempts += r.attempts;
+    result->task_retries += r.retries;
+    result->task_timeouts += r.timeouts;
+    result->faults_injected += r.faults_injected;
   }
 }
 
@@ -61,7 +214,55 @@ PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
   return GmmExtCoreset(part_data, *metric_, k_prime, delegates).points;
 }
 
-MrResult MapReduceDiversity::Run(const PointSet& input) const {
+FallibleRoundOptions MapReduceDiversity::ExecPolicy() const {
+  FallibleRoundOptions exec;
+  exec.max_attempts = options_.max_retries + 1;
+  exec.task_timeout_ms = options_.task_timeout_ms;
+  exec.faults = options_.faults;
+  return exec;
+}
+
+Status MapReduceDiversity::CoresetRound(
+    MapReduceSimulator* sim, const std::string& round_name,
+    const std::vector<PointSet>& parts, size_t input_size,
+    DatasetScratchPool* scratch_pool, std::vector<PointSet>* coresets,
+    std::optional<DegradedResult>* degraded) const {
+  coresets->assign(parts.size(), PointSet{});
+  RoundOutcome outcome = sim->RunFallibleRound(
+      round_name, parts.size(),
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        const size_t i = ctx.task;
+        // A corrupted-partition fault scrambles this attempt's local copy of
+        // the input; the pristine partition is re-read on retry, which is
+        // why detection (below) plus re-execution recovers exactly.
+        const PointSet* in = &parts[i];
+        PointSet corrupted;
+        if (ctx.fault == FaultKind::kCorruptPartition && !parts[i].empty()) {
+          corrupted = parts[i];
+          GarbleOne(&corrupted, ctx.fault_param);
+          in = &corrupted;
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateFinitePoints("input partition", round_name, i, *in));
+        Dataset scratch = scratch_pool->Acquire();
+        PointSet cs = PartitionCoreset(*in, input_size, &scratch);
+        scratch_pool->Release(std::move(scratch));
+        if (ctx.fault == FaultKind::kEmptyOutput) cs.clear();
+        if (ctx.fault == FaultKind::kWrongOutput) GarbleOne(&cs, ctx.fault_param);
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateCoresetOutput(round_name, i, cs, parts[i].size()));
+        *commit = [coresets, i, out = std::move(cs)]() mutable {
+          (*coresets)[i] = std::move(out);
+        };
+        return OkStatus();
+      },
+      ExecPolicy(), [&](size_t i) { return parts[i].size(); },
+      [&](size_t i) { return (*coresets)[i].size(); });
+  return ApplyRoundDegradation(round_name, parts, outcome,
+                               options_.allow_degraded, degraded);
+}
+
+StatusOr<MrResult> MapReduceDiversity::TryRun(const PointSet& input) const {
   Timer total;
   MrResult result;
   MapReduceSimulator sim(options_.num_workers);
@@ -71,49 +272,77 @@ MrResult MapReduceDiversity::Run(const PointSet& input) const {
                       options_.seed, metric_);
 
   // Round 1: one reducer per partition computes its composable core-set.
+  // Permanently failed partitions are dropped here (their core-set slot
+  // stays empty) and accounted in `degraded`.
   DatasetScratchPool scratch_pool;
-  std::vector<PointSet> coresets(parts.size());
-  sim.RunRoundWithSizes(
-      "coreset", parts.size(),
-      [&](size_t i) {
-        Dataset scratch = scratch_pool.Acquire();
-        coresets[i] = PartitionCoreset(parts[i], input.size(), &scratch);
-        scratch_pool.Release(std::move(scratch));
-      },
-      [&](size_t i) { return parts[i].size(); },
-      [&](size_t i) { return coresets[i].size(); });
+  std::vector<PointSet> coresets;
+  std::optional<DegradedResult> degraded;
+  DIVERSE_RETURN_IF_ERROR(CoresetRound(&sim, "coreset", parts, input.size(),
+                                       &scratch_pool, &coresets, &degraded));
 
-  // Round 2: a single reducer aggregates T = union of core-sets into one
-  // columnar dataset and runs the sequential approximation algorithm on it.
+  // Round 2: a single reducer aggregates T = union of (surviving) core-sets
+  // into one columnar dataset and runs the sequential approximation on it.
+  // With one reducer there is nothing to degrade to: permanent failure is
+  // fatal.
+  size_t agg_input = 0;
+  for (const PointSet& c : coresets) agg_input += c.size();
   Dataset aggregate;
   PointSet solution;
-  sim.RunRoundWithSizes(
+  RoundOutcome solve = sim.RunFallibleRound(
       "solve", 1,
-      [&](size_t) {
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
         PointSet united;
+        united.reserve(agg_input);
         for (const PointSet& c : coresets) {
           united.insert(united.end(), c.begin(), c.end());
         }
-        aggregate = Dataset(std::move(united));
-        size_t k = std::min(options_.k, aggregate.size());
-        if (k == 0) return;  // empty input stream: empty solution
-        std::vector<size_t> picked =
-            SolveSequential(problem_, aggregate, *metric_, k);
-        solution.reserve(picked.size());
-        for (size_t idx : picked) solution.push_back(aggregate.point(idx));
+        if (ctx.fault == FaultKind::kCorruptPartition) {
+          GarbleOne(&united, ctx.fault_param);
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateFinitePoints("aggregated core-set", "solve", 0, united));
+        Dataset agg(std::move(united));
+        const size_t k = std::min(options_.k, agg.size());
+        PointSet sol;
+        if (k > 0) {
+          std::vector<size_t> picked =
+              SolveSequential(problem_, agg, *metric_, k);
+          sol.reserve(picked.size());
+          for (size_t idx : picked) sol.push_back(agg.point(idx));
+        }
+        if (ctx.fault == FaultKind::kEmptyOutput) sol.clear();
+        if (ctx.fault == FaultKind::kWrongOutput) GarbleOne(&sol, ctx.fault_param);
+        if (sol.size() != k) {
+          return DataLossError("solve produced " + std::to_string(sol.size()) +
+                               " of " + std::to_string(k) +
+                               " requested points");
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateFinitePoints("solution", "solve", 0, sol));
+        *commit = [&, agg = std::move(agg), out = std::move(sol)]() mutable {
+          aggregate = std::move(agg);
+          solution = std::move(out);
+        };
+        return OkStatus();
       },
-      [&](size_t) { return aggregate.size(); },
+      ExecPolicy(), [&](size_t) { return agg_input; },
       [&](size_t) { return solution.size(); });
+  if (!solve.ok()) return AnnotateRoundFailure("solve", solve.first_error);
 
   result.solution = std::move(solution);
   result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
   result.coreset_size = aggregate.size();
+  if (degraded.has_value()) {
+    degraded->approx_factor = 2.0 * SequentialAlpha(problem_);
+    result.degraded = std::move(degraded);
+  }
   AccumulateRoundStats(sim, &result);
   result.total_seconds = total.Seconds();
   return result;
 }
 
-MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
+StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
+    const PointSet& input) const {
   DIVERSE_CHECK(RequiresInjectiveProxies(problem_));
   Timer total;
   MrResult result;
@@ -124,48 +353,121 @@ MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
                       options_.seed, metric_);
 
   // Round 1: GMM-GEN per partition; keep each kernel's range so the
-  // instantiation radius r_T = max_i r_{T_i} is known.
+  // instantiation radius r_T = max_i r_{T_i} is known. Failed partitions are
+  // dropped (empty generalized core-set, range 0) and excluded from round 3.
   DatasetScratchPool scratch_pool;
   std::vector<GeneralizedCoreset> gens(parts.size());
   std::vector<double> ranges(parts.size(), 0.0);
-  sim.RunRoundWithSizes(
+  RoundOutcome gen_round = sim.RunFallibleRound(
       "gen-coreset", parts.size(),
-      [&](size_t i) {
-        if (parts[i].empty()) return;  // empty core-set, range stays 0
-        size_t k_prime = std::min(options_.k_prime, parts[i].size());
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        const size_t i = ctx.task;
+        if (parts[i].empty()) {
+          *commit = [] {};  // empty core-set, range stays 0
+          return OkStatus();
+        }
+        const PointSet* in = &parts[i];
+        PointSet corrupted;
+        if (ctx.fault == FaultKind::kCorruptPartition) {
+          corrupted = parts[i];
+          GarbleOne(&corrupted, ctx.fault_param);
+          in = &corrupted;
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateFinitePoints("input partition", "gen-coreset", i, *in));
+        size_t k_prime = std::min(options_.k_prime, in->size());
         Dataset scratch = scratch_pool.Acquire();
-        scratch.Assign(parts[i]);
-        gens[i] = GmmGenCoreset(scratch, *metric_, options_.k, k_prime,
-                                &ranges[i]);
+        scratch.Assign(*in);
+        double range = 0.0;
+        GeneralizedCoreset gen =
+            GmmGenCoreset(scratch, *metric_, options_.k, k_prime, &range);
         scratch_pool.Release(std::move(scratch));
+        if (ctx.fault == FaultKind::kEmptyOutput) {
+          gen = GeneralizedCoreset();
+          range = 0.0;
+        }
+        if (ctx.fault == FaultKind::kWrongOutput) {
+          gen = GarbleGen(gen, ctx.fault_param);
+        }
+        if (gen.size() == 0) {
+          return DataLossError(
+              "generalized core-set is empty for a non-empty partition "
+              "(round 'gen-coreset', task " +
+              std::to_string(i) + ")");
+        }
+        if (!std::isfinite(range) || range < 0.0) {
+          return DataLossError("non-finite kernel range (round 'gen-coreset', "
+                               "task " +
+                               std::to_string(i) + ")");
+        }
+        DIVERSE_RETURN_IF_ERROR(ValidateGenEntries(
+            "generalized core-set output", "gen-coreset", i, gen));
+        *commit = [&gens, &ranges, i, out = std::move(gen), range]() mutable {
+          gens[i] = std::move(out);
+          ranges[i] = range;
+        };
+        return OkStatus();
       },
-      [&](size_t i) { return parts[i].size(); },
+      ExecPolicy(), [&](size_t i) { return parts[i].size(); },
       [&](size_t i) { return gens[i].size(); });
+  std::optional<DegradedResult> degraded;
+  DIVERSE_RETURN_IF_ERROR(ApplyRoundDegradation(
+      "gen-coreset", parts, gen_round, options_.allow_degraded, &degraded));
+  std::vector<bool> part_failed(parts.size(), false);
+  for (size_t f : gen_round.failed_tasks) part_failed[f] = true;
   double r_t = *std::max_element(ranges.begin(), ranges.end());
 
   // Round 2: one reducer merges the generalized core-sets and picks the
-  // coherent subset T-hat of expanded size k (Fact 2).
+  // coherent subset T-hat of expanded size k (Fact 2). Single reducer:
+  // permanent failure is fatal.
   GeneralizedCoreset selected;
   size_t merged_size = 0;
-  sim.RunRoundWithSizes(
+  for (const GeneralizedCoreset& g : gens) merged_size += g.size();
+  RoundOutcome gsolve = sim.RunFallibleRound(
       "gen-solve", 1,
-      [&](size_t) {
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
         GeneralizedCoreset merged = GeneralizedCoreset::Merge(gens);
-        merged_size = merged.size();
-        size_t k = std::min(options_.k, merged.ExpandedSize());
-        if (k == 0) return;  // empty input stream: empty selection
-        selected = SolveSequentialGeneralized(problem_, merged, *metric_, k);
+        if (ctx.fault == FaultKind::kCorruptPartition) {
+          merged = GarbleGen(merged, ctx.fault_param);
+        }
+        DIVERSE_RETURN_IF_ERROR(ValidateGenEntries(
+            "merged generalized core-set", "gen-solve", 0, merged));
+        const size_t k = std::min(options_.k, merged.ExpandedSize());
+        GeneralizedCoreset sel;
+        if (k > 0) {
+          sel = SolveSequentialGeneralized(problem_, merged, *metric_, k);
+        }
+        if (ctx.fault == FaultKind::kEmptyOutput) sel = GeneralizedCoreset();
+        if (ctx.fault == FaultKind::kWrongOutput) {
+          sel = GarbleGen(sel, ctx.fault_param);
+        }
+        if (sel.ExpandedSize() != k) {
+          return DataLossError(
+              "gen-solve selected expanded size " +
+              std::to_string(sel.ExpandedSize()) + " of " + std::to_string(k) +
+              " requested");
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateGenEntries("selected subset", "gen-solve", 0, sel));
+        *commit = [&selected, out = std::move(sel)]() mutable {
+          selected = std::move(out);
+        };
+        return OkStatus();
       },
-      [&](size_t) { return merged_size; },
+      ExecPolicy(), [&](size_t) { return merged_size; },
       [&](size_t) { return selected.size(); });
+  if (!gsolve.ok()) return AnnotateRoundFailure("gen-solve", gsolve.first_error);
 
-  // Round 3: each partition instantiates the selected pairs whose kernel
-  // point it owns: m_p distinct delegates within r_T of p. Partitions are
-  // disjoint, so per-partition instantiations are globally disjoint.
+  // Round 3: each surviving partition instantiates the selected pairs whose
+  // kernel point it owns: m_p distinct delegates within r_T of p. Partitions
+  // are disjoint, so per-partition instantiations are globally disjoint.
+  // Every selected kernel point came from a surviving partition's core-set,
+  // so skipping failed partitions still assigns every entry.
   std::vector<GeneralizedCoreset> per_part(parts.size());
   {
     std::vector<bool> assigned(selected.size(), false);
     for (size_t i = 0; i < parts.size(); ++i) {
+      if (part_failed[i]) continue;
       for (size_t e = 0; e < selected.size(); ++e) {
         if (assigned[e]) continue;
         const Point& p = selected.entries()[e].point;
@@ -181,29 +483,73 @@ MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
     for (size_t e = 0; e < selected.size(); ++e) DIVERSE_CHECK(assigned[e]);
   }
   std::vector<PointSet> instantiated(parts.size());
-  sim.RunRoundWithSizes(
+  RoundOutcome inst_round = sim.RunFallibleRound(
       "instantiate", parts.size(),
-      [&](size_t i) {
-        if (per_part[i].size() == 0) return;
-        auto inst = Instantiate(per_part[i], parts[i], *metric_, r_t);
-        DIVERSE_CHECK(inst.has_value());
-        instantiated[i] = std::move(*inst);
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        const size_t i = ctx.task;
+        if (per_part[i].size() == 0) {
+          *commit = [] {};
+          return OkStatus();
+        }
+        const PointSet* in = &parts[i];
+        PointSet corrupted;
+        if (ctx.fault == FaultKind::kCorruptPartition) {
+          corrupted = parts[i];
+          GarbleOne(&corrupted, ctx.fault_param);
+          in = &corrupted;
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateFinitePoints("input partition", "instantiate", i, *in));
+        std::optional<PointSet> inst =
+            Instantiate(per_part[i], *in, *metric_, r_t);
+        if (!inst.has_value()) {
+          return FailedPreconditionError(
+              "instantiation could not supply enough delegates (round "
+              "'instantiate', task " +
+              std::to_string(i) + ")");
+        }
+        if (ctx.fault == FaultKind::kEmptyOutput) inst->clear();
+        if (ctx.fault == FaultKind::kWrongOutput) {
+          GarbleOne(&*inst, ctx.fault_param);
+        }
+        if (inst->size() != per_part[i].ExpandedSize()) {
+          return DataLossError(
+              "instantiation produced " + std::to_string(inst->size()) +
+              " of " + std::to_string(per_part[i].ExpandedSize()) +
+              " delegates (round 'instantiate', task " + std::to_string(i) +
+              ")");
+        }
+        DIVERSE_RETURN_IF_ERROR(ValidateFinitePoints(
+            "instantiated delegates", "instantiate", i, *inst));
+        *commit = [&instantiated, i, out = std::move(*inst)]() mutable {
+          instantiated[i] = std::move(out);
+        };
+        return OkStatus();
       },
-      [&](size_t i) { return parts[i].size(); },
+      ExecPolicy(), [&](size_t i) { return parts[i].size(); },
       [&](size_t i) { return instantiated[i].size(); });
+  // Losing an instantiation loses selected solution points outright — the
+  // result would silently be smaller than k, so this round never degrades.
+  if (!inst_round.ok()) {
+    return AnnotateRoundFailure("instantiate", inst_round.first_error);
+  }
 
   for (PointSet& inst : instantiated) {
     result.solution.insert(result.solution.end(), inst.begin(), inst.end());
   }
   result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
   result.coreset_size = merged_size;
+  if (degraded.has_value()) {
+    degraded->approx_factor = 2.0 * SequentialAlpha(problem_);
+    result.degraded = std::move(degraded);
+  }
   AccumulateRoundStats(sim, &result);
   result.total_seconds = total.Seconds();
   return result;
 }
 
-MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
-                                          size_t local_memory_budget) const {
+StatusOr<MrResult> MapReduceDiversity::TryRunRecursive(
+    const PointSet& input, size_t local_memory_budget) const {
   DIVERSE_CHECK_GE(local_memory_budget, options_.k_prime);
   Timer total;
   MrResult result;
@@ -211,56 +557,112 @@ MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
 
   PointSet current = input;
   DatasetScratchPool scratch_pool;
+  std::optional<DegradedResult> degraded;
   int level = 0;
   // Compress through core-set rounds until one reducer can hold everything.
+  // Degradation applies at every level; the certificate's survival fraction
+  // is the product over levels.
   while (current.size() > local_memory_budget) {
     size_t parts_needed =
         (current.size() + local_memory_budget - 1) / local_memory_budget;
     std::vector<PointSet> parts =
         PartitionPoints(current, parts_needed, options_.partition,
                         options_.seed + static_cast<uint64_t>(level), metric_);
-    std::vector<PointSet> coresets(parts.size());
-    sim.RunRoundWithSizes(
-        "coreset-l" + std::to_string(level), parts.size(),
-        [&](size_t i) {
-          Dataset scratch = scratch_pool.Acquire();
-          coresets[i] = PartitionCoreset(parts[i], input.size(), &scratch);
-          scratch_pool.Release(std::move(scratch));
-        },
-        [&](size_t i) { return parts[i].size(); },
-        [&](size_t i) { return coresets[i].size(); });
+    std::vector<PointSet> coresets;
+    DIVERSE_RETURN_IF_ERROR(
+        CoresetRound(&sim, "coreset-l" + std::to_string(level), parts,
+                     input.size(), &scratch_pool, &coresets, &degraded));
     PointSet next;
     for (PointSet& c : coresets) {
       next.insert(next.end(), c.begin(), c.end());
     }
     // Guard against non-progress (budget too tight for k' per part).
-    DIVERSE_CHECK_LT(next.size(), current.size());
+    if (next.size() >= current.size()) {
+      return FailedPreconditionError(
+          "recursive compression made no progress at level " +
+          std::to_string(level) + " (" + std::to_string(next.size()) + " of " +
+          std::to_string(current.size()) +
+          " points remain); raise the local memory budget");
+    }
     current = std::move(next);
     ++level;
   }
 
   PointSet solution;
-  sim.RunRoundWithSizes(
+  RoundOutcome solve = sim.RunFallibleRound(
       "solve", 1,
-      [&](size_t) {
-        size_t k = std::min(options_.k, current.size());
-        if (k == 0) return;  // empty input stream: empty solution
-        Dataset scratch = scratch_pool.Acquire();
-        scratch.Assign(current);
-        std::vector<size_t> picked =
-            SolveSequential(problem_, scratch, *metric_, k);
-        for (size_t idx : picked) solution.push_back(current[idx]);
-        scratch_pool.Release(std::move(scratch));
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        PointSet local = current;
+        if (ctx.fault == FaultKind::kCorruptPartition) {
+          GarbleOne(&local, ctx.fault_param);
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateFinitePoints("aggregated core-set", "solve", 0, local));
+        const size_t k = std::min(options_.k, local.size());
+        PointSet sol;
+        if (k > 0) {
+          Dataset scratch = scratch_pool.Acquire();
+          scratch.Assign(local);
+          std::vector<size_t> picked =
+              SolveSequential(problem_, scratch, *metric_, k);
+          sol.reserve(picked.size());
+          for (size_t idx : picked) sol.push_back(local[idx]);
+          scratch_pool.Release(std::move(scratch));
+        }
+        if (ctx.fault == FaultKind::kEmptyOutput) sol.clear();
+        if (ctx.fault == FaultKind::kWrongOutput) GarbleOne(&sol, ctx.fault_param);
+        if (sol.size() != k) {
+          return DataLossError("solve produced " + std::to_string(sol.size()) +
+                               " of " + std::to_string(k) +
+                               " requested points");
+        }
+        DIVERSE_RETURN_IF_ERROR(
+            ValidateFinitePoints("solution", "solve", 0, sol));
+        *commit = [&solution, out = std::move(sol)]() mutable {
+          solution = std::move(out);
+        };
+        return OkStatus();
       },
-      [&](size_t) { return current.size(); },
+      ExecPolicy(), [&](size_t) { return current.size(); },
       [&](size_t) { return solution.size(); });
+  if (!solve.ok()) return AnnotateRoundFailure("solve", solve.first_error);
 
   result.solution = std::move(solution);
   result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
   result.coreset_size = current.size();
+  if (degraded.has_value()) {
+    degraded->approx_factor = 2.0 * SequentialAlpha(problem_);
+    result.degraded = std::move(degraded);
+  }
   AccumulateRoundStats(sim, &result);
   result.total_seconds = total.Seconds();
   return result;
+}
+
+namespace {
+
+MrResult UnwrapOrDie(StatusOr<MrResult> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "MapReduce run failed: %s\n",
+                 result.status().ToString().c_str());
+  }
+  DIVERSE_CHECK(result.ok());
+  return std::move(*result);
+}
+
+}  // namespace
+
+MrResult MapReduceDiversity::Run(const PointSet& input) const {
+  return UnwrapOrDie(TryRun(input));
+}
+
+MrResult MapReduceDiversity::RunGeneralized(const PointSet& input) const {
+  return UnwrapOrDie(TryRunGeneralized(input));
+}
+
+MrResult MapReduceDiversity::RunRecursive(const PointSet& input,
+                                          size_t local_memory_budget) const {
+  return UnwrapOrDie(TryRunRecursive(input, local_memory_budget));
 }
 
 }  // namespace diverse

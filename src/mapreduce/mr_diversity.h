@@ -16,6 +16,18 @@
 //   * RunRecursive()   — the multi-round recursion of Theorem 8: core-sets of
 //                        core-sets until the aggregate fits the local memory
 //                        budget.
+//
+// Every driver executes its rounds on the fault-tolerant executor
+// (MapReduceSimulator::RunFallibleRound): reducer attempts validate their
+// inputs and outputs, failed attempts retry up to MrOptions::max_retries
+// times (re-execution from the pristine partition is bit-identical —
+// deterministic reducers), and stragglers past MrOptions::task_timeout_ms
+// race a speculative duplicate. The Try* entry points surface permanent
+// failures as Status instead of aborting; when a round-1 partition exhausts
+// its retries and MrOptions::allow_degraded is set, the run completes on
+// the surviving partitions and reports a DegradedResult — composability of
+// the core-sets (Theorem 4) means losing a partition shrinks the instance
+// the guarantee speaks about rather than invalidating it.
 
 #ifndef DIVERSE_MAPREDUCE_MR_DIVERSITY_H_
 #define DIVERSE_MAPREDUCE_MR_DIVERSITY_H_
@@ -23,14 +35,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/diversity.h"
 #include "core/metric.h"
 #include "core/point.h"
+#include "mapreduce/fault_injector.h"
 #include "mapreduce/mapreduce.h"
 #include "mapreduce/partitioner.h"
+#include "util/status.h"
 
 namespace diverse {
 
@@ -80,6 +95,45 @@ struct MrOptions {
   /// Theorem 7: cap delegates per cluster at
   /// max(ceil(log2 n), ceil(k / num_partitions)) instead of k-1.
   bool randomized_delegate_cap = false;
+
+  // Fault tolerance (consumed by the fallible executor).
+  /// Retries per task beyond the first attempt.
+  size_t max_retries = 2;
+  /// Straggler wall-clock budget per attempt in ms; an attempt running past
+  /// it races a speculative duplicate. 0 disables the timeout.
+  uint64_t task_timeout_ms = 0;
+  /// When a round-1 (core-set) partition permanently fails: true drops it
+  /// and degrades the guarantee (DegradedResult); false fails the run.
+  /// Failures of the single-reducer aggregation/solve rounds are always
+  /// fatal — there is nothing left to degrade to.
+  bool allow_degraded = true;
+  /// Deterministic fault schedule; not owned, must outlive the driver.
+  /// Null = fault-free execution (the retry machinery still runs, at
+  /// bounded overhead — see BM_MrFaultRecovery).
+  const FaultInjector* faults = nullptr;
+};
+
+/// Certificate of a degraded (partition-dropping) completion. The solution
+/// is still an approximation — but of the diversity problem on the
+/// *surviving* points: the union of surviving core-sets is a composable
+/// core-set of the surviving partitions' union (Theorem 4 applied to l'
+/// < l partitions), so the usual factor applies to that sub-instance.
+/// `surviving_fraction` quantifies what the guarantee no longer covers.
+struct DegradedResult {
+  /// Round-1 partition (task) ids that exhausted their retry budget. For
+  /// the recursive driver these are per-level task ids in failure order.
+  std::vector<size_t> failed_partitions;
+  /// Input points in surviving / all partitions of the degraded round(s).
+  size_t surviving_points = 0;
+  size_t total_points = 0;
+  /// surviving_points / total_points (for the recursive driver, the product
+  /// of per-level survival fractions).
+  double surviving_fraction = 1.0;
+  /// Certified approximation factor of `solution` relative to the optimum
+  /// over the surviving points: the 2x core-set envelope on
+  /// SequentialAlpha(problem) that approx_ratio_test asserts against
+  /// brute-force enumeration of the surviving sub-instance.
+  double approx_factor = 0.0;
 };
 
 /// Outcome of a MapReduce run.
@@ -102,11 +156,25 @@ struct MrResult {
   size_t shuffle_points = 0;
   /// Total wall time, seconds.
   double total_seconds = 0.0;
+
+  // Fault-tolerance accounting, summed over rounds.
+  /// Task attempts launched (== reducer count when nothing went wrong).
+  size_t task_attempts = 0;
+  /// Attempts beyond the first per task.
+  size_t task_retries = 0;
+  /// Speculative re-launches triggered by the straggler timeout.
+  size_t task_timeouts = 0;
+  /// Fault-injector probes that fired.
+  size_t faults_injected = 0;
+  /// Present iff the run completed by dropping permanently-failed
+  /// partitions.
+  std::optional<DegradedResult> degraded;
 };
 
-/// Copies round count, per-round wall times, max reducer input (M_L) and
-/// total shuffle volume from a finished simulator into `result`. Shared by
-/// the CPPU drivers and the AFZ baseline.
+/// Copies round count, per-round wall times, max reducer input (M_L), total
+/// shuffle volume and the fault-tolerance counters from a finished
+/// simulator into `result`. Shared by the CPPU drivers and the AFZ
+/// baseline.
 void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result);
 
 /// Driver for the MapReduce algorithms. Thread-safe for concurrent Run()
@@ -117,16 +185,31 @@ class MapReduceDiversity {
   MapReduceDiversity(const Metric* metric, DiversityProblem problem,
                      const MrOptions& options);
 
-  /// 2-round algorithm (Theorems 6/7).
-  MrResult Run(const PointSet& input) const;
+  /// 2-round algorithm (Theorems 6/7), fallible: recovers injected/transient
+  /// task failures by bounded re-execution, degrades on permanent round-1
+  /// partition loss (if allowed), and returns an error Status when the run
+  /// cannot produce a certified result (aggregator failure, every partition
+  /// lost, or degradation disallowed).
+  StatusOr<MrResult> TryRun(const PointSet& input) const;
 
   /// 3-round generalized-core-set algorithm (Theorem 10). Requires an
-  /// injective-proxy problem.
-  MrResult RunGeneralized(const PointSet& input) const;
+  /// injective-proxy problem. Degradation applies to round 1 only; round-2
+  /// solve and round-3 instantiation failures are fatal.
+  StatusOr<MrResult> TryRunGeneralized(const PointSet& input) const;
 
   /// Multi-round recursion (Theorem 8): keeps compressing through rounds of
   /// composable core-sets until the aggregate has at most
-  /// `local_memory_budget` points, then solves sequentially.
+  /// `local_memory_budget` points, then solves sequentially. Degradation
+  /// applies at every compression level.
+  StatusOr<MrResult> TryRunRecursive(const PointSet& input,
+                                     size_t local_memory_budget) const;
+
+  /// Infallible shims: CHECK that the Try* variant succeeded. With no
+  /// injector configured the only failure sources are misconfiguration
+  /// (checked in the constructor already), so these keep the historical
+  /// contract for callers that opted out of error handling.
+  MrResult Run(const PointSet& input) const;
+  MrResult RunGeneralized(const PointSet& input) const;
   MrResult RunRecursive(const PointSet& input,
                         size_t local_memory_budget) const;
 
@@ -136,6 +219,20 @@ class MapReduceDiversity {
   // across partitions and rounds via the run's DatasetScratchPool).
   PointSet PartitionCoreset(const PointSet& part, size_t input_size,
                             Dataset* scratch) const;
+
+  // The executor policy derived from options_.
+  FallibleRoundOptions ExecPolicy() const;
+
+  // Runs one fallible core-set round over `parts`, committing into
+  // `coresets` (resized to parts.size()). On permanent task failures:
+  // degrades (drops the partitions, accumulating the certificate into
+  // `*degraded`) when allowed, else returns the error. `round_name`
+  // distinguishes recursion levels.
+  Status CoresetRound(MapReduceSimulator* sim, const std::string& round_name,
+                      const std::vector<PointSet>& parts, size_t input_size,
+                      DatasetScratchPool* scratch_pool,
+                      std::vector<PointSet>* coresets,
+                      std::optional<DegradedResult>* degraded) const;
 
   const Metric* metric_;
   DiversityProblem problem_;

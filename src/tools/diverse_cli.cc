@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "api/solve.h"
 #include "core/doubling.h"
@@ -75,6 +76,13 @@ commands:
             [--metric=euclidean|manhattan|cosine|jaccard] [--out=FILE]
             [--screening=0|1]  (fp32 screen-then-certify sweeps, default on)
             [--indexing=0|1]   (cover-tree metric-index tier, default on)
+            fault tolerance (MapReduce backends):
+            [--max-retries=N]      (task retries beyond the first attempt, default 2)
+            [--task-timeout-ms=N]  (straggler budget per attempt; 0 = off)
+            [--allow-degraded=0|1] (drop permanently failed partitions, default on)
+            [--fault-seed=S --fault-rate-KIND=P ...]  (seeded stochastic faults;
+             KIND in crash|empty-output|wrong-output|corrupt-partition|straggler)
+            [--fault-spec=round:task:attempt:kind[:param],...]  (exact schedule)
   generate  --kind=sphere|cube|text --n=N --out=FILE
             [--k=planted] [--dim=D] [--vocab=V] [--topics=T] [--seed=S]
             [--format=bin|txt]
@@ -83,11 +91,11 @@ commands:
   return 2;
 }
 
-std::optional<PointSet> LoadAny(const std::string& path) {
+StatusOr<PointSet> TryLoadAny(const std::string& path) {
   if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
-    return LoadPointsText(path);
+    return TryLoadPointsText(path);
   }
-  return LoadPointsBinary(path);
+  return TryLoadPointsBinary(path);
 }
 
 bool SaveAny(const PointSet& pts, const std::string& path,
@@ -108,9 +116,13 @@ std::unique_ptr<Metric> MakeMetric(const std::string& name) {
 int RunSolve(const CliFlags& flags) {
   std::string in = flags.Get("in", "");
   if (in.empty()) return Usage();
-  auto points = LoadAny(in);
-  if (!points.has_value() || points->empty()) {
-    std::fprintf(stderr, "error: cannot load dataset from %s\n", in.c_str());
+  StatusOr<PointSet> points = TryLoadAny(in);
+  if (!points.ok()) {
+    std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
+    return 1;
+  }
+  if (points->empty()) {
+    std::fprintf(stderr, "error: dataset %s is empty\n", in.c_str());
     return 1;
   }
   auto problem = ParseProblem(flags.Get("problem", "remote-edge"));
@@ -150,8 +162,45 @@ int RunSolve(const CliFlags& flags) {
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   opts.screening = flags.GetInt("screening", 1) != 0;
   opts.indexing = flags.GetInt("indexing", 1) != 0;
+  opts.max_retries = static_cast<size_t>(flags.GetInt("max-retries", 2));
+  opts.task_timeout_ms =
+      static_cast<uint64_t>(flags.GetInt("task-timeout-ms", 0));
+  opts.allow_degraded = flags.GetInt("allow-degraded", 1) != 0;
 
-  SolveResult result = Solve(*points, *metric, opts);
+  // Fault injection: an explicit --fault-spec schedule, a seeded stochastic
+  // layer (--fault-seed + --fault-rate-*), or both.
+  FaultInjector faults;
+  std::string fault_spec = flags.Get("fault-spec", "");
+  if (!fault_spec.empty()) {
+    StatusOr<FaultInjector> parsed = FaultInjector::Parse(fault_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    faults = std::move(*parsed);
+  }
+  FaultRates rates;
+  rates.crash = std::atof(flags.Get("fault-rate-crash", "0").c_str());
+  rates.empty_output =
+      std::atof(flags.Get("fault-rate-empty-output", "0").c_str());
+  rates.wrong_output =
+      std::atof(flags.Get("fault-rate-wrong-output", "0").c_str());
+  rates.corrupt_partition =
+      std::atof(flags.Get("fault-rate-corrupt-partition", "0").c_str());
+  rates.straggler = std::atof(flags.Get("fault-rate-straggler", "0").c_str());
+  if (rates.crash > 0 || rates.empty_output > 0 || rates.wrong_output > 0 ||
+      rates.corrupt_partition > 0 || rates.straggler > 0) {
+    faults.SetSeeded(static_cast<uint64_t>(flags.GetInt("fault-seed", 1)),
+                     rates);
+  }
+  if (!faults.empty()) opts.faults = &faults;
+
+  StatusOr<SolveResult> solved = TrySolve(*points, *metric, opts);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "error: %s\n", solved.status().ToString().c_str());
+    return 1;
+  }
+  SolveResult result = std::move(*solved);
   std::printf("n:          %zu\n", points->size());
   std::printf("problem:    %s\n", ProblemName(*problem).c_str());
   std::printf("backend:    %s\n", BackendName(backend).c_str());
@@ -159,6 +208,18 @@ int RunSolve(const CliFlags& flags) {
   std::printf("diversity:  %.6f\n", result.diversity);
   std::printf("coreset:    %zu points\n", result.coreset_size);
   std::printf("time:       %.3f s\n", result.seconds);
+  if (result.degraded.has_value()) {
+    const DegradedResult& d = *result.degraded;
+    std::printf("DEGRADED:   %zu partition(s) permanently lost\n",
+                d.failed_partitions.size());
+    std::printf("  surviving:    %zu / %zu points (%.1f%%)\n",
+                d.surviving_points, d.total_points,
+                100.0 * d.surviving_fraction);
+    std::printf(
+        "  guarantee:    within factor %.1f of the optimum over the "
+        "surviving points\n",
+        d.approx_factor);
+  }
 
   std::string out = flags.Get("out", "");
   if (!out.empty()) {
@@ -216,9 +277,14 @@ int RunGenerate(const CliFlags& flags) {
 int RunEstimate(const CliFlags& flags) {
   std::string in = flags.Get("in", "");
   if (in.empty()) return Usage();
-  auto points = LoadAny(in);
-  if (!points.has_value() || points->size() < 2) {
-    std::fprintf(stderr, "error: cannot load dataset from %s\n", in.c_str());
+  StatusOr<PointSet> points = TryLoadAny(in);
+  if (!points.ok()) {
+    std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
+    return 1;
+  }
+  if (points->size() < 2) {
+    std::fprintf(stderr, "error: dataset %s has fewer than 2 points\n",
+                 in.c_str());
     return 1;
   }
   auto metric = MakeMetric(flags.Get("metric", "euclidean"));

@@ -90,6 +90,41 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
                        [&] { return state->done == state->num_tasks; });
 }
 
+bool ThreadPool::ParallelForFallible(size_t n,
+                                     const std::function<bool(size_t)>& fn) {
+  if (n == 0) return true;
+  if (tl_worker_pool == this) {
+    // Nested call from one of this pool's own workers: run inline, stopping
+    // at the first failure.
+    for (size_t i = 0; i < n; ++i) {
+      if (!fn(i)) return false;
+    }
+    return true;
+  }
+  auto state = std::make_shared<LoopState>();
+  auto poisoned = std::make_shared<std::atomic<bool>>(false);
+  state->num_tasks = std::min(n, num_threads());
+  for (size_t t = 0; t < state->num_tasks; ++t) {
+    Submit([state, poisoned, n, &fn] {
+      // Check the poison flag at every claim: once any invocation fails,
+      // the remaining indices are skipped and the loop tasks drain, so the
+      // barrier below releases instead of waiting on work that no longer
+      // matters.
+      while (!poisoned->load(std::memory_order_acquire)) {
+        size_t i = state->next++;
+        if (i >= n) break;
+        if (!fn(i)) poisoned->store(true, std::memory_order_release);
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (++state->done == state->num_tasks) state->finished.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->finished.wait(lock,
+                       [&] { return state->done == state->num_tasks; });
+  return !poisoned->load(std::memory_order_acquire);
+}
+
 void ThreadPool::ParallelForRanges(
     size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;

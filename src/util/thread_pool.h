@@ -46,6 +46,18 @@ class ThreadPool {
   /// reducers) do not wait on each other's tasks.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// ParallelFor with mid-round abort: `fn(i)` returning false poisons the
+  /// round — no further indices are claimed (invocations already running
+  /// finish normally) and the call returns false; true when every index ran
+  /// and succeeded. The barrier always waits for every *started* invocation,
+  /// so state captured by `fn` stays valid, and a poisoned round never
+  /// leaves waiters blocked: the loop tasks all observe the poison flag on
+  /// their next claim and drain. Which indices are skipped after a failure
+  /// is scheduling-dependent; callers needing determinism must treat a
+  /// false return as "retry or abort the whole round" (as the MapReduce
+  /// executor does), never as a partial result.
+  bool ParallelForFallible(size_t n, const std::function<bool(size_t)>& fn);
+
   /// Runs `fn(begin, end)` over disjoint ranges covering [0, n), each of
   /// roughly `grain` indices, across the pool, and waits. Runs inline on the
   /// calling thread when the work is too small to amortize dispatch

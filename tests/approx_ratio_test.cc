@@ -190,6 +190,57 @@ TEST_P(ApproxRatioThreads, AllBackendsWithinProvenFactorOfOracle) {
   SetGlobalThreadPoolSize(1);
 }
 
+// Certified graceful degradation: when a round-1 partition permanently
+// fails, the completed run's DegradedResult claims its solution is within
+// `approx_factor` of the optimum over the *surviving* points. Pin that
+// certificate to the brute-force oracle: rebuild the surviving sub-instance
+// from the deterministic partitioning and enumerate its optimum.
+TEST(ApproxRatioTest, DegradedRunCertifiedAgainstSurvivingOracle) {
+  constexpr uint64_t kSeed = 5;
+  // Kill partition 0 on every attempt (default retry budget: 3 attempts).
+  FaultInjector faults;
+  for (size_t attempt = 0; attempt < 3; ++attempt) {
+    faults.Add({"coreset", 0, attempt, FaultKind::kCrash, 0});
+  }
+  for (const NamedLayout& layout : Layouts()) {
+    for (const auto& metric : AllMetrics()) {
+      for (DiversityProblem p : kAllProblems) {
+        MrOptions o;
+        o.k = kK;
+        o.k_prime = kKPrime;
+        o.num_partitions = 2;
+        o.num_workers = 2;
+        o.seed = kSeed;
+        o.faults = &faults;
+        MapReduceDiversity mr(metric.get(), p, o);
+        StatusOr<MrResult> r = mr.TryRun(layout.pts);
+        std::string ctx = layout.name + "/" + metric->Name() + "/" +
+                          ProblemName(p) + "/degraded";
+        ASSERT_TRUE(r.ok()) << ctx << ": " << r.status().ToString();
+        ASSERT_TRUE(r->degraded.has_value()) << ctx;
+        const DegradedResult& d = *r->degraded;
+        ASSERT_EQ(d.failed_partitions, std::vector<size_t>{0}) << ctx;
+        EXPECT_EQ(d.approx_factor, 2.0 * SequentialAlpha(p)) << ctx;
+        EXPECT_EQ(d.surviving_points + layout.pts.size() / 2,
+                  layout.pts.size())
+            << ctx;
+        // Rebuild the surviving sub-instance: partitioning is a pure
+        // function of (input, parts, strategy, seed), so the survivors are
+        // exactly the non-failed parts of the same split.
+        std::vector<PointSet> parts =
+            PartitionPoints(layout.pts, o.num_partitions, o.partition, kSeed,
+                            metric.get());
+        const PointSet& survivors = parts[1];
+        ASSERT_EQ(survivors.size(), d.surviving_points) << ctx;
+        double opt =
+            ExactDiversityMaximization(p, survivors, *metric, kK).value;
+        ASSERT_EQ(r->solution.size(), kK) << ctx;
+        ExpectWithinFactor(r->diversity, opt, d.approx_factor, ctx);
+      }
+    }
+  }
+}
+
 // The oracle itself honors the structural lower bound used throughout the
 // paper's proofs: div_k under any problem evaluated at the GMM solution is
 // at least opt / alpha (this is what the per-backend assertions rest on,

@@ -131,6 +131,44 @@ TEST(DeterminismTest, AfzIsSeedPure) {
   EXPECT_DOUBLE_EQ(r1.diversity, r2.diversity);
 }
 
+// Recovery determinism: the fault-tolerant executor's re-execution is
+// bit-identical, so a run under a deterministic fault schedule equals both
+// (a) itself on a second run and (b) the fault-free run — retries and
+// speculative duplicates must leave no trace in the output.
+TEST(DeterminismTest, RecoveryIsBitIdenticalUnderFaultSchedule) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(600, 2, /*seed=*/19);
+  MrOptions base;
+  base.k = 5;
+  base.k_prime = 10;
+  base.num_partitions = 8;
+  base.num_workers = 4;
+  base.seed = 19;
+  MapReduceDiversity clean(&metric, DiversityProblem::kRemoteClique, base);
+  StatusOr<MrResult> want = clean.TryRun(pts);
+  ASSERT_TRUE(want.ok());
+
+  StatusOr<FaultInjector> faults = FaultInjector::Parse(
+      "coreset:0:0:crash,coreset:4:0:wrong-output:13,"
+      "coreset:6:0:straggler:200");
+  ASSERT_TRUE(faults.ok());
+  MrOptions faulty = base;
+  faulty.faults = &*faults;
+  faulty.task_timeout_ms = 25;
+  MapReduceDiversity mr(&metric, DiversityProblem::kRemoteClique, faulty);
+  StatusOr<MrResult> r1 = mr.TryRun(pts);
+  StatusOr<MrResult> r2 = mr.TryRun(pts);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(SameSolutions(r1->solution, r2->solution));
+  EXPECT_TRUE(SameSolutions(r1->solution, want->solution));
+  EXPECT_EQ(r1->diversity, want->diversity);
+  // The schedule itself is deterministic too: both faulty runs saw the
+  // same number of injected faults.
+  EXPECT_EQ(r1->faults_injected, 3u);
+  EXPECT_EQ(r2->faults_injected, 3u);
+}
+
 TEST(DeterminismTest, StreamingIsInputPure) {
   CosineMetric metric;
   SparseTextOptions t;

@@ -118,6 +118,156 @@ TEST(MapReduceDriverTest, AdversarialPartitionMorePartsThanSparsePoints) {
   EXPECT_EQ(r.solution.size(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Fault-tolerant executor (RunFallibleRound) unit tests. Reducers here are
+// synthetic counters, not diversity tasks: the contract under test is the
+// executor's — bounded retry, first-commit-wins, speculative duplicates,
+// per-round accounting.
+
+TEST(FallibleRoundTest, CleanRoundCommitsEveryTaskOnce) {
+  MapReduceSimulator sim(4);
+  std::vector<int> committed(8, 0);
+  RoundOutcome out = sim.RunFallibleRound(
+      "clean", 8,
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        size_t i = ctx.task;
+        *commit = [&committed, i] { committed[i]++; };
+        return OkStatus();
+      },
+      FallibleRoundOptions{}, [](size_t) { return 1; },
+      [](size_t) { return 1; });
+  EXPECT_TRUE(out.ok());
+  for (int c : committed) EXPECT_EQ(c, 1);
+  const RoundStats& r = sim.rounds().back();
+  EXPECT_EQ(r.attempts, 8u);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.faults_injected, 0u);
+  EXPECT_TRUE(r.failed_tasks.empty());
+}
+
+TEST(FallibleRoundTest, TransientFailureIsRetriedUntilSuccess) {
+  MapReduceSimulator sim(2);
+  std::vector<std::atomic<int>> tries(4);
+  std::atomic<int> commits{0};
+  FallibleRoundOptions opts;
+  opts.max_attempts = 3;
+  RoundOutcome out = sim.RunFallibleRound(
+      "flaky", 4,
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        tries[ctx.task].fetch_add(1);
+        // Task 2 fails its first two attempts, succeeds on the third.
+        if (ctx.task == 2 && ctx.attempt < 2) {
+          return UnavailableError("transient");
+        }
+        *commit = [&commits] { commits.fetch_add(1); };
+        return OkStatus();
+      },
+      opts, [](size_t) { return 1; }, [](size_t) { return 1; });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(commits.load(), 4);
+  EXPECT_EQ(tries[2].load(), 3);
+  const RoundStats& r = sim.rounds().back();
+  EXPECT_EQ(r.attempts, 6u);
+  EXPECT_EQ(r.retries, 2u);
+}
+
+TEST(FallibleRoundTest, ExhaustedBudgetReportsFailedTasksAscending) {
+  MapReduceSimulator sim(4);
+  FallibleRoundOptions opts;
+  opts.max_attempts = 2;
+  RoundOutcome out = sim.RunFallibleRound(
+      "doomed", 6,
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        if (ctx.task == 5 || ctx.task == 1) {
+          return AbortedError("task " + std::to_string(ctx.task) + " dead");
+        }
+        *commit = [] {};
+        return OkStatus();
+      },
+      opts, [](size_t) { return 1; }, [](size_t) { return 1; });
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.failed_tasks, (std::vector<size_t>{1, 5}));
+  EXPECT_FALSE(out.first_error.ok());
+  EXPECT_EQ(out.first_error.code(), StatusCode::kAborted);
+  const RoundStats& r = sim.rounds().back();
+  EXPECT_EQ(r.failed_tasks, (std::vector<size_t>{1, 5}));
+  EXPECT_EQ(r.attempts, 8u);  // 4 clean + 2 tasks x 2 attempts
+}
+
+TEST(FallibleRoundTest, StragglerTimeoutLaunchesSpeculativeDuplicate) {
+  MapReduceSimulator sim(4);
+  FaultInjector faults;
+  faults.Add({"slow", 0, 0, FaultKind::kStraggler, /*delay_ms=*/300});
+  FallibleRoundOptions opts;
+  opts.task_timeout_ms = 30;
+  opts.faults = &faults;
+  std::atomic<int> commits{0};
+  RoundOutcome out = sim.RunFallibleRound(
+      "slow", 2,
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        *commit = [&commits] { commits.fetch_add(1); };
+        return OkStatus();
+      },
+      opts, [](size_t) { return 1; }, [](size_t) { return 1; });
+  EXPECT_TRUE(out.ok());
+  // First-commit-wins: the straggler's late commit must have been dropped.
+  EXPECT_EQ(commits.load(), 2);
+  const RoundStats& r = sim.rounds().back();
+  EXPECT_GE(r.timeouts, 1u);
+  EXPECT_EQ(r.faults_injected, 1u);
+  EXPECT_EQ(r.attempts, 2u + r.retries);
+}
+
+TEST(FallibleRoundTest, CrashFaultNeverRunsTheTaskBody) {
+  MapReduceSimulator sim(2);
+  FaultInjector faults;
+  faults.Add({"crashy", 1, 0, FaultKind::kCrash, 0});
+  FallibleRoundOptions opts;
+  opts.faults = &faults;
+  std::vector<std::atomic<int>> body_runs(2);
+  RoundOutcome out = sim.RunFallibleRound(
+      "crashy", 2,
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        body_runs[ctx.task].fetch_add(1);
+        EXPECT_EQ(ctx.fault, FaultKind::kNone);  // crash handled upstream
+        *commit = [] {};
+        return OkStatus();
+      },
+      opts, [](size_t) { return 1; }, [](size_t) { return 1; });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(body_runs[0].load(), 1);
+  EXPECT_EQ(body_runs[1].load(), 1);  // only the retry ran the body
+  const RoundStats& r = sim.rounds().back();
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.faults_injected, 1u);
+}
+
+TEST(FallibleRoundTest, DataFaultsReachTheTaskContext) {
+  MapReduceSimulator sim(2);
+  FaultInjector faults;
+  faults.Add({"ctx", 0, 0, FaultKind::kWrongOutput, /*param=*/42});
+  FallibleRoundOptions opts;
+  opts.faults = &faults;
+  std::atomic<int> faulted_seen{0};
+  RoundOutcome out = sim.RunFallibleRound(
+      "ctx", 1,
+      [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
+        if (ctx.attempt == 0) {
+          EXPECT_EQ(ctx.fault, FaultKind::kWrongOutput);
+          EXPECT_EQ(ctx.fault_param, 42u);
+          faulted_seen.fetch_add(1);
+          return DataLossError("garbled as instructed");
+        }
+        EXPECT_EQ(ctx.fault, FaultKind::kNone);
+        *commit = [] {};
+        return OkStatus();
+      },
+      opts, [](size_t) { return 1; }, [](size_t) { return 1; });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(faulted_seen.load(), 1);
+}
+
 TEST(MapReduceDriverTest, AfzMorePartitionsThanPoints) {
   EuclideanMetric m;
   PointSet pts = GenerateUniformCube(4, 2, /*seed=*/4);

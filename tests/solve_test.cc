@@ -1,5 +1,8 @@
 #include "api/solve.h"
 
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/metric.h"
@@ -97,6 +100,106 @@ TEST(SolveTest, SmallInputClampsKAndPartitions) {
   opts.num_partitions = 16;
   SolveResult r = Solve(pts, metric, opts);
   EXPECT_EQ(r.solution.size(), 3u);  // whole input
+}
+
+// ---------------------------------------------------------------------------
+// TrySolve: the strictly validated entry point. Solve() keeps its clamping
+// contract (asserted elsewhere); TrySolve must reject what Solve absorbs.
+
+TEST(TrySolveTest, RejectsZeroK) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(50, 2, /*seed=*/31);
+  SolveOptions opts;
+  opts.k = 0;
+  StatusOr<SolveResult> r = TrySolve(pts, metric, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrySolveTest, RejectsKLargerThanInput) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(10, 2, /*seed=*/32);
+  SolveOptions opts;
+  opts.k = 11;
+  StatusOr<SolveResult> r = TrySolve(pts, metric, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Empty input is the same violation (k > 0 = n), not a special case.
+  StatusOr<SolveResult> empty = TrySolve(PointSet{}, metric, opts);
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST(TrySolveTest, RejectsKPrimeBelowK) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(100, 2, /*seed=*/33);
+  SolveOptions opts;
+  opts.k = 8;
+  opts.k_prime = 4;  // nonzero and < k
+  StatusOr<SolveResult> r = TrySolve(pts, metric, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrySolveTest, RejectsNonFiniteCoordinates) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(20, 2, /*seed=*/34);
+  pts[7] = Point::Dense({0.5f, std::numeric_limits<float>::quiet_NaN()});
+  SolveOptions opts;
+  opts.k = 3;
+  StatusOr<SolveResult> r = TrySolve(pts, metric, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The error names the offending point.
+  EXPECT_NE(r.status().message().find("7"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(TrySolveTest, RejectsGeneralizedBackendOnNonInjectiveProblem) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(100, 2, /*seed=*/35);
+  for (Backend b : {Backend::kStreamingTwoPass,
+                    Backend::kMapReduceGeneralized}) {
+    SolveOptions opts;
+    opts.backend = b;
+    opts.problem = DiversityProblem::kRemoteEdge;  // not injective-proxy
+    opts.k = 4;
+    StatusOr<SolveResult> r = TrySolve(pts, metric, opts);
+    EXPECT_FALSE(r.ok()) << BackendName(b);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(TrySolveTest, ValidInputMatchesSolve) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(300, 2, /*seed=*/36);
+  for (Backend b : {Backend::kSequential, Backend::kStreaming,
+                    Backend::kMapReduce}) {
+    SolveOptions opts;
+    opts.backend = b;
+    opts.k = 6;
+    opts.seed = 36;
+    SolveResult want = Solve(pts, metric, opts);
+    StatusOr<SolveResult> got = TrySolve(pts, metric, opts);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->solution.size(), want.solution.size());
+    for (size_t i = 0; i < want.solution.size(); ++i) {
+      EXPECT_TRUE(got->solution[i] == want.solution[i]) << BackendName(b);
+    }
+    EXPECT_EQ(got->diversity, want.diversity) << BackendName(b);
+    EXPECT_FALSE(got->degraded.has_value());
+  }
+}
+
+// The legacy entry point must keep absorbing what TrySolve rejects — both
+// contracts are load-bearing.
+TEST(TrySolveTest, LegacySolveStillClamps) {
+  EuclideanMetric metric;
+  PointSet pts = GenerateUniformCube(5, 2, /*seed=*/37);
+  SolveOptions opts;
+  opts.k = 50;
+  SolveResult r = Solve(pts, metric, opts);
+  EXPECT_EQ(r.solution.size(), 5u);  // clamped, not rejected
+  EXPECT_TRUE(Solve(PointSet{}, metric, opts).solution.empty());
 }
 
 TEST(SolveTest, SequentialMatchesDirectCall) {

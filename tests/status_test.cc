@@ -1,0 +1,100 @@
+#include "util/status.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace diverse {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkStatusFactory) {
+  Status s = OkStatus();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* label;
+  };
+  const std::vector<Case> cases = {
+      {InvalidArgumentError("bad k"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {NotFoundError("no file"), StatusCode::kNotFound, "NOT_FOUND"},
+      {DataLossError("truncated"), StatusCode::kDataLoss, "DATA_LOSS"},
+      {DeadlineExceededError("late"), StatusCode::kDeadlineExceeded,
+       "DEADLINE_EXCEEDED"},
+      {FailedPreconditionError("order"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {AbortedError("crash"), StatusCode::kAborted, "ABORTED"},
+      {InternalError("bug"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    // ToString leads with the code label so log lines are greppable.
+    EXPECT_NE(c.status.ToString().find(c.label), std::string::npos)
+        << c.status.ToString();
+    EXPECT_NE(c.status.ToString().find(c.status.message()), std::string::npos);
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = InvalidArgumentError("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOnlyValueWorks) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  std::vector<int> taken = std::move(*v);
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 5u);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("must be positive");
+  return x;
+}
+
+Status Chain(int x) {
+  StatusOr<int> v = ParsePositive(x);
+  DIVERSE_RETURN_IF_ERROR(v.status());
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(5).ok());
+  Status bad = Chain(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace diverse

@@ -96,6 +96,61 @@ TEST(ThreadPoolTest, ConcurrentParallelForRangesCallers) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForFallibleCleanRoundRunsEveryIndex) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  bool ok = pool.ParallelForFallible(kN, [&hits](size_t i) {
+    hits[i].fetch_add(1);
+    return true;
+  });
+  EXPECT_TRUE(ok);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+// A failing index poisons the round: ParallelForFallible returns false, no
+// index runs twice, and the barrier still waits for every started
+// invocation (no body running after the call returns).
+TEST(ThreadPoolTest, ParallelForFalliblePoisonedRoundStopsEarly) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<size_t> started{0};
+  bool ok = pool.ParallelForFallible(kN, [&hits, &started](size_t i) {
+    started.fetch_add(1);
+    hits[i].fetch_add(1);
+    return i != 17;  // poison on one early index
+  });
+  EXPECT_FALSE(ok);
+  size_t after_return = started.load();
+  // The poison flag is checked at every claim, so the round stops well
+  // short of the full range (17 runs early; even with 4 threads racing the
+  // flag only a bounded overshoot is possible).
+  EXPECT_LT(after_return, kN);
+  for (size_t i = 0; i < kN; ++i) ASSERT_LE(hits[i].load(), 1) << i;
+  // Barrier: nothing is still running.
+  EXPECT_EQ(started.load(), after_return);
+}
+
+TEST(ThreadPoolTest, ParallelForFallibleNestedInsideWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  std::atomic<int> inner_failures{0};
+  pool.ParallelFor(4, [&pool, &inner_hits, &inner_failures](size_t outer) {
+    // Nested call on a worker thread must run inline (no deadlock) and
+    // still report poisoning.
+    bool ok = pool.ParallelForFallible(8, [&inner_hits, outer](size_t i) {
+      inner_hits.fetch_add(1);
+      return !(outer == 1 && i == 3);
+    });
+    if (!ok) inner_failures.fetch_add(1);
+  });
+  EXPECT_EQ(inner_failures.load(), 1);
+  // Outer 1 stops at index 3 (inline path stops at first failure); the
+  // other three outers run all 8.
+  EXPECT_EQ(inner_hits.load(), 3 * 8 + 4);
+}
+
 TEST(ThreadPoolTest, DestructionWaitsForTasks) {
   std::atomic<int> counter{0};
   {
