@@ -131,12 +131,13 @@ SolveResult Solve(const PointSet& points, const Metric& metric,
 /// MapReduce task failures surface as the underlying driver error
 /// (kDataLoss, kAborted, ...) when recovery and degradation cannot
 /// complete the run.
-StatusOr<SolveResult> TrySolve(const Dataset& data, const Metric& metric,
-                               const SolveOptions& options);
+DIVERSE_MUST_USE StatusOr<SolveResult> TrySolve(
+    const Dataset& data, const Metric& metric, const SolveOptions& options);
 
 /// Shim: validates `points` and solves on a Dataset copy.
-StatusOr<SolveResult> TrySolve(const PointSet& points, const Metric& metric,
-                               const SolveOptions& options);
+DIVERSE_MUST_USE StatusOr<SolveResult> TrySolve(
+    const PointSet& points, const Metric& metric,
+    const SolveOptions& options);
 
 }  // namespace diverse
 

@@ -206,6 +206,14 @@ class Dataset {
   // valid by folding the new row's norm in, so append-heavy loops that
   // screen between appends (SMM's growing merge mirror) never pay a full
   // O(n) rebuild per append.
+  //
+  // Concurrency note: this mutable-under-const cache makes screen_stats()
+  // NOT safe to call concurrently on a cold cache. The parallel engines
+  // respect the contract by warming it (one screen_stats() call) before
+  // fanning a dataset out to the thread pool, after which all access is
+  // read-only. Guarding it with a mutex instead would put a lock in the
+  // hot screening loop for a race that the warm-before-share discipline
+  // already prevents.
   mutable ScreenStats screen_stats_;
   mutable bool screen_stats_valid_ = false;
   uint64_t content_stamp_ = 0;

@@ -196,6 +196,9 @@ struct SparseDecodeKey {
                          const SparseDecodeKey&) = default;
 };
 
+// Monotonic telemetry only (tests assert deltas after joining all workers)
+// — relaxed ordering is sufficient because no other memory is published
+// through these counters. The decode caches themselves are thread_local.
 std::atomic<uint64_t> g_sparse_decode_count{0};
 std::atomic<uint64_t> g_sparse_decode_hits{0};
 

@@ -252,6 +252,11 @@ size_t ScreenedFirstWithin(const Metric& metric, const Point& query,
 /// here is monotone in those statistics (the base default is constant).
 /// Non-dominated queries silently take the one-shot path. Results are
 /// bit-identical with or without a context; only evaluation counts move.
+///
+/// Thread-compatibility: a context is per-engine mutable state (SMM owns
+/// one per instance) and is refreshed unlocked on the calling thread —
+/// share one across threads and the cache key races. One context per
+/// engine, like the engines themselves (see streaming/smm.h).
 class PersistentScreenContext {
  public:
   PersistentScreenContext() = default;

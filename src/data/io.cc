@@ -87,28 +87,70 @@ bool SavePointsText(const PointSet& points, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-StatusOr<PointSet> TryLoadPointsText(const std::string& path) {
-  std::ifstream in(path);
+namespace {
+
+// Reads a whole file into memory for the parse cores. kNotFound when the
+// file cannot be opened, kDataLoss on a mid-read I/O error.
+StatusOr<std::string> ReadFileBytes(const std::string& path, bool binary) {
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
   if (!in) return NotFoundError("cannot open " + Quoted(path));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return DataLossError("read error in " + Quoted(path));
+  return std::move(buf).str();
+}
+
+// A bounds-checked sequential reader over the in-memory binary image.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes)
+      : p_(bytes.data()), remaining_(bytes.size()) {}
+
+  /// Copies `n` bytes into `out`; false when fewer than `n` remain (the
+  /// cursor is not advanced, matching a failed ifstream::read).
+  bool Read(void* out, size_t n) {
+    if (n > remaining_) return false;
+    std::memcpy(out, p_, n);
+    p_ += n;
+    remaining_ -= n;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  size_t remaining_;
+};
+
+}  // namespace
+
+StatusOr<PointSet> TryParsePointsText(std::string_view text,
+                                      const std::string& origin) {
   PointSet points;
-  std::string line;
   size_t line_no = 0;
-  while (std::getline(in, line)) {
+  size_t pos = 0;
+  std::string line;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    line.assign(text, pos, eol - pos);
+    pos = eol + 1;
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::optional<Point> p = PointFromTextLine(line);
     if (!p.has_value()) {
       return InvalidArgumentError("malformed point on line " +
                                   std::to_string(line_no) + " of " +
-                                  Quoted(path) + ": " + Quoted(line));
+                                  Quoted(origin) + ": " + Quoted(line));
     }
     points.push_back(std::move(*p));
   }
-  if (in.bad()) {
-    return DataLossError("read error after line " + std::to_string(line_no) +
-                         " of " + Quoted(path));
-  }
   return points;
+}
+
+StatusOr<PointSet> TryLoadPointsText(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFileBytes(path, /*binary=*/false);
+  if (!bytes.ok()) return bytes.status();
+  return TryParsePointsText(*bytes, path);
 }
 
 bool SavePointsBinary(const PointSet& points, const std::string& path) {
@@ -138,25 +180,21 @@ bool SavePointsBinary(const PointSet& points, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-StatusOr<PointSet> TryLoadPointsBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFoundError("cannot open " + Quoted(path));
-  in.seekg(0, std::ios::end);
-  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
-  in.seekg(0, std::ios::beg);
+StatusOr<PointSet> TryParsePointsBinary(std::string_view bytes,
+                                        const std::string& origin) {
+  const uint64_t file_size = bytes.size();
+  ByteReader in(bytes);
   uint32_t magic = 0;
   uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) {
+  if (!in.Read(&magic, sizeof(magic)) || !in.Read(&count, sizeof(count))) {
     return DataLossError("truncated header (" + std::to_string(file_size) +
-                         " bytes, want at least 12) in " + Quoted(path));
+                         " bytes, want at least 12) in " + Quoted(origin));
   }
   if (magic != kBinaryMagic) {
     char hex[16];
     std::snprintf(hex, sizeof(hex), "0x%08X", magic);
     return InvalidArgumentError("bad magic " + std::string(hex) + " in " +
-                                Quoted(path) + " (want DIVP)");
+                                Quoted(origin) + " (want DIVP)");
   }
   // Reject record counts the file cannot possibly hold before reserving:
   // a corrupted count field must not translate into a huge allocation.
@@ -164,20 +202,20 @@ StatusOr<PointSet> TryLoadPointsBinary(const std::string& path) {
   if (count > payload / kMinRecordBytes) {
     return InvalidArgumentError(
         "header claims " + std::to_string(count) + " records but " +
-        Quoted(path) + " has only " + std::to_string(payload) +
+        Quoted(origin) + " has only " + std::to_string(payload) +
         " payload bytes");
   }
   PointSet points;
   points.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     const std::string where =
-        "record " + std::to_string(i) + " of " + Quoted(path);
+        "record " + std::to_string(i) + " of " + Quoted(origin);
     uint8_t tag;
     uint32_t dim, nnz;
-    in.read(reinterpret_cast<char*>(&tag), sizeof(tag));
-    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-    in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
-    if (!in) return DataLossError("truncated record header at " + where);
+    if (!in.Read(&tag, sizeof(tag)) || !in.Read(&dim, sizeof(dim)) ||
+        !in.Read(&nnz, sizeof(nnz))) {
+      return DataLossError("truncated record header at " + where);
+    }
     // A record's payload cannot exceed the whole file: reject corrupt nnz
     // fields before they turn into huge allocations.
     const uint64_t entry_bytes =
@@ -193,9 +231,9 @@ StatusOr<PointSet> TryLoadPointsBinary(const std::string& path) {
                                     std::to_string(dim) + " at " + where);
       }
       std::vector<float> values(nnz);
-      in.read(reinterpret_cast<char*>(values.data()),
-              static_cast<std::streamsize>(nnz * sizeof(float)));
-      if (!in) return DataLossError("truncated dense payload at " + where);
+      if (!in.Read(values.data(), nnz * sizeof(float))) {
+        return DataLossError("truncated dense payload at " + where);
+      }
       points.push_back(Point::Dense(std::move(values)));
     } else if (tag == kSparseTag) {
       if (nnz > dim) {
@@ -205,11 +243,10 @@ StatusOr<PointSet> TryLoadPointsBinary(const std::string& path) {
       }
       std::vector<uint32_t> indices(nnz);
       std::vector<float> values(nnz);
-      in.read(reinterpret_cast<char*>(indices.data()),
-              static_cast<std::streamsize>(nnz * sizeof(uint32_t)));
-      in.read(reinterpret_cast<char*>(values.data()),
-              static_cast<std::streamsize>(nnz * sizeof(float)));
-      if (!in) return DataLossError("truncated sparse payload at " + where);
+      if (!in.Read(indices.data(), nnz * sizeof(uint32_t)) ||
+          !in.Read(values.data(), nnz * sizeof(float))) {
+        return DataLossError("truncated sparse payload at " + where);
+      }
       for (size_t j = 0; j + 1 < indices.size(); ++j) {
         if (indices[j] >= indices[j + 1]) {
           return InvalidArgumentError("unsorted sparse indices at " + where);
@@ -230,6 +267,12 @@ StatusOr<PointSet> TryLoadPointsBinary(const std::string& path) {
     }
   }
   return points;
+}
+
+StatusOr<PointSet> TryLoadPointsBinary(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFileBytes(path, /*binary=*/true);
+  if (!bytes.ok()) return bytes.status();
+  return TryParsePointsBinary(*bytes, path);
 }
 
 StatusOr<Dataset> TryLoadDatasetText(const std::string& path) {

@@ -25,6 +25,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/dataset.h"
 #include "core/point.h"
@@ -32,12 +33,27 @@
 
 namespace diverse {
 
+/// Parses text-format bytes (the whole file contents). `origin` names the
+/// source in error messages (a path, or "<fuzz>"/"<memory>"). The path
+/// loaders below are thin read-the-file wrappers over these parse cores,
+/// which are also the libFuzzer entry points (tests/fuzz/io_fuzz.cc):
+/// every validation path is reachable from plain bytes, no filesystem
+/// required.
+DIVERSE_MUST_USE StatusOr<PointSet> TryParsePointsText(
+    std::string_view text, const std::string& origin);
+
+/// Parses binary-format bytes. Same validation and error taxonomy as
+/// TryLoadPointsBinary (bad magic, truncation, impossible counts, unsorted
+/// indices — all named with `origin`).
+DIVERSE_MUST_USE StatusOr<PointSet> TryParsePointsBinary(
+    std::string_view bytes, const std::string& origin);
+
 /// Writes `points` in the text format. Returns false on I/O failure.
 bool SavePointsText(const PointSet& points, const std::string& path);
 
 /// Reads a text-format file. kNotFound when the file cannot be opened,
 /// kInvalidArgument (naming the 1-based line) on a malformed line.
-StatusOr<PointSet> TryLoadPointsText(const std::string& path);
+DIVERSE_MUST_USE StatusOr<PointSet> TryLoadPointsText(const std::string& path);
 
 /// Writes `points` in the binary format. Returns false on I/O failure.
 bool SavePointsBinary(const PointSet& points, const std::string& path);
@@ -47,15 +63,15 @@ bool SavePointsBinary(const PointSet& points, const std::string& path);
 /// nnz > dim, unsorted/out-of-range sparse indices, impossible record
 /// count), kDataLoss on truncation (short header or record, naming the
 /// record index).
-StatusOr<PointSet> TryLoadPointsBinary(const std::string& path);
+DIVERSE_MUST_USE StatusOr<PointSet> TryLoadPointsBinary(const std::string& path);
 
 /// Reads a text-format file directly into columnar Dataset storage, ready
 /// for the batched kernels. Same errors as TryLoadPointsText.
-StatusOr<Dataset> TryLoadDatasetText(const std::string& path);
+DIVERSE_MUST_USE StatusOr<Dataset> TryLoadDatasetText(const std::string& path);
 
 /// Reads a binary-format file directly into columnar Dataset storage.
 /// Same errors as TryLoadPointsBinary.
-StatusOr<Dataset> TryLoadDatasetBinary(const std::string& path);
+DIVERSE_MUST_USE StatusOr<Dataset> TryLoadDatasetBinary(const std::string& path);
 
 /// Shims over the Try* loaders: nullopt on any failure, diagnostics
 /// discarded.

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <numeric>
 #include <thread>
+
+#include "util/thread_annotations.h"
 
 #include "util/check.h"
 #include "util/timer.h"
@@ -59,7 +59,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 // Per-task scheduling state of one fallible round. Guarded by the round
-// mutex except where noted.
+// mutex (FallibleRound::mu) through the owning vector.
 struct FallibleTaskState {
   size_t attempts_started = 0;
   size_t attempts_in_flight = 0;
@@ -68,6 +68,118 @@ struct FallibleTaskState {
   Clock::time_point last_launch{};
   Status last_error;
 };
+
+// The shared state of one fallible round, annotated so -Wthread-safety
+// proves the commit discipline: every mutation of the scheduling state and
+// every driver-commit closure runs under `mu` (first-commit-wins), and the
+// executor loop cannot read a counter without the lock. Lives on
+// RunFallibleRound's stack; Launch()ed attempts capture a pointer, which
+// stays valid because the round does not return until `in_flight` drains.
+struct FallibleRound {
+  FallibleRound(const std::string& name, const FallibleReducer& body,
+                const FallibleRoundOptions& opts, ThreadPool& pool,
+                size_t num_tasks)
+      : name(name), body(body), opts(opts), pool(pool), tasks(num_tasks),
+        unresolved(num_tasks) {}
+
+  // Immutable during the round.
+  const std::string& name;
+  const FallibleReducer& body;
+  const FallibleRoundOptions& opts;
+  ThreadPool& pool;
+
+  Mutex mu;
+  CondVar cv;
+  std::vector<FallibleTaskState> tasks DIVERSE_GUARDED_BY(mu);
+  size_t unresolved DIVERSE_GUARDED_BY(mu);   // tasks neither done nor failed
+  size_t in_flight DIVERSE_GUARDED_BY(mu) = 0;  // launched, not reported
+  RoundStats stats DIVERSE_GUARDED_BY(mu);      // attempt/retry accounting
+
+  // Launches the next attempt of task i on the worker pool.
+  void Launch(size_t i, bool speculative) DIVERSE_REQUIRES(mu);
+  // An attempt finished: commit, retry, or fail under the round lock.
+  void OnAttemptDone(size_t i, const Status& status,
+                     const std::function<void()>& commit) DIVERSE_EXCLUDES(mu);
+};
+
+void FallibleRound::Launch(size_t i, bool speculative) {
+  FallibleTaskState& ts = tasks[i];
+  const size_t attempt = ts.attempts_started++;
+  ++ts.attempts_in_flight;
+  ts.last_launch = Clock::now();
+  ++stats.attempts;
+  if (attempt > 0) ++stats.retries;
+  if (speculative) ++stats.timeouts;
+  InjectedFault fault;
+  if (opts.faults != nullptr) {
+    fault = opts.faults->Probe(name, i, attempt);
+    if (fault.kind != FaultKind::kNone) ++stats.faults_injected;
+  }
+  ++in_flight;
+  pool.Submit([this, i, attempt, fault] {
+    Status status;
+    std::function<void()> commit;
+    if (fault.kind == FaultKind::kCrash) {
+      // The reducer dies before doing any work: no task body, no output.
+      status = AbortedError("injected crash (round '" + name + "', task " +
+                            std::to_string(i) + ", attempt " +
+                            std::to_string(attempt) + ")");
+    } else {
+      if (fault.kind == FaultKind::kStraggler) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.param == 0 ? 50 : fault.param));
+      }
+      MrTaskContext ctx;
+      ctx.task = i;
+      ctx.attempt = attempt;
+      if (fault.kind == FaultKind::kEmptyOutput ||
+          fault.kind == FaultKind::kWrongOutput ||
+          fault.kind == FaultKind::kCorruptPartition) {
+        ctx.fault = fault.kind;
+        ctx.fault_param = fault.param;
+      }
+      status = body(ctx, &commit);
+    }
+    OnAttemptDone(i, status, commit);
+  });
+}
+
+void FallibleRound::OnAttemptDone(size_t i, const Status& status,
+                                  const std::function<void()>& commit) {
+  MutexLock lock(&mu);
+  --in_flight;
+  FallibleTaskState& ts = tasks[i];
+  --ts.attempts_in_flight;
+  if (!ts.done && !ts.failed) {
+    if (status.ok()) {
+      // First successful attempt wins; the commit runs under the round
+      // lock so a concurrent speculative duplicate can never interleave
+      // with it on the driver's output slot.
+      ts.done = true;
+      --unresolved;
+      if (commit) commit();
+    } else {
+      ts.last_error = status;
+      if (ts.attempts_started < opts.max_attempts) {
+        Launch(i, /*speculative=*/false);
+      } else if (ts.attempts_in_flight == 0) {
+        // Budget spent and no speculative copy still racing: the task
+        // is permanently failed.
+        ts.failed = true;
+        --unresolved;
+      }
+      // else: a duplicate attempt is still running and may yet succeed.
+    }
+  }
+  // Notify while still holding the round lock: the instant this thread
+  // releases `mu` with in_flight drained, the driver may observe the exit
+  // predicate and destroy the whole FallibleRound (it lives on the
+  // driver's stack), so an after-unlock notify would touch a dead CondVar
+  // — a use-after-free that can silently corrupt the *next* round's wait
+  // state. Under the lock, no waiter can return from Wait (and free the
+  // round) before this notify completes.
+  cv.NotifyAll();
+}
 
 }  // namespace
 
@@ -78,102 +190,33 @@ RoundOutcome MapReduceSimulator::RunFallibleRound(
     const std::function<size_t(size_t)>& output_points_of) {
   DIVERSE_CHECK_GE(opts.max_attempts, 1u);
   Timer timer;
-  RoundStats stats;
-  stats.name = name;
-  stats.num_reducers = num_tasks;
   RoundOutcome outcome;
+  RoundStats stats;
 
-  // All closures capture this stack frame by reference; the loop below does
-  // not return until every launched attempt has reported back (losers of
-  // speculative races included), so the references stay valid and the next
-  // round can safely reuse or destroy driver buffers.
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<FallibleTaskState> tasks(num_tasks);
-  size_t unresolved = num_tasks;  // tasks neither done nor failed
-  size_t in_flight = 0;           // attempts launched but not reported
-
-  // Launches the next attempt of task i. Requires mu held.
-  std::function<void(size_t, bool)> launch = [&](size_t i, bool speculative) {
-    FallibleTaskState& ts = tasks[i];
-    const size_t attempt = ts.attempts_started++;
-    ++ts.attempts_in_flight;
-    ts.last_launch = Clock::now();
-    ++stats.attempts;
-    if (attempt > 0) ++stats.retries;
-    if (speculative) ++stats.timeouts;
-    InjectedFault fault;
-    if (opts.faults != nullptr) {
-      fault = opts.faults->Probe(name, i, attempt);
-      if (fault.kind != FaultKind::kNone) ++stats.faults_injected;
-    }
-    ++in_flight;
-    pool_.Submit([&, i, attempt, fault] {
-      Status status;
-      std::function<void()> commit;
-      if (fault.kind == FaultKind::kCrash) {
-        // The reducer dies before doing any work: no task body, no output.
-        status = AbortedError("injected crash (round '" + name + "', task " +
-                              std::to_string(i) + ", attempt " +
-                              std::to_string(attempt) + ")");
-      } else {
-        if (fault.kind == FaultKind::kStraggler) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              fault.param == 0 ? 50 : fault.param));
-        }
-        MrTaskContext ctx;
-        ctx.task = i;
-        ctx.attempt = attempt;
-        if (fault.kind == FaultKind::kEmptyOutput ||
-            fault.kind == FaultKind::kWrongOutput ||
-            fault.kind == FaultKind::kCorruptPartition) {
-          ctx.fault = fault.kind;
-          ctx.fault_param = fault.param;
-        }
-        status = task(ctx, &commit);
-      }
-      std::unique_lock<std::mutex> lock(mu);
-      --in_flight;
-      FallibleTaskState& ts2 = tasks[i];
-      --ts2.attempts_in_flight;
-      if (!ts2.done && !ts2.failed) {
-        if (status.ok()) {
-          // First successful attempt wins; the commit runs under the round
-          // lock so a concurrent speculative duplicate can never interleave
-          // with it on the driver's output slot.
-          ts2.done = true;
-          --unresolved;
-          if (commit) commit();
-        } else {
-          ts2.last_error = status;
-          if (ts2.attempts_started < opts.max_attempts) {
-            launch(i, /*speculative=*/false);
-          } else if (ts2.attempts_in_flight == 0) {
-            // Budget spent and no speculative copy still racing: the task
-            // is permanently failed.
-            ts2.failed = true;
-            --unresolved;
-          }
-          // else: a duplicate attempt is still running and may yet succeed.
-        }
-      }
-      cv.notify_all();
-    });
-  };
+  // The round state lives on this stack frame; the loop below does not
+  // return until every launched attempt has reported back (losers of
+  // speculative races included), so pointers captured by the attempt
+  // closures stay valid and the next round can safely reuse or destroy
+  // driver buffers.
+  FallibleRound round(name, task, opts, pool_, num_tasks);
 
   {
-    std::unique_lock<std::mutex> lock(mu);
-    for (size_t i = 0; i < num_tasks; ++i) launch(i, /*speculative=*/false);
+    MutexLock lock(&round.mu);
+    round.stats.name = name;
+    round.stats.num_reducers = num_tasks;
+    for (size_t i = 0; i < num_tasks; ++i) {
+      round.Launch(i, /*speculative=*/false);
+    }
     const auto timeout = std::chrono::milliseconds(opts.task_timeout_ms);
-    while (unresolved > 0 || in_flight > 0) {
+    while (round.unresolved > 0 || round.in_flight > 0) {
       if (opts.task_timeout_ms == 0) {
-        cv.wait(lock);
+        round.cv.Wait(round.mu);
         continue;
       }
       // Earliest straggler deadline among running, relaunchable tasks.
       bool have_deadline = false;
       Clock::time_point next_deadline{};
-      for (const FallibleTaskState& ts : tasks) {
+      for (const FallibleTaskState& ts : round.tasks) {
         if (ts.done || ts.failed || ts.attempts_in_flight == 0) continue;
         if (ts.attempts_started >= opts.max_attempts) continue;
         Clock::time_point d = ts.last_launch + timeout;
@@ -183,30 +226,33 @@ RoundOutcome MapReduceSimulator::RunFallibleRound(
         }
       }
       if (!have_deadline) {
-        cv.wait(lock);
+        round.cv.Wait(round.mu);
         continue;
       }
-      cv.wait_until(lock, next_deadline);
+      round.cv.WaitUntil(round.mu, next_deadline);
       const Clock::time_point now = Clock::now();
       for (size_t i = 0; i < num_tasks; ++i) {
-        FallibleTaskState& ts = tasks[i];
+        FallibleTaskState& ts = round.tasks[i];
         if (ts.done || ts.failed || ts.attempts_in_flight == 0) continue;
         if (ts.attempts_started >= opts.max_attempts) continue;
         if (now - ts.last_launch >= timeout) {
           // Straggler: leave the slow attempt running (it may still win)
           // and race a speculative duplicate against it.
-          launch(i, /*speculative=*/true);
+          round.Launch(i, /*speculative=*/true);
         }
       }
     }
     for (size_t i = 0; i < num_tasks; ++i) {
-      if (tasks[i].failed) {
+      if (round.tasks[i].failed) {
         outcome.failed_tasks.push_back(i);
         if (outcome.first_error.ok()) {
-          outcome.first_error = tasks[i].last_error;
+          outcome.first_error = round.tasks[i].last_error;
         }
       }
     }
+    // Every attempt has drained; move the accounting out while still
+    // holding the lock the attempts updated it under.
+    stats = std::move(round.stats);
   }
 
   stats.failed_tasks = outcome.failed_tasks;

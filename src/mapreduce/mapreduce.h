@@ -98,8 +98,10 @@ struct FallibleRoundOptions {
   const FaultInjector* faults = nullptr;
 };
 
-/// How a fallible round ended.
-struct RoundOutcome {
+/// How a fallible round ended. nodiscard: a dropped outcome silently turns
+/// permanently-failed tasks into missing results — the caller must either
+/// degrade explicitly or abort.
+struct [[nodiscard]] RoundOutcome {
   /// Tasks that exhausted their attempt budget, ascending.
   std::vector<size_t> failed_tasks;
   /// The last error of the first failed task; OK when none failed.
@@ -141,7 +143,7 @@ class MapReduceSimulator {
   /// output) or abort. Blocks until every launched attempt has finished —
   /// losers of speculative races included — so driver state captured by the
   /// reducer closures may be stack-local to the caller.
-  RoundOutcome RunFallibleRound(
+  DIVERSE_MUST_USE RoundOutcome RunFallibleRound(
       const std::string& name, size_t num_tasks, const FallibleReducer& task,
       const FallibleRoundOptions& opts,
       const std::function<size_t(size_t)>& input_points_of,

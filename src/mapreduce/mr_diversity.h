@@ -34,7 +34,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -46,6 +45,7 @@
 #include "mapreduce/mapreduce.h"
 #include "mapreduce/partitioner.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diverse {
 
@@ -56,9 +56,10 @@ namespace diverse {
 /// most one scratch exists per concurrently running reducer.
 class DatasetScratchPool {
  public:
-  /// Pops a cleared scratch (or default-constructs one).
-  Dataset Acquire() {
-    std::unique_lock<std::mutex> lock(mu_);
+  /// Pops a cleared scratch (or default-constructs one). Thread-safe:
+  /// called concurrently by every reducer attempt of a round.
+  Dataset Acquire() DIVERSE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (free_.empty()) return Dataset();
     Dataset d = std::move(free_.back());
     free_.pop_back();
@@ -66,15 +67,15 @@ class DatasetScratchPool {
   }
 
   /// Clears `d` (keeping capacity) and returns it to the free list.
-  void Release(Dataset d) {
+  void Release(Dataset d) DIVERSE_EXCLUDES(mu_) {
     d.Clear();
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     free_.push_back(std::move(d));
   }
 
  private:
-  std::mutex mu_;
-  std::vector<Dataset> free_;
+  Mutex mu_;
+  std::vector<Dataset> free_ DIVERSE_GUARDED_BY(mu_);
 };
 
 /// Configuration of a MapReduce diversity run.

@@ -49,6 +49,11 @@ struct SlidingWindowOptions {
 
 /// Maintains per-block streaming core-sets for the last `window` points and
 /// answers diversity queries over the (block-granular) window.
+///
+/// Thread-compatibility contract: single-threaded, like the SMM engines it
+/// wraps (see smm.h) — Update/Query mutate block state and the columnar
+/// query mirror without locking. One instance per stream consumer;
+/// concurrent callers must serialize externally.
 class SlidingWindowDiversity {
  public:
   /// `metric` must outlive this object. Requires k >= 1, k_prime >= k,

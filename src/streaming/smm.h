@@ -41,6 +41,15 @@ namespace diverse {
 namespace internal_smm {
 
 /// Shared phase machinery of the SMM family. Not a public API.
+///
+/// Thread-compatibility contract: every SMM engine (and the columnar
+/// mirror it maintains for the merge step) is a SINGLE-THREADED state
+/// machine — Update/Merge mutate the center set and mirror with no
+/// internal locking, by design: a stream has one consumer, and wrapping
+/// every point in a mutex would dominate the per-point work. Concurrent
+/// use requires one engine instance per thread (the MapReduce driver does
+/// exactly this) or external serialization by the caller. Distinct
+/// instances share nothing mutable, so per-thread engines need no locks.
 class SmmEngine {
  public:
   enum class Mode { kCentersOnly, kDelegates, kCounts };

@@ -20,6 +20,15 @@
 
 #include "util/check.h"
 
+/// Marks a function whose return value encodes success/failure (Try*
+/// loaders, fallible solves, ParallelForFallible) so discarding it is a
+/// compile error under -Werror=unused-result (enforced in the main build
+/// and pinned by the tests/static_analysis compile-fail gate). Status and
+/// StatusOr are additionally nodiscard at class level, so any function
+/// returning them by value is covered even without this macro; use it for
+/// bool/struct-returning fallible APIs and as explicit documentation.
+#define DIVERSE_MUST_USE [[nodiscard]]
+
 namespace diverse {
 
 /// Canonical error space (a deliberate subset of the absl/gRPC codes; only
@@ -163,5 +172,22 @@ class [[nodiscard]] StatusOr {
     ::diverse::Status status_macro_tmp = (expr); \
     if (!status_macro_tmp.ok()) return status_macro_tmp; \
   } while (0)
+
+#define DIVERSE_STATUS_CONCAT_INNER(a, b) a##b
+#define DIVERSE_STATUS_CONCAT(a, b) DIVERSE_STATUS_CONCAT_INNER(a, b)
+
+/// Unwraps a StatusOr expression into `lhs` or propagates its error:
+///   DIVERSE_ASSIGN_OR_RETURN(PointSet points, TryLoadPointsText(path));
+/// `lhs` may declare a new variable or assign to an existing one. This (or
+/// an explicit ok() check) is the only sanctioned route to a StatusOr's
+/// value — tools/lint.py flags naked .value() calls without a guard.
+#define DIVERSE_ASSIGN_OR_RETURN(lhs, expr)                            \
+  DIVERSE_ASSIGN_OR_RETURN_IMPL(                                       \
+      DIVERSE_STATUS_CONCAT(statusor_macro_tmp_, __LINE__), lhs, expr)
+
+#define DIVERSE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
 
 #endif  // DIVERSE_UTIL_STATUS_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace diverse {
 
@@ -20,26 +21,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     DIVERSE_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 namespace {
@@ -48,10 +49,11 @@ namespace {
 // wait for their own tasks.
 struct LoopState {
   std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
+  // Set once before any task is submitted, immutable afterwards.
   size_t num_tasks = 0;
-  std::mutex mu;
-  std::condition_variable finished;
+  Mutex mu;
+  CondVar finished;
+  size_t done DIVERSE_GUARDED_BY(mu) = 0;
 };
 
 // The pool a worker thread belongs to (nullptr on external threads). Lets
@@ -81,13 +83,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (size_t t = 0; t < state->num_tasks; ++t) {
     Submit([state, n, &fn] {
       for (size_t i = state->next++; i < n; i = state->next++) fn(i);
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (++state->done == state->num_tasks) state->finished.notify_all();
+      MutexLock lock(&state->mu);
+      if (++state->done == state->num_tasks) state->finished.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->finished.wait(lock,
-                       [&] { return state->done == state->num_tasks; });
+  MutexLock lock(&state->mu);
+  while (state->done != state->num_tasks) state->finished.Wait(state->mu);
 }
 
 bool ThreadPool::ParallelForFallible(size_t n,
@@ -115,13 +116,14 @@ bool ThreadPool::ParallelForFallible(size_t n,
         if (i >= n) break;
         if (!fn(i)) poisoned->store(true, std::memory_order_release);
       }
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (++state->done == state->num_tasks) state->finished.notify_all();
+      MutexLock lock(&state->mu);
+      if (++state->done == state->num_tasks) state->finished.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->finished.wait(lock,
-                       [&] { return state->done == state->num_tasks; });
+  {
+    MutexLock lock(&state->mu);
+    while (state->done != state->num_tasks) state->finished.Wait(state->mu);
+  }
   return !poisoned->load(std::memory_order_acquire);
 }
 
@@ -135,7 +137,7 @@ void ThreadPool::ParallelForRanges(
     return;
   }
   size_t num_ranges = (n + grain - 1) / grain;
-  if (!arena_call_mu_.try_lock()) {
+  if (!arena_call_mu_.TryLock()) {
     // Another thread owns the arena (concurrent loops, e.g. batched kernels
     // issued from several MapReduce reducers): take the queued path.
     ParallelForRangesQueued(n, grain, num_ranges, fn);
@@ -151,7 +153,7 @@ void ThreadPool::ParallelForRanges(
   tl_arena_owner = this;
   // Publish the loop and wake the workers.
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     arena_fn_ = &fn;
     arena_n_ = n;
     arena_grain_ = grain;
@@ -159,7 +161,7 @@ void ThreadPool::ParallelForRanges(
     arena_next_.store(0, std::memory_order_relaxed);
     arena_open_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   // The caller claims ranges alongside the workers: progress is guaranteed
   // even if every worker is busy elsewhere.
   for (size_t r = arena_next_.fetch_add(1, std::memory_order_relaxed);
@@ -169,13 +171,13 @@ void ThreadPool::ParallelForRanges(
     fn(begin, std::min(n, begin + grain));
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     arena_open_ = false;  // no new entrants
-    arena_done_.wait(lock, [this] { return arena_workers_inside_ == 0; });
+    while (arena_workers_inside_ != 0) arena_done_.Wait(mu_);
     arena_fn_ = nullptr;
   }
   tl_arena_owner = prev_arena_owner;
-  arena_call_mu_.unlock();
+  arena_call_mu_.Unlock();
 }
 
 void ThreadPool::ParallelForRangesQueued(
@@ -189,18 +191,20 @@ void ThreadPool::ParallelForRangesQueued(
         size_t begin = r * grain;
         fn(begin, std::min(n, begin + grain));
       }
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (++state->done == state->num_tasks) state->finished.notify_all();
+      MutexLock lock(&state->mu);
+      if (++state->done == state->num_tasks) state->finished.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->finished.wait(lock,
-                       [&] { return state->done == state->num_tasks; });
+  MutexLock lock(&state->mu);
+  while (state->done != state->num_tasks) state->finished.Wait(state->mu);
 }
 
 namespace {
 
 size_t DefaultGlobalThreads() {
+  // Read once at pool creation, before any worker exists — safe despite
+  // getenv's global environ access.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("DIVERSE_THREADS")) {
     long parsed = std::atol(env);
     if (parsed >= 1) return static_cast<size_t>(parsed);
@@ -209,13 +213,14 @@ size_t DefaultGlobalThreads() {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
-std::mutex g_global_pool_mu;
-std::unique_ptr<ThreadPool> g_global_pool;
+Mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool> g_global_pool
+    DIVERSE_GUARDED_BY(g_global_pool_mu);
 
 }  // namespace
 
 ThreadPool& GlobalThreadPool() {
-  std::unique_lock<std::mutex> lock(g_global_pool_mu);
+  MutexLock lock(&g_global_pool_mu);
   if (!g_global_pool) {
     g_global_pool = std::make_unique<ThreadPool>(DefaultGlobalThreads());
   }
@@ -223,7 +228,7 @@ ThreadPool& GlobalThreadPool() {
 }
 
 void SetGlobalThreadPoolSize(size_t num_threads) {
-  std::unique_lock<std::mutex> lock(g_global_pool_mu);
+  MutexLock lock(&g_global_pool_mu);
   g_global_pool = std::make_unique<ThreadPool>(num_threads);
 }
 
@@ -232,15 +237,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] {
-        return shutting_down_ || !queue_.empty() ||
-               (arena_open_ &&
-                arena_next_.load(std::memory_order_relaxed) <
-                    arena_num_ranges_);
-      });
-      if (arena_open_ && arena_next_.load(std::memory_order_relaxed) <
-                             arena_num_ranges_) {
+      MutexLock lock(&mu_);
+      while (!(shutting_down_ || !queue_.empty() || ArenaHasWork())) {
+        work_available_.Wait(mu_);
+      }
+      if (ArenaHasWork()) {
         // Join the open range loop: claim ranges from the shared cursor
         // until it is exhausted, then report back to the arena owner.
         ++arena_workers_inside_;
@@ -248,15 +249,15 @@ void ThreadPool::WorkerLoop() {
         size_t n = arena_n_;
         size_t grain = arena_grain_;
         size_t num_ranges = arena_num_ranges_;
-        lock.unlock();
+        lock.Unlock();
         for (size_t r = arena_next_.fetch_add(1, std::memory_order_relaxed);
              r < num_ranges;
              r = arena_next_.fetch_add(1, std::memory_order_relaxed)) {
           size_t begin = r * grain;
           (*fn)(begin, std::min(n, begin + grain));
         }
-        lock.lock();
-        if (--arena_workers_inside_ == 0) arena_done_.notify_all();
+        lock.Lock();
+        if (--arena_workers_inside_ == 0) arena_done_.NotifyAll();
         continue;
       }
       if (queue_.empty()) {
@@ -268,9 +269,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

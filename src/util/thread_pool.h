@@ -5,13 +5,14 @@
 #define DIVERSE_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diverse {
 
@@ -20,6 +21,13 @@ namespace diverse {
 /// Tasks are `std::function<void()>`; exceptions must not escape tasks (the
 /// library is exception-free). Destruction waits for all submitted tasks to
 /// finish.
+///
+/// Locking contract (statically checked under -Wthread-safety): `mu_`
+/// guards the task queue, the in-flight count, and the arena descriptor;
+/// `arena_call_mu_` is a serialization token admitting one range-loop owner
+/// at a time; `arena_next_` is the only lock-free shared cursor. Entry
+/// points are non-reentrant on `mu_` (DIVERSE_EXCLUDES) — nested loops from
+/// worker threads are detected and run inline before any lock is touched.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (at least 1).
@@ -31,10 +39,10 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DIVERSE_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has completed.
-  void Wait();
+  void Wait() DIVERSE_EXCLUDES(mu_);
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
@@ -44,7 +52,8 @@ class ThreadPool {
   /// Completion is tracked per call, so concurrent ParallelFor calls from
   /// different threads (e.g. batched kernels running inside MapReduce
   /// reducers) do not wait on each other's tasks.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      DIVERSE_EXCLUDES(mu_);
 
   /// ParallelFor with mid-round abort: `fn(i)` returning false poisons the
   /// round — no further indices are claimed (invocations already running
@@ -55,8 +64,10 @@ class ThreadPool {
   /// their next claim and drain. Which indices are skipped after a failure
   /// is scheduling-dependent; callers needing determinism must treat a
   /// false return as "retry or abort the whole round" (as the MapReduce
-  /// executor does), never as a partial result.
-  bool ParallelForFallible(size_t n, const std::function<bool(size_t)>& fn);
+  /// executor does), never as a partial result — which is why discarding
+  /// the verdict is a compile error.
+  DIVERSE_MUST_USE bool ParallelForFallible(
+      size_t n, const std::function<bool(size_t)>& fn) DIVERSE_EXCLUDES(mu_);
 
   /// Runs `fn(begin, end)` over disjoint ranges covering [0, n), each of
   /// roughly `grain` indices, across the pool, and waits. Runs inline on the
@@ -75,32 +86,44 @@ class ThreadPool {
   /// thread already occupies the arena, the call falls back to the queued
   /// task path.
   void ParallelForRanges(size_t n, size_t grain,
-                         const std::function<void(size_t, size_t)>& fn);
+                         const std::function<void(size_t, size_t)>& fn)
+      DIVERSE_EXCLUDES(mu_, arena_call_mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DIVERSE_EXCLUDES(mu_);
   void ParallelForRangesQueued(size_t n, size_t grain, size_t num_ranges,
-                               const std::function<void(size_t, size_t)>& fn);
+                               const std::function<void(size_t, size_t)>& fn)
+      DIVERSE_EXCLUDES(mu_);
+
+  /// True when the published range loop still has unclaimed ranges.
+  bool ArenaHasWork() const DIVERSE_REQUIRES(mu_) {
+    return arena_open_ &&
+           arena_next_.load(std::memory_order_relaxed) < arena_num_ranges_;
+  }
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;  // queued + running tasks
-  bool shutting_down_ = false;
 
-  // Persistent range-loop arena (one loop at a time; guarded by mu_ except
-  // where noted). `arena_next_` is the shared range cursor.
-  std::mutex arena_call_mu_;  // serializes arena owners
-  const std::function<void(size_t, size_t)>* arena_fn_ = nullptr;
-  size_t arena_n_ = 0;
-  size_t arena_grain_ = 0;
-  size_t arena_num_ranges_ = 0;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ DIVERSE_GUARDED_BY(mu_);
+  size_t in_flight_ DIVERSE_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool shutting_down_ DIVERSE_GUARDED_BY(mu_) = false;
+
+  // Persistent range-loop arena (one loop at a time). The descriptor fields
+  // are published under mu_ by the arena owner and read under mu_ by
+  // joining workers (which then run on copies); `arena_next_` is the shared
+  // range cursor, intentionally lock-free.
+  Mutex arena_call_mu_;  // serializes arena owners; guards no data
+  const std::function<void(size_t, size_t)>* arena_fn_
+      DIVERSE_GUARDED_BY(mu_) = nullptr;
+  size_t arena_n_ DIVERSE_GUARDED_BY(mu_) = 0;
+  size_t arena_grain_ DIVERSE_GUARDED_BY(mu_) = 0;
+  size_t arena_num_ranges_ DIVERSE_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> arena_next_{0};
-  size_t arena_workers_inside_ = 0;
-  bool arena_open_ = false;
-  std::condition_variable arena_done_;
+  size_t arena_workers_inside_ DIVERSE_GUARDED_BY(mu_) = 0;
+  bool arena_open_ DIVERSE_GUARDED_BY(mu_) = false;
+  CondVar arena_done_;
 };
 
 /// Process-wide pool used by the batched distance kernels (core/metric.h).

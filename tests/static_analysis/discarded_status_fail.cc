@@ -1,0 +1,20 @@
+// Negative compile test: discarding a Status must NOT compile.
+//
+// Registered in CMakeLists.txt with WILL_FAIL — the test passes when the
+// compiler (g++ or clang++, -Werror=unused-result) REJECTS this file. If
+// this ever compiles, the [[nodiscard]] gate on Status has rotted.
+
+#include "util/status.h"
+
+namespace {
+
+diverse::Status MightFail() {
+  return diverse::InvalidArgumentError("always fails");
+}
+
+}  // namespace
+
+int main() {
+  MightFail();  // error: ignoring return value declared 'nodiscard'
+  return 0;
+}

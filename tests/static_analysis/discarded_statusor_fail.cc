@@ -1,0 +1,20 @@
+// Negative compile test: discarding a StatusOr (a Try* API result) must
+// NOT compile. Registered with WILL_FAIL in CMakeLists.txt.
+
+#include <string>
+
+#include "util/status.h"
+
+namespace {
+
+diverse::StatusOr<int> TryParse(const std::string& s) {
+  if (s.empty()) return diverse::InvalidArgumentError("empty");
+  return 42;
+}
+
+}  // namespace
+
+int main() {
+  TryParse("7");  // error: ignoring return value declared 'nodiscard'
+  return 0;
+}

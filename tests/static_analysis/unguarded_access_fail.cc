@@ -1,0 +1,28 @@
+// Negative compile test: an unguarded access to GUARDED_BY state must NOT
+// compile under clang -Wthread-safety -Werror. Registered with WILL_FAIL
+// in CMakeLists.txt (clang only — g++ has no thread-safety analysis, so
+// the test is simply not registered there). If this ever compiles under
+// clang, the annotation shim or the CI flags have rotted.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {  // missing MutexLock / DIVERSE_REQUIRES(mu_)
+    ++value_;  // error: writing variable 'value_' requires holding 'mu_'
+  }
+
+ private:
+  diverse::Mutex mu_;
+  int value_ DIVERSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}
