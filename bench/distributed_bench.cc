@@ -1,0 +1,162 @@
+// Distributed-runtime benchmark: the 2-round CPPU driver on the socket
+// transport at 1/2/4/8 worker processes vs the in-process loopback
+// baseline, on a synthetic R^3 sphere dataset (n >= 1M by default).
+//
+// The partitioning is FIXED across transport configurations (the pool size
+// only changes how many RPCs are in flight), so every configuration must
+// return the bit-identical solution — the bench verifies that on every row
+// and refuses to report a run that diverged. Wall time therefore isolates
+// pure transport cost: serialization, frame checksums, socket hops, and
+// scheduling across the worker pool.
+//
+// Output: a human-readable table plus BENCH_distributed.json (override the
+// path with the BENCH_DISTRIBUTED_JSON environment variable), one record
+// per configuration with meta describing the instance — CI checks the file
+// for the expected worker counts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/socket_engine.h"
+#include "core/metric.h"
+#include "data/synthetic.h"
+#include "mapreduce/mr_diversity.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace diverse;
+  bench::Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 1000000));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 8));
+  const size_t k_prime = static_cast<size_t>(flags.GetInt("k_prime", 16));
+  const size_t partitions =
+      static_cast<size_t>(flags.GetInt("partitions", 8));
+
+  bench::Banner(
+      "Distributed runtime",
+      "2-round CPPU on the socket transport (worker processes) vs the\n"
+      "in-process loopback engine. Fixed partitioning: every row must be\n"
+      "bit-identical; wall-time deltas are pure transport cost.");
+
+  EuclideanMetric metric;
+  const DiversityProblem problem = DiversityProblem::kRemoteEdge;
+  SphereDatasetOptions dopts;
+  dopts.n = n;
+  dopts.k = k;
+  dopts.seed = 6001;
+  PointSet pts = GenerateSphereDataset(dopts);
+
+  MrOptions mr;
+  mr.k = k;
+  mr.k_prime = k_prime;
+  mr.num_partitions = partitions;
+  mr.num_workers = partitions;
+  mr.seed = 11;
+
+  struct Row {
+    std::string transport;
+    size_t workers = 0;
+    double seconds = 0.0;
+    size_t shuffle_points = 0;
+    size_t coreset_size = 0;
+    double diversity = 0.0;
+    bool identical = true;
+  };
+  std::vector<Row> rows;
+
+  MapReduceDiversity loopback_driver(&metric, problem, mr);
+  Timer timer;
+  StatusOr<MrResult> base = loopback_driver.TryRun(pts);
+  double base_seconds = timer.Seconds();
+  if (!base.ok()) {
+    std::fprintf(stderr, "loopback run failed: %s\n",
+                 base.status().ToString().c_str());
+    return 1;
+  }
+  rows.push_back({"loopback", 0, base_seconds, base->shuffle_points,
+                  base->coreset_size, base->diversity, true});
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    SocketEngineOptions so;
+    so.num_workers = workers;
+    so.metric = "euclidean";
+    so.problem = problem;
+    SocketEngine engine(so);
+    Status healthy = engine.Healthy();
+    if (!healthy.ok()) {
+      std::fprintf(stderr, "socket pool (%zu workers) failed: %s\n", workers,
+                   healthy.ToString().c_str());
+      return 1;
+    }
+    MrOptions smr = mr;
+    smr.engine = &engine;
+    MapReduceDiversity driver(&metric, problem, smr);
+    Timer t;
+    StatusOr<MrResult> run = driver.TryRun(pts);
+    double seconds = t.Seconds();
+    if (!run.ok()) {
+      std::fprintf(stderr, "socket run (%zu workers) failed: %s\n", workers,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    bool identical = run->solution.size() == base->solution.size() &&
+                     run->diversity == base->diversity;
+    for (size_t i = 0; identical && i < run->solution.size(); ++i) {
+      identical = run->solution[i] == base->solution[i];
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "socket run (%zu workers) diverged from loopback — "
+                   "refusing to report\n",
+                   workers);
+      return 1;
+    }
+    rows.push_back({"socket", workers, seconds, run->shuffle_points,
+                    run->coreset_size, run->diversity, identical});
+  }
+
+  TablePrinter table(
+      {"transport", "workers", "time (s)", "shuffle pts", "|T|", "div"});
+  for (const Row& r : rows) {
+    table.AddRow({r.transport,
+                  r.workers == 0 ? "-" : std::to_string(r.workers),
+                  TablePrinter::Fmt(r.seconds, 4),
+                  std::to_string(r.shuffle_points),
+                  std::to_string(r.coreset_size),
+                  TablePrinter::Fmt(r.diversity, 6)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const char* env = std::getenv("BENCH_DISTRIBUTED_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_distributed.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"meta\": {\"bench\": \"distributed\", \"n\": %zu, "
+               "\"k\": %zu, \"k_prime\": %zu, \"partitions\": %zu, "
+               "\"metric\": \"euclidean\", \"problem\": \"remote-edge\"},\n"
+               "  \"runs\": [\n",
+               n, k, k_prime, partitions);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"transport\": \"%s\", \"workers\": %zu, "
+                 "\"seconds\": %.6f, \"shuffle_points\": %zu, "
+                 "\"coreset_size\": %zu, \"diversity\": %.17g, "
+                 "\"identical_to_loopback\": %s}%s\n",
+                 r.transport.c_str(), r.workers, r.seconds, r.shuffle_points,
+                 r.coreset_size, r.diversity, r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

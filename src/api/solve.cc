@@ -176,6 +176,8 @@ StatusOr<SolveResult> TrySolveStreamingOrMr(const PointSet& points,
       mr.task_timeout_ms = o.task_timeout_ms;
       mr.allow_degraded = o.allow_degraded;
       mr.faults = o.faults;
+      mr.engine = o.engine;
+      mr.tree_reduce = o.tree_reduce;
       MapReduceDiversity driver(&metric, o.problem, mr);
       StatusOr<MrResult> run =
           o.backend == Backend::kMapReduceGeneralized

@@ -85,6 +85,17 @@ struct SolveOptions {
   /// Deterministic fault schedule for testing recovery paths; not owned,
   /// must outlive the call. Null = fault-free execution.
   const FaultInjector* faults = nullptr;
+
+  // Distributed runtime (MapReduce backends; see README "Distributed
+  // runtime").
+  /// Execution backend for MapReduce task compute. Null = in-process
+  /// loopback (bit-identical to the historical simulator); a SocketEngine
+  /// runs tasks in worker processes. Not owned; must outlive the call.
+  CommunicationEngine* engine = nullptr;
+  /// Aggregate round-1 core-sets through a binary merge tree instead of a
+  /// single concatenation (bit-identical result; exercises multi-round
+  /// shuffle).
+  bool tree_reduce = false;
 };
 
 /// Outcome of Solve().

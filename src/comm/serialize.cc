@@ -1,0 +1,234 @@
+#include "comm/serialize.h"
+
+#include <cstring>
+#include <utility>
+
+namespace diverse {
+
+namespace {
+
+// Scalar append/read primitives over the same raw little-endian layout the
+// io.h binary records use.
+template <typename T>
+void AppendScalar(T v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadScalar(ByteReader* in, T* out) {
+  return in->Read(out, sizeof(T));
+}
+
+void AppendString(const std::string& s, std::string* out) {
+  AppendScalar<uint32_t>(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+Status ReadString(ByteReader* in, std::string* out, const std::string& what) {
+  uint32_t len = 0;
+  if (!ReadScalar(in, &len) || len > in->remaining()) {
+    return DataLossError("truncated " + what + " string");
+  }
+  out->resize(len);
+  if (len > 0 && !in->Read(out->data(), len)) {
+    return DataLossError("truncated " + what + " string");
+  }
+  return OkStatus();
+}
+
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+constexpr uint8_t kMaxProblem =
+    static_cast<uint8_t>(DiversityProblem::kRemoteCycle);
+constexpr uint8_t kMinTaskType = static_cast<uint8_t>(WireTaskType::kCoreset);
+constexpr uint8_t kMaxTaskType =
+    static_cast<uint8_t>(WireTaskType::kInstantiate);
+
+// Smallest possible point record (tag + dim + nnz), for count-vs-bytes
+// sanity checks before reserving.
+constexpr uint64_t kMinPointRecordBytes = 9;
+
+}  // namespace
+
+void AppendPointSet(const PointSet& points, std::string* out) {
+  AppendScalar<uint64_t>(points.size(), out);
+  for (const Point& p : points) AppendPointRecord(p, out);
+}
+
+StatusOr<PointSet> TryReadPointSet(ByteReader* in, const std::string& what) {
+  uint64_t count = 0;
+  if (!ReadScalar(in, &count)) {
+    return DataLossError("truncated " + what + " count");
+  }
+  if (count > in->remaining() / kMinPointRecordBytes) {
+    return InvalidArgumentError(what + " claims " + std::to_string(count) +
+                                " points but only " +
+                                std::to_string(in->remaining()) +
+                                " payload bytes remain");
+  }
+  PointSet points;
+  points.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    StatusOr<Point> p = TryReadPointRecord(
+        in, "point " + std::to_string(i) + " of " + what);
+    if (!p.ok()) return p.status();
+    points.push_back(std::move(*p));
+  }
+  return points;
+}
+
+void AppendGenCoreset(const GeneralizedCoreset& gen, std::string* out) {
+  AppendScalar<uint64_t>(gen.size(), out);
+  for (const WeightedPoint& wp : gen.entries()) {
+    AppendScalar<uint64_t>(wp.multiplicity, out);
+    AppendPointRecord(wp.point, out);
+  }
+}
+
+StatusOr<GeneralizedCoreset> TryReadGenCoreset(ByteReader* in,
+                                               const std::string& what) {
+  uint64_t count = 0;
+  if (!ReadScalar(in, &count)) {
+    return DataLossError("truncated " + what + " count");
+  }
+  if (count > in->remaining() / (sizeof(uint64_t) + kMinPointRecordBytes)) {
+    return InvalidArgumentError(what + " claims " + std::to_string(count) +
+                                " entries but only " +
+                                std::to_string(in->remaining()) +
+                                " payload bytes remain");
+  }
+  GeneralizedCoreset gen;
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string where = "entry " + std::to_string(i) + " of " + what;
+    uint64_t multiplicity = 0;
+    if (!ReadScalar(in, &multiplicity)) {
+      return DataLossError("truncated multiplicity at " + where);
+    }
+    if (multiplicity == 0) {
+      return InvalidArgumentError("zero multiplicity at " + where);
+    }
+    StatusOr<Point> p = TryReadPointRecord(in, where);
+    if (!p.ok()) return p.status();
+    gen.Add(std::move(*p), multiplicity);
+  }
+  return gen;
+}
+
+std::string EncodeWireRequest(const WireRequest& request) {
+  std::string out;
+  AppendScalar<uint8_t>(static_cast<uint8_t>(request.type), &out);
+  AppendString(request.metric, &out);
+  AppendScalar<uint8_t>(static_cast<uint8_t>(request.problem), &out);
+  AppendString(request.round, &out);
+  AppendScalar<uint64_t>(request.task, &out);
+  AppendScalar<uint64_t>(request.attempt, &out);
+  AppendScalar<uint64_t>(request.delay_ms, &out);
+  AppendScalar<uint64_t>(request.k, &out);
+  AppendScalar<uint64_t>(request.k_prime, &out);
+  AppendScalar<uint64_t>(request.delegates, &out);
+  AppendScalar<uint8_t>(request.extended ? 1 : 0, &out);
+  AppendScalar<double>(request.range, &out);
+  AppendPointSet(request.points, &out);
+  AppendPointSet(request.points2, &out);
+  AppendGenCoreset(request.gen, &out);
+  return out;
+}
+
+StatusOr<WireRequest> TryDecodeWireRequest(std::string_view payload) {
+  ByteReader in(payload);
+  WireRequest req;
+  uint8_t type = 0, problem = 0, extended = 0;
+  if (!ReadScalar(&in, &type)) {
+    return DataLossError("truncated wire request header");
+  }
+  if (type < kMinTaskType || type > kMaxTaskType) {
+    return InvalidArgumentError("unknown wire task type " +
+                                std::to_string(type));
+  }
+  req.type = static_cast<WireTaskType>(type);
+  DIVERSE_RETURN_IF_ERROR(ReadString(&in, &req.metric, "metric name"));
+  if (!ReadScalar(&in, &problem)) {
+    return DataLossError("truncated wire request problem");
+  }
+  if (problem > kMaxProblem) {
+    return InvalidArgumentError("unknown diversity problem id " +
+                                std::to_string(problem));
+  }
+  req.problem = static_cast<DiversityProblem>(problem);
+  DIVERSE_RETURN_IF_ERROR(ReadString(&in, &req.round, "round name"));
+  if (!ReadScalar(&in, &req.task) || !ReadScalar(&in, &req.attempt) ||
+      !ReadScalar(&in, &req.delay_ms) || !ReadScalar(&in, &req.k) ||
+      !ReadScalar(&in, &req.k_prime) || !ReadScalar(&in, &req.delegates) ||
+      !ReadScalar(&in, &extended) || !ReadScalar(&in, &req.range)) {
+    return DataLossError("truncated wire request envelope");
+  }
+  req.extended = extended != 0;
+  StatusOr<PointSet> points = TryReadPointSet(&in, "request points");
+  if (!points.ok()) return points.status();
+  req.points = std::move(*points);
+  StatusOr<PointSet> points2 = TryReadPointSet(&in, "request points2");
+  if (!points2.ok()) return points2.status();
+  req.points2 = std::move(*points2);
+  StatusOr<GeneralizedCoreset> gen =
+      TryReadGenCoreset(&in, "request generalized core-set");
+  if (!gen.ok()) return gen.status();
+  req.gen = std::move(*gen);
+  if (in.remaining() != 0) {
+    return InvalidArgumentError(std::to_string(in.remaining()) +
+                                " trailing bytes after wire request");
+  }
+  return req;
+}
+
+std::string EncodeWireReply(const WireReply& reply) {
+  std::string out;
+  AppendScalar<uint8_t>(static_cast<uint8_t>(reply.type), &out);
+  AppendScalar<uint8_t>(static_cast<uint8_t>(reply.status.code()), &out);
+  AppendString(reply.status.message(), &out);
+  AppendScalar<double>(reply.range, &out);
+  AppendPointSet(reply.points, &out);
+  AppendGenCoreset(reply.gen, &out);
+  return out;
+}
+
+StatusOr<WireReply> TryDecodeWireReply(std::string_view payload) {
+  ByteReader in(payload);
+  WireReply reply;
+  uint8_t type = 0, code = 0;
+  std::string message;
+  if (!ReadScalar(&in, &type)) {
+    return DataLossError("truncated wire reply header");
+  }
+  if (type < kMinTaskType || type > kMaxTaskType) {
+    return InvalidArgumentError("unknown wire task type " +
+                                std::to_string(type) + " in reply");
+  }
+  reply.type = static_cast<WireTaskType>(type);
+  if (!ReadScalar(&in, &code)) {
+    return DataLossError("truncated wire reply status");
+  }
+  if (code > kMaxStatusCode) {
+    return InvalidArgumentError("unknown status code " + std::to_string(code) +
+                                " in wire reply");
+  }
+  DIVERSE_RETURN_IF_ERROR(ReadString(&in, &message, "reply status message"));
+  reply.status = code == 0 ? OkStatus()
+                           : Status(static_cast<StatusCode>(code),
+                                    std::move(message));
+  if (!ReadScalar(&in, &reply.range)) {
+    return DataLossError("truncated wire reply range");
+  }
+  StatusOr<PointSet> points = TryReadPointSet(&in, "reply points");
+  if (!points.ok()) return points.status();
+  reply.points = std::move(*points);
+  StatusOr<GeneralizedCoreset> gen =
+      TryReadGenCoreset(&in, "reply generalized core-set");
+  if (!gen.ok()) return gen.status();
+  reply.gen = std::move(*gen);
+  if (in.remaining() != 0) {
+    return InvalidArgumentError(std::to_string(in.remaining()) +
+                                " trailing bytes after wire reply");
+  }
+  return reply;
+}
+
+}  // namespace diverse

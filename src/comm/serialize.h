@@ -1,0 +1,111 @@
+// Wire payloads of the distributed runtime: the serialized form of one
+// MapReduce task (request) and its result (reply), carried inside the
+// frames of comm/frame.h.
+//
+// Point payloads reuse the binary record format of data/io.h verbatim
+// (tag, dim, nnz, raw little-endian float bytes), so a partition or
+// core-set that crosses the transport decodes bit-identically — the
+// property the fault-free "distributed == in-process" tests assert.
+// Every decoder validates through ByteReader bounds checks and returns a
+// diagnosable Status on corrupt input; nothing here trusts a length field
+// before checking it against the bytes actually present.
+
+#ifndef DIVERSE_COMM_SERIALIZE_H_
+#define DIVERSE_COMM_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/diversity.h"
+#include "core/generalized_coreset.h"
+#include "core/point.h"
+#include "data/io.h"
+#include "util/status.h"
+
+namespace diverse {
+
+/// The compute a wire request asks a worker to perform. Each maps onto one
+/// CommunicationEngine method (comm/comm.h).
+enum class WireTaskType : uint8_t {
+  /// GMM / GMM-EXT core-set of one partition.
+  kCoreset = 1,
+  /// GMM-GEN generalized core-set of one partition (+ kernel range).
+  kGenCoreset = 2,
+  /// Concatenate two core-sets, in order (one tree-reduction node).
+  kMergeCoresets = 3,
+  /// Sequential alpha-approximation on the aggregated core-set.
+  kSolve = 4,
+  /// SolveSequentialGeneralized on the merged generalized core-set.
+  kGenSolve = 5,
+  /// Instantiate selected delegates from one partition.
+  kInstantiate = 6,
+};
+
+/// One serialized task request. `round`/`task`/`attempt` echo the executor
+/// envelope (error messages + reply matching); `delay_ms` > 0 instructs the
+/// worker to sleep before replying (the reply-delay transport fault).
+struct WireRequest {
+  WireTaskType type = WireTaskType::kCoreset;
+  std::string metric;  // builtin metric name (core/metric.h Name())
+  DiversityProblem problem = DiversityProblem::kRemoteEdge;
+  std::string round;
+  uint64_t task = 0;
+  uint64_t attempt = 0;
+  uint64_t delay_ms = 0;
+
+  // kCoreset: `points` = partition; k_prime, delegates, extended.
+  // kGenCoreset: `points` = partition; k, k_prime.
+  // kMergeCoresets: `points` + `points2`, concatenated in this order.
+  // kSolve: `points` = aggregated core-set; k.
+  // kGenSolve: `gen` = merged generalized core-set; k.
+  // kInstantiate: `gen` = selected subset, `points` = partition; `range`.
+  uint64_t k = 0;
+  uint64_t k_prime = 0;
+  uint64_t delegates = 0;
+  bool extended = false;  // GMM-EXT (delegate-augmented) vs plain GMM
+  double range = 0.0;
+  PointSet points;
+  PointSet points2;
+  GeneralizedCoreset gen;
+};
+
+/// One serialized task reply: an embedded Status plus the type-dependent
+/// result (valid only when `status` is OK).
+struct WireReply {
+  WireTaskType type = WireTaskType::kCoreset;
+  Status status;
+  /// kCoreset / kMergeCoresets / kSolve / kInstantiate result.
+  PointSet points;
+  /// kGenCoreset / kGenSolve result.
+  GeneralizedCoreset gen;
+  /// kGenCoreset kernel range.
+  double range = 0.0;
+};
+
+/// Point-set payload primitives, shared with the request/reply encoders:
+/// u64 count followed by the io.h binary records.
+void AppendPointSet(const PointSet& points, std::string* out);
+DIVERSE_MUST_USE StatusOr<PointSet> TryReadPointSet(ByteReader* in,
+                                                    const std::string& what);
+
+/// Generalized core-set payload: u64 entry count, then per entry a u64
+/// multiplicity and one point record.
+void AppendGenCoreset(const GeneralizedCoreset& gen, std::string* out);
+DIVERSE_MUST_USE StatusOr<GeneralizedCoreset> TryReadGenCoreset(
+    ByteReader* in, const std::string& what);
+
+/// Request / reply payload codecs. Decoders reject structural nonsense
+/// (unknown task type, unknown metric name is left to the worker, counts
+/// the payload cannot hold, truncation) with kInvalidArgument / kDataLoss.
+std::string EncodeWireRequest(const WireRequest& request);
+DIVERSE_MUST_USE StatusOr<WireRequest> TryDecodeWireRequest(
+    std::string_view payload);
+std::string EncodeWireReply(const WireReply& reply);
+DIVERSE_MUST_USE StatusOr<WireReply> TryDecodeWireReply(
+    std::string_view payload);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_COMM_SERIALIZE_H_

@@ -1,0 +1,164 @@
+#include "comm/worker_core.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "comm/comm.h"
+#include "comm/frame.h"
+#include "core/metric.h"
+
+namespace diverse {
+
+namespace {
+
+WireReply ExecuteDecodedTask(const WireRequest& req) {
+  WireReply reply;
+  reply.type = req.type;
+  std::unique_ptr<Metric> metric = MakeMetricByName(req.metric);
+  if (metric == nullptr) {
+    reply.status = InvalidArgumentError(
+        "unknown metric '" + req.metric +
+        "' (the socket transport supports only the built-in metrics)");
+    return reply;
+  }
+  TaskEnvelope env;
+  env.round = req.round;
+  env.task = static_cast<size_t>(req.task);
+  env.attempt = static_cast<size_t>(req.attempt);
+  Dataset scratch;
+  switch (req.type) {
+    case WireTaskType::kCoreset: {
+      CoresetSpec spec;
+      spec.k_prime = static_cast<size_t>(req.k_prime);
+      spec.delegates = static_cast<size_t>(req.delegates);
+      spec.extended = req.extended;
+      reply.points = ComputeCoreset(req.points, *metric, spec, &scratch);
+      break;
+    }
+    case WireTaskType::kGenCoreset: {
+      GenCoresetResult result = ComputeGenCoreset(
+          req.points, *metric, static_cast<size_t>(req.k),
+          static_cast<size_t>(req.k_prime), &scratch);
+      reply.gen = std::move(result.gen);
+      reply.range = result.range;
+      break;
+    }
+    case WireTaskType::kMergeCoresets: {
+      reply.points.reserve(req.points.size() + req.points2.size());
+      reply.points.insert(reply.points.end(), req.points.begin(),
+                          req.points.end());
+      reply.points.insert(reply.points.end(), req.points2.begin(),
+                          req.points2.end());
+      break;
+    }
+    case WireTaskType::kSolve: {
+      reply.points = ComputeSolve(req.points, req.problem, *metric,
+                                  static_cast<size_t>(req.k), &scratch);
+      break;
+    }
+    case WireTaskType::kGenSolve: {
+      reply.gen = ComputeGenSolve(req.gen, req.problem, *metric,
+                                  static_cast<size_t>(req.k));
+      break;
+    }
+    case WireTaskType::kInstantiate: {
+      StatusOr<PointSet> inst =
+          ComputeInstantiate(env, req.gen, req.points, *metric, req.range);
+      if (!inst.ok()) {
+        reply.status = inst.status();
+      } else {
+        reply.points = std::move(*inst);
+      }
+      break;
+    }
+  }
+  return reply;
+}
+
+// Writes all of `bytes` to the socket, retrying on EINTR / short writes.
+// MSG_NOSIGNAL: when the driver drops the connection mid-reply the worker
+// must exit through the return path, not die of SIGPIPE.
+bool WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ExecuteWireTask(std::string_view request_payload) {
+  StatusOr<WireRequest> req = TryDecodeWireRequest(request_payload);
+  WireReply reply;
+  if (!req.ok()) {
+    reply.status = req.status();
+  } else {
+    reply = ExecuteDecodedTask(*req);
+  }
+  return EncodeWireReply(reply);
+}
+
+int RunWorkerLoop(int fd) {
+  std::string buf;
+  char chunk[64 * 1024];
+  for (;;) {
+    // Drain complete frames already buffered before reading more.
+    for (;;) {
+      Frame frame;
+      size_t consumed = 0;
+      Status decode = TryDecodeFrame(buf, &frame, &consumed);
+      if (!decode.ok()) return 1;  // malformed stream: give up loudly
+      if (consumed == 0) break;    // need more bytes
+      buf.erase(0, consumed);
+      std::string out;
+      switch (frame.type) {
+        case FrameType::kShutdown:
+          return 0;
+        case FrameType::kHeartbeat:
+          AppendFrame(FrameType::kHeartbeatAck, "", &out);
+          break;
+        case FrameType::kRequest: {
+          // Honor the injected reply delay before computing, so the
+          // driver's RPC deadline races the sleep exactly as a stuck
+          // worker would behave.
+          StatusOr<WireRequest> req = TryDecodeWireRequest(frame.payload);
+          if (req.ok() && req->delay_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(req->delay_ms));
+          }
+          AppendFrame(FrameType::kReply, ExecuteWireTask(frame.payload),
+                      &out);
+          break;
+        }
+        default:
+          // kReply / kHeartbeatAck are driver-bound; receiving one here
+          // means the peer is confused. Drop it.
+          break;
+      }
+      if (!out.empty() && !WriteAll(fd, out)) return 1;
+    }
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    if (n == 0) return 0;  // driver closed: clean exit
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace diverse

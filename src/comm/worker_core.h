@@ -1,0 +1,34 @@
+// The worker-side execution core of the distributed runtime: decode one
+// wire request, run the matching Compute* task body (comm/comm.h) on a
+// metric resolved by name, and encode the reply. Shared by the worker
+// binary (src/tools/diverse_worker.cc) and tests that exercise the wire
+// path without forking — the single definition is what keeps remote
+// results bit-identical to loopback.
+
+#ifndef DIVERSE_COMM_WORKER_CORE_H_
+#define DIVERSE_COMM_WORKER_CORE_H_
+
+#include <string>
+#include <string_view>
+
+#include "comm/serialize.h"
+
+namespace diverse {
+
+/// Executes the wire task in `request_payload` and returns the encoded
+/// reply payload. Never throws and never aborts on malformed input: decode
+/// failures, unknown metric names and task errors all come back as an
+/// encoded WireReply carrying the error Status. `delay_ms` in the request
+/// is NOT honored here (sleeping is the worker loop's job, so tests can
+/// run this synchronously).
+std::string ExecuteWireTask(std::string_view request_payload);
+
+/// The worker process main loop: reads frames from `fd`, answers
+/// kHeartbeat with kHeartbeatAck, executes kRequest payloads (honoring
+/// `delay_ms`), and returns 0 on kShutdown or EOF, 1 on a malformed stream
+/// or write failure. Runs until the driver closes the connection.
+int RunWorkerLoop(int fd);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_COMM_WORKER_CORE_H_

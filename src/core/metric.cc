@@ -1522,4 +1522,12 @@ void ResetSparseQueryDecodeStats() {
   g_sparse_decode_hits.store(0, std::memory_order_relaxed);
 }
 
+std::unique_ptr<Metric> MakeMetricByName(const std::string& name) {
+  if (name == "euclidean") return std::make_unique<EuclideanMetric>();
+  if (name == "manhattan") return std::make_unique<ManhattanMetric>();
+  if (name == "cosine") return std::make_unique<CosineMetric>();
+  if (name == "jaccard") return std::make_unique<JaccardMetric>();
+  return nullptr;
+}
+
 }  // namespace diverse

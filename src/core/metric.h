@@ -582,6 +582,13 @@ class CountingMetric final : public Metric {
   mutable std::atomic<uint64_t> screened_{0};
 };
 
+/// Constructs a built-in metric by its Name(): "euclidean", "manhattan",
+/// "cosine" or "jaccard". Returns null for any other name. This is the
+/// factory the CLI and the distributed workers resolve --metric / wire
+/// metric names through; user-defined Metric subclasses have no portable
+/// name, which is why the socket transport accepts only these four.
+std::unique_ptr<Metric> MakeMetricByName(const std::string& name);
+
 /// Sparse query-block decode-cache instrumentation (the CountingMetric-style
 /// proof of reuse asked of the cache): the blocked sparse engines decode
 /// each query block's CSR lanes into per-thread scratch

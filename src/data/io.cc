@@ -100,27 +100,6 @@ StatusOr<std::string> ReadFileBytes(const std::string& path, bool binary) {
   return std::move(buf).str();
 }
 
-// A bounds-checked sequential reader over the in-memory binary image.
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view bytes)
-      : p_(bytes.data()), remaining_(bytes.size()) {}
-
-  /// Copies `n` bytes into `out`; false when fewer than `n` remain (the
-  /// cursor is not advanced, matching a failed ifstream::read).
-  bool Read(void* out, size_t n) {
-    if (n > remaining_) return false;
-    std::memcpy(out, p_, n);
-    p_ += n;
-    remaining_ -= n;
-    return true;
-  }
-
- private:
-  const char* p_;
-  size_t remaining_;
-};
-
 }  // namespace
 
 StatusOr<PointSet> TryParsePointsText(std::string_view text,
@@ -153,31 +132,96 @@ StatusOr<PointSet> TryLoadPointsText(const std::string& path) {
   return TryParsePointsText(*bytes, path);
 }
 
+void AppendPointRecord(const Point& point, std::string* out) {
+  const uint8_t tag = point.is_sparse() ? kSparseTag : kDenseTag;
+  const uint32_t dim = static_cast<uint32_t>(point.dim());
+  const uint32_t nnz = static_cast<uint32_t>(point.nnz());
+  out->append(reinterpret_cast<const char*>(&tag), sizeof(tag));
+  out->append(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out->append(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  if (point.is_sparse()) {
+    out->append(reinterpret_cast<const char*>(point.sparse_indices().data()),
+                nnz * sizeof(uint32_t));
+    out->append(reinterpret_cast<const char*>(point.sparse_values().data()),
+                nnz * sizeof(float));
+  } else {
+    out->append(reinterpret_cast<const char*>(point.dense_values().data()),
+                nnz * sizeof(float));
+  }
+}
+
+std::string EncodePointsBinary(const PointSet& points) {
+  std::string out;
+  const uint32_t magic = kBinaryMagic;
+  const uint64_t count = points.size();
+  out.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Point& p : points) AppendPointRecord(p, &out);
+  return out;
+}
+
 bool SavePointsBinary(const PointSet& points, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
-  uint32_t magic = kBinaryMagic;
-  uint64_t count = points.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const Point& p : points) {
-    uint8_t tag = p.is_sparse() ? kSparseTag : kDenseTag;
-    uint32_t dim = static_cast<uint32_t>(p.dim());
-    uint32_t nnz = static_cast<uint32_t>(p.nnz());
-    out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
-    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-    out.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
-    if (p.is_sparse()) {
-      out.write(reinterpret_cast<const char*>(p.sparse_indices().data()),
-                static_cast<std::streamsize>(nnz * sizeof(uint32_t)));
-      out.write(reinterpret_cast<const char*>(p.sparse_values().data()),
-                static_cast<std::streamsize>(nnz * sizeof(float)));
-    } else {
-      out.write(reinterpret_cast<const char*>(p.dense_values().data()),
-                static_cast<std::streamsize>(nnz * sizeof(float)));
-    }
-  }
+  const std::string bytes = EncodePointsBinary(points);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   return static_cast<bool>(out);
+}
+
+StatusOr<Point> TryReadPointRecord(ByteReader* in, const std::string& where) {
+  uint8_t tag;
+  uint32_t dim, nnz;
+  if (!in->Read(&tag, sizeof(tag)) || !in->Read(&dim, sizeof(dim)) ||
+      !in->Read(&nnz, sizeof(nnz))) {
+    return DataLossError("truncated record header at " + where);
+  }
+  // A record's payload cannot exceed the bytes that remain: reject corrupt
+  // nnz fields before they turn into huge allocations.
+  const uint64_t entry_bytes =
+      tag == kSparseTag ? sizeof(uint32_t) + sizeof(float) : sizeof(float);
+  if (static_cast<uint64_t>(nnz) * entry_bytes > in->remaining()) {
+    return DataLossError("record payload (" + std::to_string(nnz) +
+                         " entries) exceeds file size at " + where);
+  }
+  if (tag == kDenseTag) {
+    if (nnz != dim) {
+      return InvalidArgumentError("dense record with nnz " +
+                                  std::to_string(nnz) + " != dim " +
+                                  std::to_string(dim) + " at " + where);
+    }
+    std::vector<float> values(nnz);
+    if (!in->Read(values.data(), nnz * sizeof(float))) {
+      return DataLossError("truncated dense payload at " + where);
+    }
+    return Point::Dense(std::move(values));
+  }
+  if (tag == kSparseTag) {
+    if (nnz > dim) {
+      return InvalidArgumentError("sparse record with nnz " +
+                                  std::to_string(nnz) + " > dim " +
+                                  std::to_string(dim) + " at " + where);
+    }
+    std::vector<uint32_t> indices(nnz);
+    std::vector<float> values(nnz);
+    if (!in->Read(indices.data(), nnz * sizeof(uint32_t)) ||
+        !in->Read(values.data(), nnz * sizeof(float))) {
+      return DataLossError("truncated sparse payload at " + where);
+    }
+    for (size_t j = 0; j + 1 < indices.size(); ++j) {
+      if (indices[j] >= indices[j + 1]) {
+        return InvalidArgumentError("unsorted sparse indices at " + where);
+      }
+    }
+    if (!indices.empty() && indices.back() >= dim) {
+      return InvalidArgumentError(
+          "sparse index " + std::to_string(indices.back()) +
+          " out of range for dim " + std::to_string(dim) + " at " + where);
+    }
+    return Point::Sparse(std::move(indices), std::move(values), dim);
+  }
+  return InvalidArgumentError("unknown record tag " +
+                              std::to_string(static_cast<int>(tag)) + " at " +
+                              where);
 }
 
 StatusOr<PointSet> TryParsePointsBinary(std::string_view bytes,
@@ -208,63 +252,10 @@ StatusOr<PointSet> TryParsePointsBinary(std::string_view bytes,
   PointSet points;
   points.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    const std::string where =
-        "record " + std::to_string(i) + " of " + Quoted(origin);
-    uint8_t tag;
-    uint32_t dim, nnz;
-    if (!in.Read(&tag, sizeof(tag)) || !in.Read(&dim, sizeof(dim)) ||
-        !in.Read(&nnz, sizeof(nnz))) {
-      return DataLossError("truncated record header at " + where);
-    }
-    // A record's payload cannot exceed the whole file: reject corrupt nnz
-    // fields before they turn into huge allocations.
-    const uint64_t entry_bytes =
-        tag == kSparseTag ? sizeof(uint32_t) + sizeof(float) : sizeof(float);
-    if (static_cast<uint64_t>(nnz) * entry_bytes > payload) {
-      return DataLossError("record payload (" + std::to_string(nnz) +
-                           " entries) exceeds file size at " + where);
-    }
-    if (tag == kDenseTag) {
-      if (nnz != dim) {
-        return InvalidArgumentError("dense record with nnz " +
-                                    std::to_string(nnz) + " != dim " +
-                                    std::to_string(dim) + " at " + where);
-      }
-      std::vector<float> values(nnz);
-      if (!in.Read(values.data(), nnz * sizeof(float))) {
-        return DataLossError("truncated dense payload at " + where);
-      }
-      points.push_back(Point::Dense(std::move(values)));
-    } else if (tag == kSparseTag) {
-      if (nnz > dim) {
-        return InvalidArgumentError("sparse record with nnz " +
-                                    std::to_string(nnz) + " > dim " +
-                                    std::to_string(dim) + " at " + where);
-      }
-      std::vector<uint32_t> indices(nnz);
-      std::vector<float> values(nnz);
-      if (!in.Read(indices.data(), nnz * sizeof(uint32_t)) ||
-          !in.Read(values.data(), nnz * sizeof(float))) {
-        return DataLossError("truncated sparse payload at " + where);
-      }
-      for (size_t j = 0; j + 1 < indices.size(); ++j) {
-        if (indices[j] >= indices[j + 1]) {
-          return InvalidArgumentError("unsorted sparse indices at " + where);
-        }
-      }
-      if (!indices.empty() && indices.back() >= dim) {
-        return InvalidArgumentError("sparse index " +
-                                    std::to_string(indices.back()) +
-                                    " out of range for dim " +
-                                    std::to_string(dim) + " at " + where);
-      }
-      points.push_back(
-          Point::Sparse(std::move(indices), std::move(values), dim));
-    } else {
-      return InvalidArgumentError("unknown record tag " +
-                                  std::to_string(static_cast<int>(tag)) +
-                                  " at " + where);
-    }
+    StatusOr<Point> p = TryReadPointRecord(
+        &in, "record " + std::to_string(i) + " of " + Quoted(origin));
+    if (!p.ok()) return p.status();
+    points.push_back(std::move(*p));
   }
   return points;
 }

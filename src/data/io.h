@@ -23,6 +23,8 @@
 #ifndef DIVERSE_DATA_IO_H_
 #define DIVERSE_DATA_IO_H_
 
+#include <cstddef>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -32,6 +34,50 @@
 #include "util/status.h"
 
 namespace diverse {
+
+/// A bounds-checked sequential reader over an in-memory byte image. Every
+/// Read checks the remaining length first, so composite decoders (the binary
+/// point loader below, the transport payloads in comm/serialize.h) can never
+/// run past a truncated buffer. A failed Read leaves the cursor where it
+/// was, matching a failed ifstream::read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes)
+      : p_(bytes.data()), remaining_(bytes.size()) {}
+
+  /// Copies `n` bytes into `out`; false when fewer than `n` remain.
+  bool Read(void* out, size_t n) {
+    if (n > remaining_) return false;
+    std::memcpy(out, p_, n);
+    p_ += n;
+    remaining_ -= n;
+    return true;
+  }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return remaining_; }
+
+ private:
+  const char* p_;
+  size_t remaining_;
+};
+
+/// Appends the binary-format record of one point (the per-point layout of
+/// SavePointsBinary: tag, dim, nnz, then the coordinate payload) to `*out`.
+/// Raw little-endian float bytes round-trip exactly, which is what makes
+/// serialized partitions and core-sets bit-identical after transport.
+void AppendPointRecord(const Point& point, std::string* out);
+
+/// Reads one binary point record from `*in` with the same validation and
+/// error taxonomy as TryLoadPointsBinary (truncation -> kDataLoss; nnz >
+/// dim, unsorted or out-of-range sparse indices, unknown tag ->
+/// kInvalidArgument). `where` names the record in error messages.
+DIVERSE_MUST_USE StatusOr<Point> TryReadPointRecord(ByteReader* in,
+                                                    const std::string& where);
+
+/// Serializes `points` to the binary format in memory — the exact bytes
+/// SavePointsBinary would write to a file. Decoded by TryParsePointsBinary.
+std::string EncodePointsBinary(const PointSet& points);
 
 /// Parses text-format bytes (the whole file contents). `origin` names the
 /// source in error messages (a path, or "<fuzz>"/"<memory>"). The path

@@ -1,0 +1,24 @@
+#include "mapreduce/executor_clock.h"
+
+namespace diverse {
+
+namespace {
+
+class RealClock final : public ExecutorClock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+
+  void WaitUntil(CondVar& cv, Mutex& mu, TimePoint deadline) override
+      DIVERSE_REQUIRES(mu) {
+    cv.WaitUntil(mu, deadline);
+  }
+};
+
+}  // namespace
+
+ExecutorClock* RealExecutorClock() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace diverse

@@ -1,0 +1,93 @@
+// The time source of the fault-tolerant executor's straggler machinery.
+//
+// RunFallibleRound reads the clock twice per scheduling decision: stamping
+// an attempt's launch time, and comparing elapsed time against the
+// straggler timeout while (timed-)waiting on the round's condition
+// variable. Routing both through this interface makes timeout and
+// speculative-relaunch behavior *injectable*: production uses the wall
+// clock (RealExecutorClock), while tests drive a ManualExecutorClock whose
+// timed waits simply advance fake time to the deadline — a "timeout" then
+// fires deterministically on the first wait instead of after a
+// sleep-calibrated real delay, so speculative-execution tests cannot flake
+// on a loaded machine.
+
+#ifndef DIVERSE_MAPREDUCE_EXECUTOR_CLOCK_H_
+#define DIVERSE_MAPREDUCE_EXECUTOR_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "util/thread_annotations.h"
+
+namespace diverse {
+
+/// Abstract time source of one fallible round. Now() must be thread-safe
+/// (attempt launches stamp it from pool threads); WaitUntil is only called
+/// by the driver thread, holding `mu`.
+class ExecutorClock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~ExecutorClock() = default;
+
+  /// Current time. Monotone non-decreasing across calls.
+  virtual TimePoint Now() const = 0;
+
+  /// Blocks on `cv` (releasing `mu`) until notified, `deadline` passes, or
+  /// — for a manual clock — fake time is advanced to the deadline.
+  virtual void WaitUntil(CondVar& cv, Mutex& mu, TimePoint deadline)
+      DIVERSE_REQUIRES(mu) = 0;
+};
+
+/// The wall-clock implementation (std::chrono::steady_clock + a real timed
+/// wait). Stateless singleton; the default when no clock is injected.
+ExecutorClock* RealExecutorClock();
+
+/// A test clock with manually-advanced time. Now() starts at an arbitrary
+/// fixed epoch. WaitUntil never blocks on the deadline: it advances fake
+/// time to `deadline` and returns, simulating "the timeout fired with
+/// nothing else happening" — the executor then takes its straggler branch
+/// immediately and deterministically. (The executor falls back to the
+/// plain untimed Wait once no relaunchable deadline remains, so manual
+/// time cannot spin the driver loop.)
+class ManualExecutorClock : public ExecutorClock {
+ public:
+  ManualExecutorClock() = default;
+
+  TimePoint Now() const override {
+    return kEpoch + std::chrono::nanoseconds(
+                        offset_ns_.load(std::memory_order_acquire));
+  }
+
+  void WaitUntil(CondVar& cv, Mutex& mu, TimePoint deadline) override
+      DIVERSE_REQUIRES(mu) {
+    (void)cv;
+    (void)mu;
+    AdvanceTo(deadline);
+  }
+
+  /// Advances fake time to `t` if it is ahead of the current fake time.
+  void AdvanceTo(TimePoint t) {
+    const int64_t target =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - kEpoch)
+            .count();
+    int64_t cur = offset_ns_.load(std::memory_order_relaxed);
+    while (cur < target && !offset_ns_.compare_exchange_weak(
+                               cur, target, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Advances fake time by `d`.
+  void Advance(std::chrono::nanoseconds d) { AdvanceTo(Now() + d); }
+
+ private:
+  // Fixed epoch well above zero so subtracting timeouts never underflows.
+  static constexpr TimePoint kEpoch =
+      TimePoint(std::chrono::duration_cast<TimePoint::duration>(
+          std::chrono::hours(1)));
+  std::atomic<int64_t> offset_ns_{0};
+};
+
+}  // namespace diverse
+
+#endif  // DIVERSE_MAPREDUCE_EXECUTOR_CLOCK_H_

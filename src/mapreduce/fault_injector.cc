@@ -42,8 +42,17 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kWrongOutput: return "wrong-output";
     case FaultKind::kCorruptPartition: return "corrupt-partition";
     case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kWorkerCrash: return "worker-crash";
+    case FaultKind::kConnDrop: return "conn-drop";
+    case FaultKind::kFrameCorrupt: return "frame-corrupt";
+    case FaultKind::kReplyDelay: return "reply-delay";
   }
   return "unknown";
+}
+
+bool IsTransportFault(FaultKind kind) {
+  return kind == FaultKind::kWorkerCrash || kind == FaultKind::kConnDrop ||
+         kind == FaultKind::kFrameCorrupt || kind == FaultKind::kReplyDelay;
 }
 
 void FaultInjector::Add(FaultSpec spec) { specs_.push_back(std::move(spec)); }
@@ -95,10 +104,18 @@ InjectedFault FaultInjector::Probe(const std::string& round, size_t task,
 namespace {
 
 StatusOr<FaultKind> ParseKind(const std::string& name) {
-  for (FaultKind k : {FaultKind::kCrash, FaultKind::kEmptyOutput,
-                      FaultKind::kWrongOutput, FaultKind::kCorruptPartition,
-                      FaultKind::kStraggler}) {
-    if (name == FaultKindName(k)) return k;
+  // '_' and '-' are interchangeable in kind names ("worker_crash" ==
+  // "worker-crash"), matching common spellings in CLI flags and docs.
+  std::string normalized = name;
+  for (char& c : normalized) {
+    if (c == '_') c = '-';
+  }
+  for (FaultKind k :
+       {FaultKind::kCrash, FaultKind::kEmptyOutput, FaultKind::kWrongOutput,
+        FaultKind::kCorruptPartition, FaultKind::kStraggler,
+        FaultKind::kWorkerCrash, FaultKind::kConnDrop,
+        FaultKind::kFrameCorrupt, FaultKind::kReplyDelay}) {
+    if (normalized == FaultKindName(k)) return k;
   }
   return InvalidArgumentError("unknown fault kind '" + name + "'");
 }

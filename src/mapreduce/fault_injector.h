@@ -15,9 +15,13 @@
 //   spec      := round ":" task ":" attempt ":" kind [":" param]
 //   schedule  := spec { "," spec }
 //   kind      := crash | empty-output | wrong-output | corrupt-partition |
-//                straggler
+//                straggler | worker-crash | conn-drop | frame-corrupt |
+//                reply-delay
+// ('_' is accepted wherever '-' appears in a kind name.)
 // e.g. "coreset:2:0:crash,coreset:5:0:straggler:100" crashes reducer 2's
-// first attempt of the round named "coreset" and delays reducer 5 by 100ms.
+// first attempt of the round named "coreset" and delays reducer 5 by 100ms;
+// "coreset:3:0:worker-crash" SIGKILLs the worker process serving reducer
+// 3's first attempt on the socket transport.
 
 #ifndef DIVERSE_MAPREDUCE_FAULT_INJECTOR_H_
 #define DIVERSE_MAPREDUCE_FAULT_INJECTOR_H_
@@ -51,9 +55,30 @@ enum class FaultKind : uint8_t {
   /// milliseconds — the straggler the wall-clock timeout + speculative
   /// re-launch path exists for.
   kStraggler,
+
+  // Transport faults: injected at the communication layer of the attempt
+  // (comm/). The executor forwards them through MrTaskContext::fault like
+  // the data faults; the engine backing the attempt's compute applies them.
+  /// The worker process serving the attempt is SIGKILLed after the request
+  /// is sent; the RPC fails with kAborted and the worker is respawned.
+  kWorkerCrash,
+  /// The connection to the worker drops mid-RPC (fd closed); the RPC fails
+  /// with kUnavailable and the transport reconnects to a fresh worker.
+  kConnDrop,
+  /// One byte of the reply frame is corrupted in flight; the checksum
+  /// catches it and the RPC fails with kDataLoss.
+  kFrameCorrupt,
+  /// The worker delays its reply by `param` ms (default 50); the RPC
+  /// deadline expires first and the attempt fails with kDeadlineExceeded.
+  kReplyDelay,
 };
 
-/// Short name, e.g. "crash".
+/// True for the faults applied by the communication layer (kWorkerCrash,
+/// kConnDrop, kFrameCorrupt, kReplyDelay) rather than the executor or the
+/// reducer body.
+bool IsTransportFault(FaultKind kind);
+
+/// Short name, e.g. "crash" or "worker-crash".
 const char* FaultKindName(FaultKind kind);
 
 /// One scheduled fault: fires when the executor probes exactly

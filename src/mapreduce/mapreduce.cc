@@ -56,8 +56,6 @@ void MapReduceSimulator::RunRoundWithSizes(
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 // Per-task scheduling state of one fallible round. Guarded by the round
 // mutex (FallibleRound::mu) through the owning vector.
 struct FallibleTaskState {
@@ -65,7 +63,7 @@ struct FallibleTaskState {
   size_t attempts_in_flight = 0;
   bool done = false;    // a successful attempt committed
   bool failed = false;  // budget exhausted, nothing in flight
-  Clock::time_point last_launch{};
+  ExecutorClock::TimePoint last_launch{};
   Status last_error;
 };
 
@@ -79,14 +77,16 @@ struct FallibleRound {
   FallibleRound(const std::string& name, const FallibleReducer& body,
                 const FallibleRoundOptions& opts, ThreadPool& pool,
                 size_t num_tasks)
-      : name(name), body(body), opts(opts), pool(pool), tasks(num_tasks),
-        unresolved(num_tasks) {}
+      : name(name), body(body), opts(opts), pool(pool),
+        clock(opts.clock != nullptr ? opts.clock : RealExecutorClock()),
+        tasks(num_tasks), unresolved(num_tasks) {}
 
   // Immutable during the round.
   const std::string& name;
   const FallibleReducer& body;
   const FallibleRoundOptions& opts;
   ThreadPool& pool;
+  ExecutorClock* const clock;
 
   Mutex mu;
   CondVar cv;
@@ -106,7 +106,7 @@ void FallibleRound::Launch(size_t i, bool speculative) {
   FallibleTaskState& ts = tasks[i];
   const size_t attempt = ts.attempts_started++;
   ++ts.attempts_in_flight;
-  ts.last_launch = Clock::now();
+  ts.last_launch = clock->Now();
   ++stats.attempts;
   if (attempt > 0) ++stats.retries;
   if (speculative) ++stats.timeouts;
@@ -134,7 +134,8 @@ void FallibleRound::Launch(size_t i, bool speculative) {
       ctx.attempt = attempt;
       if (fault.kind == FaultKind::kEmptyOutput ||
           fault.kind == FaultKind::kWrongOutput ||
-          fault.kind == FaultKind::kCorruptPartition) {
+          fault.kind == FaultKind::kCorruptPartition ||
+          IsTransportFault(fault.kind)) {
         ctx.fault = fault.kind;
         ctx.fault_param = fault.param;
       }
@@ -215,11 +216,11 @@ RoundOutcome MapReduceSimulator::RunFallibleRound(
       }
       // Earliest straggler deadline among running, relaunchable tasks.
       bool have_deadline = false;
-      Clock::time_point next_deadline{};
+      ExecutorClock::TimePoint next_deadline{};
       for (const FallibleTaskState& ts : round.tasks) {
         if (ts.done || ts.failed || ts.attempts_in_flight == 0) continue;
         if (ts.attempts_started >= opts.max_attempts) continue;
-        Clock::time_point d = ts.last_launch + timeout;
+        ExecutorClock::TimePoint d = ts.last_launch + timeout;
         if (!have_deadline || d < next_deadline) {
           have_deadline = true;
           next_deadline = d;
@@ -229,8 +230,8 @@ RoundOutcome MapReduceSimulator::RunFallibleRound(
         round.cv.Wait(round.mu);
         continue;
       }
-      round.cv.WaitUntil(round.mu, next_deadline);
-      const Clock::time_point now = Clock::now();
+      round.clock->WaitUntil(round.cv, round.mu, next_deadline);
+      const ExecutorClock::TimePoint now = round.clock->Now();
       for (size_t i = 0; i < num_tasks; ++i) {
         FallibleTaskState& ts = round.tasks[i];
         if (ts.done || ts.failed || ts.attempts_in_flight == 0) continue;

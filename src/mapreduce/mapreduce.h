@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "mapreduce/executor_clock.h"
 #include "mapreduce/fault_injector.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -67,11 +68,14 @@ struct MrTaskContext {
   size_t task = 0;
   /// Attempt number, 0 for the first execution.
   size_t attempt = 0;
-  /// Injected data fault this attempt must apply to itself (kEmptyOutput,
-  /// kWrongOutput or kCorruptPartition; kNone otherwise). Crash and
-  /// straggler faults are handled by the executor and never reach the task.
+  /// Injected fault this attempt must apply to itself: a data fault
+  /// (kEmptyOutput, kWrongOutput, kCorruptPartition) the reducer body
+  /// simulates, or a transport fault (IsTransportFault) the reducer
+  /// forwards to its CommunicationEngine call. Crash and straggler faults
+  /// are handled by the executor and never reach the task.
   FaultKind fault = FaultKind::kNone;
-  /// Sub-seed for deterministic corruption when `fault` is a data fault.
+  /// Sub-seed for deterministic corruption (data faults) or delay in ms
+  /// (kReplyDelay).
   uint64_t fault_param = 0;
 };
 
@@ -96,6 +100,10 @@ struct FallibleRoundOptions {
   uint64_t task_timeout_ms = 0;
   /// Fault schedule consulted per (round, task, attempt); null = fault-free.
   const FaultInjector* faults = nullptr;
+  /// Time source for launch stamps and straggler deadlines. Null = the wall
+  /// clock (RealExecutorClock). Tests inject a ManualExecutorClock to make
+  /// timeout/speculative-relaunch behavior deterministic.
+  ExecutorClock* clock = nullptr;
 };
 
 /// How a fallible round ended. nodiscard: a dropped outcome silently turns

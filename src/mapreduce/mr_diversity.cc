@@ -7,7 +7,6 @@
 #include <string>
 #include <utility>
 
-#include "core/coreset.h"
 #include "core/generalized_coreset.h"
 #include "core/sequential.h"
 #include "util/check.h"
@@ -113,6 +112,21 @@ GeneralizedCoreset GarbleGen(const GeneralizedCoreset& gen,
   return out;
 }
 
+// The engine-call identity of one reducer attempt. Transport faults ride
+// along so the engine (not the executor) inflicts them — the executor
+// already counted the probe; data faults stay in the reducer body.
+TaskEnvelope MakeEnvelope(const std::string& round, const MrTaskContext& ctx) {
+  TaskEnvelope env;
+  env.round = round;
+  env.task = ctx.task;
+  env.attempt = ctx.attempt;
+  if (IsTransportFault(ctx.fault)) {
+    env.fault = ctx.fault;
+    env.fault_param = ctx.fault_param;
+  }
+  return env;
+}
+
 Status AnnotateRoundFailure(const std::string& round_name,
                             const Status& error) {
   return Status(error.code(), "round '" + round_name +
@@ -185,21 +199,13 @@ void AccumulateRoundStats(const MapReduceSimulator& sim, MrResult* result) {
   }
 }
 
-PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
-                                              size_t input_size,
-                                              Dataset* scratch) const {
-  // Empty reducer inputs (num_partitions > n) contribute an empty core-set.
-  if (part.empty()) return {};
-  // Columnar re-layout into the reducer's scratch Dataset (array capacity
-  // reused across partitions and rounds); the GMM sweeps inside the
-  // core-set constructions then run on the batched kernels.
-  scratch->Assign(part);
-  const Dataset& part_data = *scratch;
-  size_t k_prime = std::min(options_.k_prime, part.size());
-  if (!RequiresInjectiveProxies(problem_)) {
-    return GmmCoreset(part_data, *metric_, k_prime).points;
-  }
-  size_t delegates = options_.k - 1;
+CoresetSpec MapReduceDiversity::MakeCoresetSpec(size_t part_size,
+                                                size_t input_size) const {
+  CoresetSpec spec;
+  spec.k_prime = std::min(options_.k_prime, std::max<size_t>(part_size, 1));
+  spec.extended = RequiresInjectiveProxies(problem_);
+  if (!spec.extended) return spec;
+  spec.delegates = options_.k - 1;
   if (options_.randomized_delegate_cap) {
     // Theorem 7: with a random partition, no part holds more than
     // Theta(max(log n, k/l)) points of any optimal solution w.h.p., so that
@@ -209,9 +215,9 @@ PointSet MapReduceDiversity::PartitionCoreset(const PointSet& part,
         std::ceil(std::log2(static_cast<double>(std::max<size_t>(input_size, 2)))));
     size_t k_over_l =
         (options_.k + options_.num_partitions - 1) / options_.num_partitions;
-    delegates = std::min(options_.k - 1, std::max(log_n, k_over_l));
+    spec.delegates = std::min(options_.k - 1, std::max(log_n, k_over_l));
   }
-  return GmmExtCoreset(part_data, *metric_, k_prime, delegates).points;
+  return spec;
 }
 
 FallibleRoundOptions MapReduceDiversity::ExecPolicy() const {
@@ -219,13 +225,14 @@ FallibleRoundOptions MapReduceDiversity::ExecPolicy() const {
   exec.max_attempts = options_.max_retries + 1;
   exec.task_timeout_ms = options_.task_timeout_ms;
   exec.faults = options_.faults;
+  exec.clock = options_.clock;
   return exec;
 }
 
 Status MapReduceDiversity::CoresetRound(
-    MapReduceSimulator* sim, const std::string& round_name,
-    const std::vector<PointSet>& parts, size_t input_size,
-    DatasetScratchPool* scratch_pool, std::vector<PointSet>* coresets,
+    MapReduceSimulator* sim, CommunicationEngine* engine,
+    const std::string& round_name, const std::vector<PointSet>& parts,
+    size_t input_size, std::vector<PointSet>* coresets,
     std::optional<DegradedResult>* degraded) const {
   coresets->assign(parts.size(), PointSet{});
   RoundOutcome outcome = sim->RunFallibleRound(
@@ -244,9 +251,11 @@ Status MapReduceDiversity::CoresetRound(
         }
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("input partition", round_name, i, *in));
-        Dataset scratch = scratch_pool->Acquire();
-        PointSet cs = PartitionCoreset(*in, input_size, &scratch);
-        scratch_pool->Release(std::move(scratch));
+        StatusOr<PointSet> cs_or =
+            engine->Coreset(MakeEnvelope(round_name, ctx), *in,
+                            MakeCoresetSpec(in->size(), input_size));
+        if (!cs_or.ok()) return cs_or.status();
+        PointSet cs = std::move(*cs_or);
         if (ctx.fault == FaultKind::kEmptyOutput) cs.clear();
         if (ctx.fault == FaultKind::kWrongOutput) GarbleOne(&cs, ctx.fault_param);
         DIVERSE_RETURN_IF_ERROR(
@@ -262,10 +271,66 @@ Status MapReduceDiversity::CoresetRound(
                                options_.allow_degraded, degraded);
 }
 
+Status MapReduceDiversity::TreeReduce(MapReduceSimulator* sim,
+                                      CommunicationEngine* engine,
+                                      std::vector<PointSet>* coresets) const {
+  std::vector<PointSet> layer = std::move(*coresets);
+  int level = 0;
+  while (layer.size() > 1) {
+    const size_t pairs = layer.size() / 2;
+    std::vector<PointSet> next((layer.size() + 1) / 2);
+    if (layer.size() % 2 == 1) next.back() = std::move(layer.back());
+    const std::string round_name = "reduce-l" + std::to_string(level);
+    RoundOutcome outcome = sim->RunFallibleRound(
+        round_name, pairs,
+        [&](const MrTaskContext& ctx,
+            std::function<void()>* commit) -> Status {
+          const size_t i = ctx.task;
+          StatusOr<PointSet> merged = engine->MergeCoresets(
+              MakeEnvelope(round_name, ctx), layer[2 * i], layer[2 * i + 1]);
+          if (!merged.ok()) return merged.status();
+          PointSet out = std::move(*merged);
+          if (ctx.fault == FaultKind::kEmptyOutput) out.clear();
+          // A merge holds no pristine partition to corrupt, so both data
+          // faults garble the output; validation catches either.
+          if (ctx.fault == FaultKind::kWrongOutput ||
+              ctx.fault == FaultKind::kCorruptPartition) {
+            GarbleOne(&out, ctx.fault_param);
+          }
+          const size_t want = layer[2 * i].size() + layer[2 * i + 1].size();
+          if (out.size() != want) {
+            return DataLossError(
+                "merge produced " + std::to_string(out.size()) + " of " +
+                std::to_string(want) + " points (round '" + round_name +
+                "', task " + std::to_string(i) + ")");
+          }
+          DIVERSE_RETURN_IF_ERROR(
+              ValidateFinitePoints("merged core-set", round_name, i, out));
+          *commit = [&next, i, o = std::move(out)]() mutable {
+            next[i] = std::move(o);
+          };
+          return OkStatus();
+        },
+        ExecPolicy(),
+        [&](size_t i) { return layer[2 * i].size() + layer[2 * i + 1].size(); },
+        [&](size_t i) { return next[i].size(); });
+    if (!outcome.ok()) {
+      return AnnotateRoundFailure(round_name, outcome.first_error);
+    }
+    layer = std::move(next);
+    ++level;
+  }
+  *coresets = std::move(layer);
+  return OkStatus();
+}
+
 StatusOr<MrResult> MapReduceDiversity::TryRun(const PointSet& input) const {
   Timer total;
   MrResult result;
   MapReduceSimulator sim(options_.num_workers);
+  LoopbackEngine fallback(metric_, problem_);
+  CommunicationEngine* engine =
+      options_.engine != nullptr ? options_.engine : &fallback;
 
   std::vector<PointSet> parts =
       PartitionPoints(input, options_.num_partitions, options_.partition,
@@ -274,19 +339,24 @@ StatusOr<MrResult> MapReduceDiversity::TryRun(const PointSet& input) const {
   // Round 1: one reducer per partition computes its composable core-set.
   // Permanently failed partitions are dropped here (their core-set slot
   // stays empty) and accounted in `degraded`.
-  DatasetScratchPool scratch_pool;
   std::vector<PointSet> coresets;
   std::optional<DegradedResult> degraded;
-  DIVERSE_RETURN_IF_ERROR(CoresetRound(&sim, "coreset", parts, input.size(),
-                                       &scratch_pool, &coresets, &degraded));
+  DIVERSE_RETURN_IF_ERROR(CoresetRound(&sim, engine, "coreset", parts,
+                                       input.size(), &coresets, &degraded));
 
-  // Round 2: a single reducer aggregates T = union of (surviving) core-sets
-  // into one columnar dataset and runs the sequential approximation on it.
-  // With one reducer there is nothing to degrade to: permanent failure is
-  // fatal.
+  // Optional reduce rounds: collapse the core-set list through a binary
+  // merge tree. Order-preserving concatenation is associative, so the lone
+  // survivor equals the inline union below and the solve is unchanged.
+  if (options_.tree_reduce) {
+    DIVERSE_RETURN_IF_ERROR(TreeReduce(&sim, engine, &coresets));
+  }
+
+  // Final round: a single reducer aggregates T = union of (surviving)
+  // core-sets and runs the sequential approximation on it. With one reducer
+  // there is nothing to degrade to: permanent failure is fatal.
   size_t agg_input = 0;
   for (const PointSet& c : coresets) agg_input += c.size();
-  Dataset aggregate;
+  size_t coreset_size = 0;
   PointSet solution;
   RoundOutcome solve = sim.RunFallibleRound(
       "solve", 1,
@@ -301,15 +371,12 @@ StatusOr<MrResult> MapReduceDiversity::TryRun(const PointSet& input) const {
         }
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("aggregated core-set", "solve", 0, united));
-        Dataset agg(std::move(united));
-        const size_t k = std::min(options_.k, agg.size());
-        PointSet sol;
-        if (k > 0) {
-          std::vector<size_t> picked =
-              SolveSequential(problem_, agg, *metric_, k);
-          sol.reserve(picked.size());
-          for (size_t idx : picked) sol.push_back(agg.point(idx));
-        }
+        const size_t k = std::min(options_.k, united.size());
+        const size_t agg_size = united.size();
+        StatusOr<PointSet> sol_or =
+            engine->Solve(MakeEnvelope("solve", ctx), united, options_.k);
+        if (!sol_or.ok()) return sol_or.status();
+        PointSet sol = std::move(*sol_or);
         if (ctx.fault == FaultKind::kEmptyOutput) sol.clear();
         if (ctx.fault == FaultKind::kWrongOutput) GarbleOne(&sol, ctx.fault_param);
         if (sol.size() != k) {
@@ -319,8 +386,8 @@ StatusOr<MrResult> MapReduceDiversity::TryRun(const PointSet& input) const {
         }
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("solution", "solve", 0, sol));
-        *commit = [&, agg = std::move(agg), out = std::move(sol)]() mutable {
-          aggregate = std::move(agg);
+        *commit = [&, agg_size, out = std::move(sol)]() mutable {
+          coreset_size = agg_size;
           solution = std::move(out);
         };
         return OkStatus();
@@ -331,7 +398,7 @@ StatusOr<MrResult> MapReduceDiversity::TryRun(const PointSet& input) const {
 
   result.solution = std::move(solution);
   result.diversity = EvaluateDiversity(problem_, result.solution, *metric_);
-  result.coreset_size = aggregate.size();
+  result.coreset_size = coreset_size;
   if (degraded.has_value()) {
     degraded->approx_factor = 2.0 * SequentialAlpha(problem_);
     result.degraded = std::move(degraded);
@@ -347,6 +414,9 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
   Timer total;
   MrResult result;
   MapReduceSimulator sim(options_.num_workers);
+  LoopbackEngine fallback(metric_, problem_);
+  CommunicationEngine* engine =
+      options_.engine != nullptr ? options_.engine : &fallback;
 
   std::vector<PointSet> parts =
       PartitionPoints(input, options_.num_partitions, options_.partition,
@@ -355,7 +425,6 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
   // Round 1: GMM-GEN per partition; keep each kernel's range so the
   // instantiation radius r_T = max_i r_{T_i} is known. Failed partitions are
   // dropped (empty generalized core-set, range 0) and excluded from round 3.
-  DatasetScratchPool scratch_pool;
   std::vector<GeneralizedCoreset> gens(parts.size());
   std::vector<double> ranges(parts.size(), 0.0);
   RoundOutcome gen_round = sim.RunFallibleRound(
@@ -376,12 +445,11 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("input partition", "gen-coreset", i, *in));
         size_t k_prime = std::min(options_.k_prime, in->size());
-        Dataset scratch = scratch_pool.Acquire();
-        scratch.Assign(*in);
-        double range = 0.0;
-        GeneralizedCoreset gen =
-            GmmGenCoreset(scratch, *metric_, options_.k, k_prime, &range);
-        scratch_pool.Release(std::move(scratch));
+        StatusOr<GenCoresetResult> gen_or = engine->GenCoreset(
+            MakeEnvelope("gen-coreset", ctx), *in, options_.k, k_prime);
+        if (!gen_or.ok()) return gen_or.status();
+        GeneralizedCoreset gen = std::move(gen_or->gen);
+        double range = gen_or->range;
         if (ctx.fault == FaultKind::kEmptyOutput) {
           gen = GeneralizedCoreset();
           range = 0.0;
@@ -433,10 +501,10 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
         DIVERSE_RETURN_IF_ERROR(ValidateGenEntries(
             "merged generalized core-set", "gen-solve", 0, merged));
         const size_t k = std::min(options_.k, merged.ExpandedSize());
-        GeneralizedCoreset sel;
-        if (k > 0) {
-          sel = SolveSequentialGeneralized(problem_, merged, *metric_, k);
-        }
+        StatusOr<GeneralizedCoreset> sel_or = engine->GenSolve(
+            MakeEnvelope("gen-solve", ctx), merged, options_.k);
+        if (!sel_or.ok()) return sel_or.status();
+        GeneralizedCoreset sel = std::move(*sel_or);
         if (ctx.fault == FaultKind::kEmptyOutput) sel = GeneralizedCoreset();
         if (ctx.fault == FaultKind::kWrongOutput) {
           sel = GarbleGen(sel, ctx.fault_param);
@@ -500,28 +568,24 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
         }
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("input partition", "instantiate", i, *in));
-        std::optional<PointSet> inst =
-            Instantiate(per_part[i], *in, *metric_, r_t);
-        if (!inst.has_value()) {
-          return FailedPreconditionError(
-              "instantiation could not supply enough delegates (round "
-              "'instantiate', task " +
-              std::to_string(i) + ")");
-        }
-        if (ctx.fault == FaultKind::kEmptyOutput) inst->clear();
+        StatusOr<PointSet> inst_or = engine->Instantiate(
+            MakeEnvelope("instantiate", ctx), per_part[i], *in, r_t);
+        if (!inst_or.ok()) return inst_or.status();
+        PointSet inst = std::move(*inst_or);
+        if (ctx.fault == FaultKind::kEmptyOutput) inst.clear();
         if (ctx.fault == FaultKind::kWrongOutput) {
-          GarbleOne(&*inst, ctx.fault_param);
+          GarbleOne(&inst, ctx.fault_param);
         }
-        if (inst->size() != per_part[i].ExpandedSize()) {
+        if (inst.size() != per_part[i].ExpandedSize()) {
           return DataLossError(
-              "instantiation produced " + std::to_string(inst->size()) +
+              "instantiation produced " + std::to_string(inst.size()) +
               " of " + std::to_string(per_part[i].ExpandedSize()) +
               " delegates (round 'instantiate', task " + std::to_string(i) +
               ")");
         }
         DIVERSE_RETURN_IF_ERROR(ValidateFinitePoints(
-            "instantiated delegates", "instantiate", i, *inst));
-        *commit = [&instantiated, i, out = std::move(*inst)]() mutable {
+            "instantiated delegates", "instantiate", i, inst));
+        *commit = [&instantiated, i, out = std::move(inst)]() mutable {
           instantiated[i] = std::move(out);
         };
         return OkStatus();
@@ -554,9 +618,11 @@ StatusOr<MrResult> MapReduceDiversity::TryRunRecursive(
   Timer total;
   MrResult result;
   MapReduceSimulator sim(options_.num_workers);
+  LoopbackEngine fallback(metric_, problem_);
+  CommunicationEngine* engine =
+      options_.engine != nullptr ? options_.engine : &fallback;
 
   PointSet current = input;
-  DatasetScratchPool scratch_pool;
   std::optional<DegradedResult> degraded;
   int level = 0;
   // Compress through core-set rounds until one reducer can hold everything.
@@ -570,8 +636,8 @@ StatusOr<MrResult> MapReduceDiversity::TryRunRecursive(
                         options_.seed + static_cast<uint64_t>(level), metric_);
     std::vector<PointSet> coresets;
     DIVERSE_RETURN_IF_ERROR(
-        CoresetRound(&sim, "coreset-l" + std::to_string(level), parts,
-                     input.size(), &scratch_pool, &coresets, &degraded));
+        CoresetRound(&sim, engine, "coreset-l" + std::to_string(level), parts,
+                     input.size(), &coresets, &degraded));
     PointSet next;
     for (PointSet& c : coresets) {
       next.insert(next.end(), c.begin(), c.end());
@@ -599,16 +665,10 @@ StatusOr<MrResult> MapReduceDiversity::TryRunRecursive(
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("aggregated core-set", "solve", 0, local));
         const size_t k = std::min(options_.k, local.size());
-        PointSet sol;
-        if (k > 0) {
-          Dataset scratch = scratch_pool.Acquire();
-          scratch.Assign(local);
-          std::vector<size_t> picked =
-              SolveSequential(problem_, scratch, *metric_, k);
-          sol.reserve(picked.size());
-          for (size_t idx : picked) sol.push_back(local[idx]);
-          scratch_pool.Release(std::move(scratch));
-        }
+        StatusOr<PointSet> sol_or =
+            engine->Solve(MakeEnvelope("solve", ctx), local, options_.k);
+        if (!sol_or.ok()) return sol_or.status();
+        PointSet sol = std::move(*sol_or);
         if (ctx.fault == FaultKind::kEmptyOutput) sol.clear();
         if (ctx.fault == FaultKind::kWrongOutput) GarbleOne(&sol, ctx.fault_param);
         if (sol.size() != k) {

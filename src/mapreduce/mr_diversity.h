@@ -37,6 +37,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/comm.h"
 #include "core/dataset.h"
 #include "core/diversity.h"
 #include "core/metric.h"
@@ -112,6 +113,23 @@ struct MrOptions {
   /// Null = fault-free execution (the retry machinery still runs, at
   /// bounded overhead — see BM_MrFaultRecovery).
   const FaultInjector* faults = nullptr;
+
+  // Execution backend (the comm/ subsystem).
+  /// Where task compute runs. Null = an internal LoopbackEngine on the
+  /// driver's metric (the historical in-process simulator, bit-identical).
+  /// A SocketEngine here runs every task in a worker process. Not owned;
+  /// must outlive the driver's runs.
+  CommunicationEngine* engine = nullptr;
+  /// Aggregate round-1 core-sets through a binary tree of fallible
+  /// "reduce-l<level>" merge rounds instead of one concatenation inside the
+  /// solve reducer. Merging is order-preserving concatenation (associative,
+  /// identity []), so the final aggregate — and hence the solution — is
+  /// bit-identical to the single-aggregator path; the tree exercises
+  /// multi-round shuffle and spreads merge work across workers.
+  bool tree_reduce = false;
+  /// Time source for the executor's straggler deadlines. Null = wall clock;
+  /// tests inject a ManualExecutorClock for deterministic timeout runs.
+  ExecutorClock* clock = nullptr;
 };
 
 /// Certificate of a degraded (partition-dropping) completion. The solution
@@ -215,25 +233,31 @@ class MapReduceDiversity {
                         size_t local_memory_budget) const;
 
  private:
-  // Core-set for one partition under the configured problem family. The
-  // partition is re-laid out columnar into `*scratch` (capacity reused
-  // across partitions and rounds via the run's DatasetScratchPool).
-  PointSet PartitionCoreset(const PointSet& part, size_t input_size,
-                            Dataset* scratch) const;
+  // The core-set construction one partition needs under the configured
+  // problem family (kernel size clamped to the partition, GMM vs GMM-EXT,
+  // the Theorem-7 delegate cap). Executed by the engine.
+  CoresetSpec MakeCoresetSpec(size_t part_size, size_t input_size) const;
 
   // The executor policy derived from options_.
   FallibleRoundOptions ExecPolicy() const;
 
-  // Runs one fallible core-set round over `parts`, committing into
-  // `coresets` (resized to parts.size()). On permanent task failures:
+  // Runs one fallible core-set round over `parts` on `engine`, committing
+  // into `coresets` (resized to parts.size()). On permanent task failures:
   // degrades (drops the partitions, accumulating the certificate into
   // `*degraded`) when allowed, else returns the error. `round_name`
   // distinguishes recursion levels.
-  Status CoresetRound(MapReduceSimulator* sim, const std::string& round_name,
+  Status CoresetRound(MapReduceSimulator* sim, CommunicationEngine* engine,
+                      const std::string& round_name,
                       const std::vector<PointSet>& parts, size_t input_size,
-                      DatasetScratchPool* scratch_pool,
                       std::vector<PointSet>* coresets,
                       std::optional<DegradedResult>* degraded) const;
+
+  // Collapses `coresets` to a single aggregate via fallible
+  // "reduce-l<level>" rounds of pairwise engine merges (MrOptions::
+  // tree_reduce). Merge failures are fatal: a lost merge would drop
+  // core-sets that already survived their own round.
+  Status TreeReduce(MapReduceSimulator* sim, CommunicationEngine* engine,
+                    std::vector<PointSet>* coresets) const;
 
   const Metric* metric_;
   DiversityProblem problem_;

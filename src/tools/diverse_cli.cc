@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "api/solve.h"
+#include "comm/socket_engine.h"
 #include "core/doubling.h"
 #include "core/metric.h"
 #include "data/io.h"
@@ -82,7 +83,15 @@ commands:
             [--allow-degraded=0|1] (drop permanently failed partitions, default on)
             [--fault-seed=S --fault-rate-KIND=P ...]  (seeded stochastic faults;
              KIND in crash|empty-output|wrong-output|corrupt-partition|straggler)
-            [--fault-spec=round:task:attempt:kind[:param],...]  (exact schedule)
+            [--fault-spec=round:task:attempt:kind[:param],...]  (exact schedule;
+             transport kinds worker-crash|conn-drop|frame-corrupt|reply-delay
+             need --transport=socket to be inflicted for real)
+            distributed runtime (MapReduce backends):
+            [--transport=loopback|socket]  (socket = worker processes, default loopback)
+            [--tree-reduce=0|1]    (binary merge tree over core-sets, default off)
+            [--heartbeat-ms=N]     (idle-worker liveness probe period; 0 = off)
+            [--rpc-deadline-ms=N]  (per-RPC reply deadline, default 30000)
+            [--worker-binary=PATH] (default: diverse_worker next to this binary)
   generate  --kind=sphere|cube|text --n=N --out=FILE
             [--k=planted] [--dim=D] [--vocab=V] [--topics=T] [--seed=S]
             [--format=bin|txt]
@@ -105,12 +114,10 @@ bool SaveAny(const PointSet& pts, const std::string& path,
   return text ? SavePointsText(pts, path) : SavePointsBinary(pts, path);
 }
 
+// The builtin-metric registry (core/metric.h) — one name table shared with
+// the socket transport, which ships metric *names* to worker processes.
 std::unique_ptr<Metric> MakeMetric(const std::string& name) {
-  if (name == "euclidean") return std::make_unique<EuclideanMetric>();
-  if (name == "manhattan") return std::make_unique<ManhattanMetric>();
-  if (name == "cosine") return std::make_unique<CosineMetric>();
-  if (name == "jaccard") return std::make_unique<JaccardMetric>();
-  return nullptr;
+  return MakeMetricByName(name);
 }
 
 int RunSolve(const CliFlags& flags) {
@@ -195,6 +202,33 @@ int RunSolve(const CliFlags& flags) {
   }
   if (!faults.empty()) opts.faults = &faults;
 
+  // Distributed runtime: --transport=socket runs MapReduce task compute in
+  // a pool of worker processes instead of in-process threads.
+  opts.tree_reduce = flags.GetInt("tree-reduce", 0) != 0;
+  const std::string transport = flags.Get("transport", "loopback");
+  std::unique_ptr<SocketEngine> socket_engine;
+  if (transport == "socket") {
+    SocketEngineOptions so;
+    so.num_workers = opts.num_workers != 0 ? opts.num_workers : 4;
+    so.metric = flags.Get("metric", "euclidean");
+    so.problem = *problem;
+    so.worker_binary = flags.Get("worker-binary", "");
+    so.heartbeat_ms = static_cast<uint64_t>(flags.GetInt("heartbeat-ms", 0));
+    so.rpc_deadline_ms =
+        static_cast<uint64_t>(flags.GetInt("rpc-deadline-ms", 30000));
+    socket_engine = std::make_unique<SocketEngine>(so);
+    Status healthy = socket_engine->Healthy();
+    if (!healthy.ok()) {
+      std::fprintf(stderr, "error: %s\n", healthy.ToString().c_str());
+      return 1;
+    }
+    opts.engine = socket_engine.get();
+  } else if (transport != "loopback") {
+    std::fprintf(stderr, "error: unknown transport '%s' (loopback|socket)\n",
+                 transport.c_str());
+    return 1;
+  }
+
   StatusOr<SolveResult> solved = TrySolve(*points, *metric, opts);
   if (!solved.ok()) {
     std::fprintf(stderr, "error: %s\n", solved.status().ToString().c_str());
@@ -204,6 +238,12 @@ int RunSolve(const CliFlags& flags) {
   std::printf("n:          %zu\n", points->size());
   std::printf("problem:    %s\n", ProblemName(*problem).c_str());
   std::printf("backend:    %s\n", BackendName(backend).c_str());
+  if (socket_engine != nullptr) {
+    const SocketEngineStats stats = socket_engine->stats();
+    std::printf("transport:  socket (%zu workers, %zu respawns, %zu rpc errors)\n",
+                stats.workers_spawned - stats.respawns, stats.respawns,
+                stats.rpc_errors);
+  }
   std::printf("solution:   %zu points\n", result.solution.size());
   std::printf("diversity:  %.6f\n", result.diversity);
   std::printf("coreset:    %zu points\n", result.coreset_size);

@@ -1,0 +1,31 @@
+// The worker process of the socket transport: speaks the frame protocol of
+// comm/frame.h on the inherited socket fd and executes wire tasks with
+// comm/worker_core.h. Spawned by SocketEngine (never run by hand); exits 0
+// on a clean shutdown/EOF, 1 on a malformed stream.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "comm/worker_core.h"
+
+int main(int argc, char** argv) {
+  // One compute thread per worker: parallelism comes from the pool of
+  // processes, and a single-threaded worker keeps per-task CPU accounting
+  // honest in the distributed benches.
+  ::setenv("DIVERSE_THREADS", "1", /*overwrite=*/0);
+  int fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fd=", 5) == 0) {
+      fd = std::atoi(argv[i] + 5);
+    }
+  }
+  if (fd < 0) {
+    std::fprintf(stderr,
+                 "diverse_worker: missing --fd=N (this binary is spawned by "
+                 "the socket engine, not run directly)\n");
+    return 2;
+  }
+  return diverse::RunWorkerLoop(fd);
+}

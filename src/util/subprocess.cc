@@ -1,0 +1,117 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace diverse {
+
+namespace {
+
+// The fd number the child's socket is dup2'ed onto before exec. Above
+// stdio, below anything the runtime opens later.
+constexpr int kChildFd = 3;
+
+}  // namespace
+
+StatusOr<Subprocess> SpawnWorker(const std::string& binary,
+                                 const std::vector<std::string>& args) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return UnavailableError(std::string("socketpair failed: ") +
+                            std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return UnavailableError(std::string("fork failed: ") +
+                            std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: keep only its end of the pair, pinned at kChildFd.
+    ::close(fds[0]);
+    if (fds[1] != kChildFd) {
+      if (::dup2(fds[1], kChildFd) < 0) ::_exit(127);
+      ::close(fds[1]);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 3);
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    std::string fd_arg = "--fd=" + std::to_string(kChildFd);
+    argv.push_back(const_cast<char*>(fd_arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);  // exec failed; the parent sees EOF and a 127 exit
+  }
+  // Parent: close the child's end, mark ours close-on-exec so sibling
+  // workers never inherit this connection (an inherited fd would keep the
+  // stream open after we close it, masking worker death).
+  ::close(fds[1]);
+  int flags = ::fcntl(fds[0], F_GETFD);
+  if (flags >= 0) (void)::fcntl(fds[0], F_SETFD, flags | FD_CLOEXEC);
+  Subprocess child;
+  child.pid = pid;
+  child.fd = fds[0];
+  return child;
+}
+
+void KillSubprocess(Subprocess* child) {
+  if (child->pid > 0) (void)::kill(child->pid, SIGKILL);
+  if (child->fd >= 0) {
+    ::close(child->fd);
+    child->fd = -1;
+  }
+}
+
+int WaitSubprocess(Subprocess* child, uint64_t timeout_ms) {
+  if (child->fd >= 0) {
+    ::close(child->fd);
+    child->fd = -1;
+  }
+  if (child->pid <= 0) return -1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(child->pid, &status, WNOHANG);
+    if (r == child->pid) break;
+    if (r < 0 && errno != EINTR) {
+      child->pid = -1;
+      return -1;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      (void)::kill(child->pid, SIGKILL);
+      if (::waitpid(child->pid, &status, 0) != child->pid) {
+        child->pid = -1;
+        return -1;
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  child->pid = -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string ExecutableDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+}  // namespace diverse

@@ -1,0 +1,49 @@
+// Minimal fork/exec subprocess support for the socket transport: spawn a
+// worker connected by a Unix-domain socketpair, kill it, reap it. POSIX
+// only (the only platform this repo targets); no shell is ever involved.
+
+#ifndef DIVERSE_UTIL_SUBPROCESS_H_
+#define DIVERSE_UTIL_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace diverse {
+
+/// One spawned child connected by a stream socket.
+struct Subprocess {
+  pid_t pid = -1;
+  /// Parent end of the socketpair (close-on-exec). The child received the
+  /// other end as the fd named in its argv.
+  int fd = -1;
+};
+
+/// Forks and execs `binary` with `args` (argv[1..]), connected to the
+/// parent by a SOCK_STREAM socketpair. The child's end is passed as fd 3
+/// and "--fd=3" is appended to its argv; the parent's end comes back in
+/// Subprocess::fd with FD_CLOEXEC set (workers must not inherit each
+/// other's driver connections). kUnavailable on any syscall failure.
+DIVERSE_MUST_USE StatusOr<Subprocess> SpawnWorker(
+    const std::string& binary, const std::vector<std::string>& args);
+
+/// SIGKILLs the child (if still running) and closes the parent fd. Safe to
+/// call twice; reaping is WaitSubprocess's job.
+void KillSubprocess(Subprocess* child);
+
+/// Waits for the child to exit, up to `timeout_ms` (polling); SIGKILLs and
+/// reaps it if the deadline passes. Closes the parent fd. Returns the
+/// child's exit code, or -1 if it died by signal / was force-killed.
+int WaitSubprocess(Subprocess* child, uint64_t timeout_ms);
+
+/// Directory of the running executable (via /proc/self/exe), used to
+/// locate sibling binaries like diverse_worker. Empty string on failure.
+std::string ExecutableDir();
+
+}  // namespace diverse
+
+#endif  // DIVERSE_UTIL_SUBPROCESS_H_

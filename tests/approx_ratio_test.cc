@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "api/solve.h"
+#include "comm/socket_engine.h"
 #include "core/cover_tree.h"
 #include "core/diversity.h"
 #include "core/exact.h"
@@ -237,6 +238,68 @@ TEST(ApproxRatioTest, DegradedRunCertifiedAgainstSurvivingOracle) {
         ASSERT_EQ(r->solution.size(), kK) << ctx;
         ExpectWithinFactor(r->diversity, opt, d.approx_factor, ctx);
       }
+    }
+  }
+}
+
+// The socket backend carries the same guarantees as the in-process
+// simulator: fault-free runs sit within the proven factor of the oracle,
+// and a partition lost to a *transport* failure (connection dropped on
+// every attempt) degrades into the same certificate the in-process crash
+// path issues — pinned to the brute-force optimum of the surviving
+// sub-instance, exactly as above.
+TEST(ApproxRatioTest, SocketBackendCertifiedAgainstOracle) {
+  constexpr uint64_t kSeed = 5;
+  FaultInjector faults;
+  for (size_t attempt = 0; attempt < 3; ++attempt) {
+    faults.Add({"coreset", 0, attempt, FaultKind::kConnDrop, 0});
+  }
+  const PointSet pts = TinyDense(401);
+  for (const auto& metric : AllMetrics()) {
+    for (DiversityProblem p : kAllProblems) {
+      SocketEngineOptions so;
+      so.num_workers = 2;
+      so.metric = metric->Name();
+      so.problem = p;
+      SocketEngine engine(so);
+      ASSERT_TRUE(engine.Healthy().ok()) << engine.Healthy().ToString();
+      MrOptions o;
+      o.k = kK;
+      o.k_prime = kKPrime;
+      o.num_partitions = 2;
+      o.num_workers = 2;
+      o.seed = kSeed;
+      o.engine = &engine;
+      const std::string ctx =
+          std::string(metric->Name()) + "/" + ProblemName(p) + "/socket";
+
+      // Fault-free distributed run: within the proven factor.
+      MapReduceDiversity mr(metric.get(), p, o);
+      StatusOr<MrResult> clean = mr.TryRun(pts);
+      ASSERT_TRUE(clean.ok()) << ctx << ": " << clean.status().ToString();
+      ASSERT_FALSE(clean->degraded.has_value()) << ctx;
+      double opt_all = ExactDiversityMaximization(p, pts, *metric, kK).value;
+      ExpectWithinFactor(clean->diversity, opt_all, 2.0 * SequentialAlpha(p),
+                         ctx + "/clean");
+
+      // Partition 0's link drops on every attempt: certified degradation.
+      MrOptions fo = o;
+      fo.faults = &faults;
+      MapReduceDiversity faulty(metric.get(), p, fo);
+      StatusOr<MrResult> r = faulty.TryRun(pts);
+      ASSERT_TRUE(r.ok()) << ctx << ": " << r.status().ToString();
+      ASSERT_TRUE(r->degraded.has_value()) << ctx;
+      const DegradedResult& d = *r->degraded;
+      ASSERT_EQ(d.failed_partitions, std::vector<size_t>{0}) << ctx;
+      EXPECT_EQ(d.approx_factor, 2.0 * SequentialAlpha(p)) << ctx;
+      std::vector<PointSet> parts = PartitionPoints(
+          pts, o.num_partitions, o.partition, kSeed, metric.get());
+      const PointSet& survivors = parts[1];
+      ASSERT_EQ(survivors.size(), d.surviving_points) << ctx;
+      double opt =
+          ExactDiversityMaximization(p, survivors, *metric, kK).value;
+      ASSERT_EQ(r->solution.size(), kK) << ctx;
+      ExpectWithinFactor(r->diversity, opt, d.approx_factor, ctx);
     }
   }
 }

@@ -5,6 +5,7 @@
 // each scenario here is a reproducible unit test, not a flake.
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -118,6 +119,80 @@ TEST(FaultInjectorTest, KindNamesRoundTripThroughParse) {
     StatusOr<FaultInjector> fi = FaultInjector::Parse(spec);
     ASSERT_TRUE(fi.ok()) << spec;
     EXPECT_EQ(fi->Probe("r", 0, 0).kind, k);
+  }
+}
+
+TEST(FaultInjectorTest, TransportKindsParseAndClassify) {
+  // The four transport kinds of the socket runtime parse through the same
+  // round:task:attempt:kind[:param] grammar as the data faults, accept '_'
+  // wherever '-' appears, and classify as IsTransportFault.
+  struct Case {
+    const char* name;
+    const char* underscored;
+    FaultKind kind;
+  };
+  const Case cases[] = {
+      {"worker-crash", "worker_crash", FaultKind::kWorkerCrash},
+      {"conn-drop", "conn_drop", FaultKind::kConnDrop},
+      {"frame-corrupt", "frame_corrupt", FaultKind::kFrameCorrupt},
+      {"reply-delay", "reply_delay", FaultKind::kReplyDelay},
+  };
+  for (const Case& c : cases) {
+    for (const char* spelling : {c.name, c.underscored}) {
+      std::string spec = std::string("coreset:3:1:") + spelling;
+      StatusOr<FaultInjector> fi = FaultInjector::Parse(spec);
+      ASSERT_TRUE(fi.ok()) << spec;
+      EXPECT_EQ(fi->Probe("coreset", 3, 1).kind, c.kind) << spec;
+      EXPECT_TRUE(IsTransportFault(c.kind)) << spec;
+    }
+    EXPECT_STREQ(FaultKindName(c.kind), c.name);
+  }
+  for (FaultKind data :
+       {FaultKind::kNone, FaultKind::kCrash, FaultKind::kEmptyOutput,
+        FaultKind::kWrongOutput, FaultKind::kCorruptPartition,
+        FaultKind::kStraggler}) {
+    EXPECT_FALSE(IsTransportFault(data));
+  }
+}
+
+TEST(FaultInjectorTest, ReplyDelayParamParses) {
+  StatusOr<FaultInjector> fi =
+      FaultInjector::Parse("solve:0:0:reply-delay:75");
+  ASSERT_TRUE(fi.ok());
+  InjectedFault f = fi->Probe("solve", 0, 0);
+  EXPECT_EQ(f.kind, FaultKind::kReplyDelay);
+  EXPECT_EQ(f.param, 75u);
+  // No param: 0 on the probe; the transport substitutes its default.
+  StatusOr<FaultInjector> bare = FaultInjector::Parse("solve:0:0:reply-delay");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->Probe("solve", 0, 0).param, 0u);
+}
+
+TEST(FaultInjectorTest, ScheduleTextOrderIsIrrelevant) {
+  // A schedule is a set keyed by (round, task, attempt): listing the specs
+  // in any order yields an injector with identical probes everywhere.
+  const char* fwd =
+      "coreset:0:0:worker-crash,coreset:1:0:conn-drop,"
+      "solve:0:1:reply-delay:40,coreset:2:1:frame-corrupt";
+  const char* rev =
+      "coreset:2:1:frame-corrupt,solve:0:1:reply-delay:40,"
+      "coreset:1:0:conn-drop,coreset:0:0:worker-crash";
+  StatusOr<FaultInjector> a = FaultInjector::Parse(fwd);
+  StatusOr<FaultInjector> b = FaultInjector::Parse(rev);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const std::string& round : {std::string("coreset"), std::string("solve"),
+                                   std::string("other")}) {
+    for (size_t task = 0; task < 4; ++task) {
+      for (size_t attempt = 0; attempt < 3; ++attempt) {
+        InjectedFault fa = a->Probe(round, task, attempt);
+        InjectedFault fb = b->Probe(round, task, attempt);
+        EXPECT_EQ(fa.kind, fb.kind)
+            << round << ":" << task << ":" << attempt;
+        EXPECT_EQ(fa.param, fb.param)
+            << round << ":" << task << ":" << attempt;
+      }
+    }
   }
 }
 

@@ -1,0 +1,140 @@
+// libFuzzer harness for the wire-frame decoder (comm/frame.h) and the
+// task/reply payload codecs layered on it (comm/serialize.h).
+//
+// The incremental frame decoder fronts every byte the driver reads from a
+// worker socket, so it is the distributed runtime's parsing attack
+// surface: hostile bytes must come back as "need more", a verified frame,
+// or a diagnosable malformed-stream Status — never a crash, hang, or
+// unbounded allocation (kMaxFramePayload bounds the length field before
+// any buffering). Accepted request/reply frames are additionally decoded
+// by the payload codecs and, when those accept, re-encoded as a
+// consistency oracle: encode(decode(bytes)) must itself decode, or the
+// harness CHECK-aborts (a fuzzer finding).
+//
+// Build modes match tests/fuzz/io_fuzz.cc: libFuzzer under
+// DIVERSE_FUZZ_LIBFUZZER, else a standalone main() that replays the
+// committed corpus (tests/fuzz/frame_corpus/) as a regression test.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "comm/frame.h"
+#include "comm/serialize.h"
+#include "util/check.h"
+
+namespace {
+
+void FuzzPayload(const diverse::Frame& frame) {
+  using diverse::FrameType;
+  if (frame.type == FrameType::kRequest) {
+    diverse::StatusOr<diverse::WireRequest> req =
+        diverse::TryDecodeWireRequest(frame.payload);
+    if (!req.ok()) {
+      DIVERSE_CHECK(!req.status().message().empty());
+      return;
+    }
+    // Accepted request: the canonical re-encoding must decode again.
+    diverse::StatusOr<diverse::WireRequest> again =
+        diverse::TryDecodeWireRequest(diverse::EncodeWireRequest(*req));
+    DIVERSE_CHECK(again.ok());
+  } else if (frame.type == FrameType::kReply) {
+    diverse::StatusOr<diverse::WireReply> reply =
+        diverse::TryDecodeWireReply(frame.payload);
+    if (!reply.ok()) {
+      DIVERSE_CHECK(!reply.status().message().empty());
+      return;
+    }
+    diverse::StatusOr<diverse::WireReply> again =
+        diverse::TryDecodeWireReply(diverse::EncodeWireReply(*reply));
+    DIVERSE_CHECK(again.ok());
+  }
+}
+
+void FuzzOne(const uint8_t* data, size_t size) {
+  std::string_view buf(reinterpret_cast<const char*>(data), size);
+  // Drain frames from the front exactly as ReadFrameFromSocket does.
+  while (true) {
+    diverse::Frame frame;
+    size_t consumed = 0;
+    diverse::Status st = diverse::TryDecodeFrame(buf, &frame, &consumed);
+    if (!st.ok()) {
+      // Malformed stream: must be diagnosed, and must not claim progress.
+      DIVERSE_CHECK(!st.message().empty());
+      DIVERSE_CHECK(consumed == 0);
+      return;
+    }
+    if (consumed == 0) return;  // valid prefix; a real reader waits for more
+    DIVERSE_CHECK(consumed <= buf.size());
+    DIVERSE_CHECK(frame.payload.size() <= diverse::kMaxFramePayload);
+    // A decoded frame re-encodes to bytes the decoder accepts verbatim.
+    std::string round_trip;
+    diverse::AppendFrame(frame.type, frame.payload, &round_trip);
+    diverse::Frame back;
+    size_t back_consumed = 0;
+    DIVERSE_CHECK(diverse::TryDecodeFrame(round_trip, &back, &back_consumed).ok());
+    DIVERSE_CHECK(back_consumed == round_trip.size());
+    DIVERSE_CHECK(back.type == frame.type);
+    DIVERSE_CHECK(back.payload == frame.payload);
+    FuzzPayload(frame);
+    buf.remove_prefix(consumed);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  FuzzOne(data, size);
+  return 0;
+}
+
+#ifndef DIVERSE_FUZZ_LIBFUZZER
+// Standalone regression driver: replays corpus files/directories given on
+// the command line through FuzzOne (same contract as io_fuzz).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+int ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open corpus file " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = std::move(buf).str();
+  FuzzOne(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "frame_fuzz: no corpus inputs given\n";
+    return 1;
+  }
+  for (const auto& path : inputs) {
+    if (ReplayFile(path) != 0) return 1;
+  }
+  std::cout << "frame_fuzz: replayed " << inputs.size() << " corpus inputs\n";
+  return 0;
+}
+#endif  // DIVERSE_FUZZ_LIBFUZZER

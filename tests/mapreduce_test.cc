@@ -9,7 +9,10 @@
 #include "data/sparse_text.h"
 #include "data/synthetic.h"
 #include "mapreduce/afz.h"
+#include "mapreduce/executor_clock.h"
+#include "mapreduce/fault_injector.h"
 #include "mapreduce/mr_diversity.h"
+#include "util/status.h"
 
 namespace diverse {
 namespace {
@@ -266,6 +269,100 @@ TEST(FallibleRoundTest, DataFaultsReachTheTaskContext) {
       opts, [](size_t) { return 1; }, [](size_t) { return 1; });
   EXPECT_TRUE(out.ok());
   EXPECT_EQ(faulted_seen.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Injectable clock: straggler deadlines fire on fake time, so the
+// speculative-relaunch branch is exercised deterministically — no
+// sleep-calibrated real delay that can flake on a loaded machine.
+
+TEST(FallibleRoundTest, ManualClockFiresStragglerDeterministically) {
+  MapReduceSimulator sim(4);
+  FaultInjector faults;
+  // The injected delay (real sleep) dwarfs the timeout; under the manual
+  // clock the deadline fires on the driver's FIRST wait regardless of how
+  // fast or slow the machine actually is.
+  faults.Add({"slow", 0, 0, FaultKind::kStraggler, /*delay_ms=*/200});
+  ManualExecutorClock clock;
+  FallibleRoundOptions opts;
+  opts.task_timeout_ms = 30;
+  opts.faults = &faults;
+  opts.clock = &clock;
+  std::atomic<int> commits{0};
+  RoundOutcome out = sim.RunFallibleRound(
+      "slow", 2,
+      [&](const MrTaskContext&, std::function<void()>* commit) -> Status {
+        *commit = [&commits] { commits.fetch_add(1); };
+        return OkStatus();
+      },
+      opts, [](size_t) { return 1; }, [](size_t) { return 1; });
+  EXPECT_TRUE(out.ok());
+  // First-commit-wins: exactly one commit per task, and the timeout branch
+  // provably ran — on fake time, not after a real 30ms elapsed. (Every
+  // attempt still in flight at a wait is eligible for duplication, so the
+  // exact attempt count depends on thread scheduling; the guarantee is
+  // that the straggler was raced and the round still converged.)
+  EXPECT_EQ(commits.load(), 2);
+  const RoundStats& r = sim.rounds().back();
+  EXPECT_GE(r.timeouts, 1u);
+  EXPECT_EQ(r.faults_injected, 1u);
+  EXPECT_GE(r.attempts, 3u);  // 2 tasks + at least the straggler's duplicate
+}
+
+TEST(FallibleRoundTest, ManualClockWithoutTimeoutNeverRelaunches) {
+  // With the straggler timeout disabled the clock is never consulted for
+  // deadlines: fake time cannot conjure spurious speculative attempts.
+  MapReduceSimulator sim(2);
+  ManualExecutorClock clock;
+  FallibleRoundOptions opts;
+  opts.task_timeout_ms = 0;
+  opts.clock = &clock;
+  RoundOutcome out = sim.RunFallibleRound(
+      "fast", 3,
+      [](const MrTaskContext&, std::function<void()>* commit) -> Status {
+        *commit = [] {};
+        return OkStatus();
+      },
+      opts, [](size_t) { return 1; }, [](size_t) { return 1; });
+  EXPECT_TRUE(out.ok());
+  const RoundStats& r = sim.rounds().back();
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+}
+
+TEST(MapReduceDriverTest, InjectedClockDrivesSpeculationEndToEnd) {
+  // MrOptions::clock plumbs through the driver: a scripted straggler in
+  // round 1 triggers a deterministic speculative re-launch, and the result
+  // stays bit-identical to the fault-free run (deterministic reducers).
+  EuclideanMetric m;
+  PointSet pts = GenerateUniformCube(300, 3, /*seed=*/13);
+  MrOptions o;
+  o.k = 4;
+  o.k_prime = 6;
+  o.num_partitions = 4;
+  o.num_workers = 4;
+  MapReduceDiversity clean(&m, DiversityProblem::kRemoteEdge, o);
+  StatusOr<MrResult> base = clean.TryRun(pts);
+  ASSERT_TRUE(base.ok());
+
+  FaultInjector faults;
+  faults.Add({"coreset", 2, 0, FaultKind::kStraggler, /*delay_ms=*/150});
+  ManualExecutorClock clock;
+  MrOptions slow = o;
+  slow.faults = &faults;
+  slow.clock = &clock;
+  slow.task_timeout_ms = 20;
+  MapReduceDiversity mr(&m, DiversityProblem::kRemoteEdge, slow);
+  StatusOr<MrResult> got = mr.TryRun(pts);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GE(got->task_timeouts, 1u);
+  EXPECT_EQ(got->faults_injected, 1u);
+  ASSERT_EQ(base->solution.size(), got->solution.size());
+  for (size_t i = 0; i < base->solution.size(); ++i) {
+    EXPECT_TRUE(base->solution[i] == got->solution[i]) << "point " << i;
+  }
+  EXPECT_EQ(base->diversity, got->diversity);
 }
 
 TEST(MapReduceDriverTest, AfzMorePartitionsThanPoints) {
