@@ -90,7 +90,11 @@ struct SolveOptions {
   // runtime").
   /// Execution backend for MapReduce task compute. Null = in-process
   /// loopback (bit-identical to the historical simulator); a SocketEngine
-  /// runs tasks in worker processes. Not owned; must outlive the call.
+  /// runs tasks in worker processes, streaming large partitions in bounded
+  /// chunks and caching them worker-side by content fingerprint so repeated
+  /// solves and retries ship a by-ref stub instead of the bytes (see
+  /// SocketEngineOptions::chunk_bytes / worker_cache_bytes). Not owned;
+  /// must outlive the call.
   CommunicationEngine* engine = nullptr;
   /// Aggregate round-1 core-sets through a binary merge tree instead of a
   /// single concatenation (bit-identical result; exercises multi-round

@@ -108,6 +108,16 @@ Status LoopbackEngine::ApplyTransportFault(const TaskEnvelope& env) const {
       return DeadlineExceededError("injected reply delay outlived the RPC "
                                    "deadline" +
                                    at());
+    case FaultKind::kReadStall:
+      // The socket transport's write deadline expires against the stalled
+      // reader; loopback has no socket, so it simulates the outcome.
+      return DeadlineExceededError(
+          "injected read stall outlived the write deadline" + at());
+    case FaultKind::kCacheEvict:
+      // A success-path fault: the socket transport falls back to a full
+      // re-ship and the attempt completes. Loopback has no serialization
+      // to skip, so the no-op IS the faithful simulation.
+      return OkStatus();
     default:
       return OkStatus();
   }

@@ -24,7 +24,7 @@ std::array<uint32_t, 256> BuildCrcTable() {
 
 bool KnownFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kShutdown);
+         t <= static_cast<uint8_t>(FrameType::kStall);
 }
 
 }  // namespace

@@ -40,6 +40,17 @@ enum class FrameType : uint8_t {
   kHeartbeatAck = 4,
   /// Driver -> worker: drain and exit 0.
   kShutdown = 5,
+  /// Driver -> worker: one non-final slice of a chunked wire request. The
+  /// worker feeds each slice to its streaming decoder as it arrives, so
+  /// deserialization overlaps the remaining chunks' flight time.
+  kRequestChunk = 6,
+  /// Driver -> worker: the final slice of a chunked wire request; the
+  /// reassembled payload is exactly one kRequest payload.
+  kRequestLast = 7,
+  /// Driver -> worker (tests only): sleep `param` ms (u64 payload) without
+  /// reading the socket — the deterministic stalled-reader used to prove
+  /// the write deadline fires instead of hanging the driver.
+  kStall = 8,
 };
 
 /// One decoded frame.

@@ -1,0 +1,101 @@
+#include "comm/net_io.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace diverse {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+int PollTimeoutMs(std::chrono::steady_clock::time_point now,
+                  std::chrono::steady_clock::time_point deadline) {
+  if (now >= deadline) return 0;
+  // Round UP: a remainder of 0.2ms must poll 1ms, not truncate to 0 (a
+  // busy spin) — and certainly never go negative (poll() reads negative
+  // timeouts as "block forever", which would resurrect the hang this
+  // deadline exists to prevent).
+  const auto remaining = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      deadline - now);
+  const long long ms = (remaining.count() + 999999) / 1000000;
+  return static_cast<int>(std::min<long long>(std::max<long long>(ms, 1),
+                                              60000));
+}
+
+uint64_t RespawnBackoffMs(uint64_t base_ms, size_t attempt) {
+  if (base_ms == 0 || attempt == 0) return 0;
+  // Clamp the exponent BEFORE shifting: `base << (attempt - 1)` is UB for
+  // shifts >= 64 and overflows long before that. 2^11 * any sane base
+  // already exceeds the ceiling, so larger shifts saturate.
+  const size_t shift = std::min<size_t>(attempt - 1, 11);
+  if (base_ms > (kMaxRespawnBackoffMs >> shift)) return kMaxRespawnBackoffMs;
+  return base_ms << shift;
+}
+
+Status SendAllUntil(int fd, std::string_view bytes,
+                    std::chrono::steady_clock::time_point deadline,
+                    bool has_deadline) {
+  if (fd < 0) return AbortedError("write on a closed worker connection");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return AbortedError("peer closed the connection mid-write (" +
+                            std::to_string(bytes.size() - off) +
+                            " bytes unsent)");
+      }
+      return UnavailableError(std::string("socket send failed: ") +
+                              std::strerror(errno));
+    }
+    // Buffer full: wait for drainage under the deadline.
+    int timeout_ms = -1;
+    if (has_deadline) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return DeadlineExceededError(
+            "write deadline expired with " +
+            std::to_string(bytes.size() - off) +
+            " bytes unsent (peer stopped draining its socket)");
+      }
+      timeout_ms = PollTimeoutMs(now, deadline);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int polled = ::poll(&pfd, 1, timeout_ms);
+    if (polled < 0 && errno != EINTR) {
+      return UnavailableError(std::string("poll for socket writability "
+                                          "failed: ") +
+                              std::strerror(errno));
+    }
+    // polled == 0 (timeout) re-checks the deadline at loop top; POLLERR /
+    // POLLHUP fall through to send(), whose errno names the failure.
+  }
+  return OkStatus();
+}
+
+Status SendAllWithDeadline(int fd, std::string_view bytes,
+                           uint64_t deadline_ms) {
+  const bool has_deadline = deadline_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  return SendAllUntil(fd, bytes, deadline, has_deadline);
+}
+
+}  // namespace diverse

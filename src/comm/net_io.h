@@ -1,0 +1,73 @@
+// Deadline-aware socket I/O primitives shared by the driver-side engine
+// (comm/socket_engine.cc) and the worker loop (comm/worker_core.cc).
+//
+// Every byte written to a peer goes through SendAllWithDeadline: a
+// poll(POLLOUT)-gated send loop on a non-blocking fd. A peer that stops
+// draining its socket (a stalled reader) fills the kernel buffer and the
+// write surfaces kDeadlineExceeded within the budget instead of blocking
+// the calling thread forever — the hang the old blocking SendAll loops
+// allowed. A closed peer surfaces kAborted (EPIPE/ECONNRESET), feeding
+// the same retry/respawn path as a failed read.
+//
+// The small helpers are extracted so their edge cases are unit-testable:
+//   * PollTimeoutMs — remaining-deadline -> poll timeout without the
+//     sub-millisecond truncation trap (a remainder under 1ms must become
+//     a short non-negative poll, never -1 = block forever).
+//   * RespawnBackoffMs — exponential backoff with the shift clamped
+//     before it happens (shifting u64 by >= 64 is UB, and a large attempt
+//     count must not overflow into a garbage sleep).
+
+#ifndef DIVERSE_COMM_NET_IO_H_
+#define DIVERSE_COMM_NET_IO_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace diverse {
+
+/// Ceiling on one exponential-backoff sleep between respawn attempts.
+inline constexpr uint64_t kMaxRespawnBackoffMs = 2000;
+
+/// Puts `fd` into non-blocking mode (required by SendAllWithDeadline: a
+/// blocking fd can still block inside send() after POLLOUT when the free
+/// buffer space is smaller than the write). Returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// The poll() timeout for the time remaining until `deadline`: 0 when the
+/// deadline has passed (the caller must treat 0 from this helper as
+/// "expired", not "poll forever"), otherwise the remainder rounded UP to
+/// whole milliseconds (a sub-millisecond remainder polls 1ms instead of
+/// truncating to a busy 0-timeout spin or, worse, a negative value that
+/// poll() would read as infinite), clamped to 60000 so a huge deadline
+/// still re-checks shutdown periodically. Never negative.
+int PollTimeoutMs(std::chrono::steady_clock::time_point now,
+                  std::chrono::steady_clock::time_point deadline);
+
+/// Backoff before respawn attempt `attempt` (1-based):
+/// min(base_ms * 2^(attempt-1), kMaxRespawnBackoffMs), computed with the
+/// shift clamped so attempt counts >= 64 are well-defined instead of UB.
+uint64_t RespawnBackoffMs(uint64_t base_ms, size_t attempt);
+
+/// Writes all of `bytes` to non-blocking `fd` before `deadline` elapses
+/// (has_deadline == false waits forever, matching deadline_ms == 0
+/// configs). MSG_NOSIGNAL throughout: a dead peer is a Status on this
+/// thread, never a process-wide SIGPIPE.
+///   * kDeadlineExceeded — the peer stopped draining and the budget ran
+///     out with bytes still queued.
+///   * kAborted          — the peer closed the connection (EPIPE et al).
+///   * kUnavailable      — an unexpected send/poll errno.
+DIVERSE_MUST_USE Status
+SendAllUntil(int fd, std::string_view bytes,
+             std::chrono::steady_clock::time_point deadline, bool has_deadline);
+
+/// SendAllUntil with the deadline `deadline_ms` from now; 0 = no deadline.
+DIVERSE_MUST_USE Status SendAllWithDeadline(int fd, std::string_view bytes,
+                                            uint64_t deadline_ms);
+
+}  // namespace diverse
+
+#endif  // DIVERSE_COMM_NET_IO_H_

@@ -1,5 +1,6 @@
 #include "comm/serialize.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -47,7 +48,73 @@ constexpr uint8_t kMaxTaskType =
 // sanity checks before reserving.
 constexpr uint64_t kMinPointRecordBytes = 9;
 
+// Wire request flag bits (the u8 after the fingerprint).
+constexpr uint8_t kFlagPointsByRef = 0x01;
+constexpr uint8_t kFlagCacheInsert = 0x02;
+constexpr uint8_t kKnownRequestFlags = kFlagPointsByRef | kFlagCacheInsert;
+
+// splitmix64-style word mixer: 3 multiplies per 8-byte lane keeps
+// FingerprintPoints far cheaper than serializing the same bytes, which is
+// what makes the warm-cache ship path a win and not a wash.
+uint64_t MixWord(uint64_t h, uint64_t w) {
+  uint64_t x = h ^ (w + 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Hashes `bytes` 8 bytes at a time (tail zero-padded into one lane).
+uint64_t MixBytes(uint64_t h, const void* data, size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = MixWord(h, w);
+  }
+  if (i < bytes) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, bytes - i);
+    h = MixWord(h, w ^ (uint64_t{bytes - i} << 56));
+  }
+  return h;
+}
+
 }  // namespace
+
+uint64_t FingerprintPoints(const PointSet& points) {
+  uint64_t h = MixWord(0xD1BE45E5EED5EEDULL, points.size());
+  for (const Point& p : points) {
+    const uint64_t header = (uint64_t{p.is_sparse() ? 1u : 0u} << 48) ^
+                            (uint64_t{static_cast<uint32_t>(p.dim())} << 16) ^
+                            uint64_t{static_cast<uint32_t>(p.nnz())};
+    h = MixWord(h, header);
+    if (p.is_sparse()) {
+      const std::vector<uint32_t>& idx = p.sparse_indices();
+      const std::vector<float>& val = p.sparse_values();
+      h = MixBytes(h, idx.data(), idx.size() * sizeof(uint32_t));
+      h = MixBytes(h, val.data(), val.size() * sizeof(float));
+    } else {
+      const std::vector<float>& val = p.dense_values();
+      h = MixBytes(h, val.data(), val.size() * sizeof(float));
+    }
+  }
+  // 0 is the "untagged" sentinel in WireRequest; remap the (2^-64) hit.
+  return h == 0 ? 0x9E3779B97F4A7C15ULL : h;
+}
+
+size_t ApproxPointSetBytes(const PointSet& points) {
+  size_t bytes = sizeof(PointSet) + points.capacity() * sizeof(Point);
+  for (const Point& p : points) {
+    if (p.is_sparse()) {
+      bytes += p.sparse_indices().size() * sizeof(uint32_t) +
+               p.sparse_values().size() * sizeof(float);
+    } else {
+      bytes += p.dense_values().size() * sizeof(float);
+    }
+  }
+  return bytes;
+}
 
 void AppendPointSet(const PointSet& points, std::string* out) {
   AppendScalar<uint64_t>(points.size(), out);
@@ -113,7 +180,8 @@ StatusOr<GeneralizedCoreset> TryReadGenCoreset(ByteReader* in,
   return gen;
 }
 
-std::string EncodeWireRequest(const WireRequest& request) {
+std::string EncodeWireRequest(const WireRequest& request,
+                              const PointSet* points_override) {
   std::string out;
   AppendScalar<uint8_t>(static_cast<uint8_t>(request.type), &out);
   AppendString(request.metric, &out);
@@ -127,56 +195,237 @@ std::string EncodeWireRequest(const WireRequest& request) {
   AppendScalar<uint64_t>(request.delegates, &out);
   AppendScalar<uint8_t>(request.extended ? 1 : 0, &out);
   AppendScalar<double>(request.range, &out);
-  AppendPointSet(request.points, &out);
+  AppendScalar<uint64_t>(request.points_fingerprint, &out);
+  uint8_t flags = 0;
+  if (request.points_by_ref) flags |= kFlagPointsByRef;
+  if (request.cache_insert) flags |= kFlagCacheInsert;
+  AppendScalar<uint8_t>(flags, &out);
+  AppendScalar<uint64_t>(request.evict_fingerprint, &out);
+  if (!request.points_by_ref) {
+    AppendPointSet(points_override != nullptr ? *points_override
+                                              : request.points,
+                   &out);
+  }
   AppendPointSet(request.points2, &out);
   AppendGenCoreset(request.gen, &out);
   return out;
 }
 
+Status StreamingRequestDecoder::Advance(bool final) {
+  for (;;) {
+    std::string_view rest = std::string_view(buf_).substr(pos_);
+    switch (stage_) {
+      case Stage::kEnvelope: {
+        ByteReader in(rest);
+        WireRequest req;
+        uint8_t type = 0, problem = 0, extended = 0, flags = 0;
+        if (!ReadScalar(&in, &type)) {
+          if (final) return DataLossError("truncated wire request header");
+          return OkStatus();
+        }
+        if (type < kMinTaskType || type > kMaxTaskType) {
+          return InvalidArgumentError("unknown wire task type " +
+                                      std::to_string(type));
+        }
+        req.type = static_cast<WireTaskType>(type);
+        // String reads distinguish "length field present but bytes still
+        // in flight" (wait) from real truncation (only final can tell).
+        for (auto* field : {&req.metric, &req.round}) {
+          const char* what = field == &req.metric ? "metric" : "round";
+          uint32_t len = 0;
+          if (!ReadScalar(&in, &len) || len > in.remaining()) {
+            if (final) {
+              return DataLossError("truncated " + std::string(what) +
+                                   " name string");
+            }
+            return OkStatus();
+          }
+          field->resize(len);
+          if (len > 0 && !in.Read(field->data(), len)) {
+            if (final) {
+              return DataLossError("truncated " + std::string(what) +
+                                   " name string");
+            }
+            return OkStatus();
+          }
+          if (field == &req.metric) {
+            if (!ReadScalar(&in, &problem)) {
+              if (final) {
+                return DataLossError("truncated wire request problem");
+              }
+              return OkStatus();
+            }
+            if (problem > kMaxProblem) {
+              return InvalidArgumentError("unknown diversity problem id " +
+                                          std::to_string(problem));
+            }
+            req.problem = static_cast<DiversityProblem>(problem);
+          }
+        }
+        if (!ReadScalar(&in, &req.task) || !ReadScalar(&in, &req.attempt) ||
+            !ReadScalar(&in, &req.delay_ms) || !ReadScalar(&in, &req.k) ||
+            !ReadScalar(&in, &req.k_prime) ||
+            !ReadScalar(&in, &req.delegates) || !ReadScalar(&in, &extended) ||
+            !ReadScalar(&in, &req.range) ||
+            !ReadScalar(&in, &req.points_fingerprint) ||
+            !ReadScalar(&in, &flags) ||
+            !ReadScalar(&in, &req.evict_fingerprint)) {
+          if (final) return DataLossError("truncated wire request envelope");
+          return OkStatus();
+        }
+        if ((flags & ~kKnownRequestFlags) != 0) {
+          return InvalidArgumentError("unknown wire request flags " +
+                                      std::to_string(flags));
+        }
+        req.extended = extended != 0;
+        req.points_by_ref = (flags & kFlagPointsByRef) != 0;
+        req.cache_insert = (flags & kFlagCacheInsert) != 0;
+        pos_ += rest.size() - in.remaining();
+        req_ = std::move(req);
+        have_count_ = false;
+        // A by-ref request carries no points section at all.
+        stage_ = req_.points_by_ref ? Stage::kPoints2 : Stage::kPoints;
+        continue;
+      }
+      case Stage::kPoints:
+      case Stage::kPoints2: {
+        const bool first = stage_ == Stage::kPoints;
+        const char* what = first ? "request points" : "request points2";
+        PointSet* out = first ? &req_.points : &req_.points2;
+        if (!have_count_) {
+          ByteReader in(rest);
+          uint64_t count = 0;
+          if (!ReadScalar(&in, &count)) {
+            if (final) {
+              return DataLossError("truncated " + std::string(what) +
+                                   " count");
+            }
+            return OkStatus();
+          }
+          pos_ += sizeof(uint64_t);
+          have_count_ = true;
+          want_ = count;
+          got_ = 0;
+          // Reserve conservatively: the count is untrusted until the
+          // records actually arrive.
+          out->reserve(static_cast<size_t>(
+              std::min<uint64_t>(count, uint64_t{1} << 16)));
+          continue;
+        }
+        if (got_ == want_) {
+          stage_ = first ? Stage::kPoints2 : Stage::kGen;
+          have_count_ = false;
+          continue;
+        }
+        if (final && want_ - got_ > rest.size() / kMinPointRecordBytes) {
+          return InvalidArgumentError(
+              std::string(what) + " claims " + std::to_string(want_) +
+              " points but only " + std::to_string(rest.size()) +
+              " payload bytes remain");
+        }
+        ByteReader in(rest);
+        StatusOr<Point> p = TryReadPointRecord(
+            &in, "point " + std::to_string(got_) + " of " + what);
+        if (!p.ok()) {
+          // Mid-stream a short record is indistinguishable from one whose
+          // tail is still in flight; only the final pass may condemn it.
+          if (final) return p.status();
+          return OkStatus();
+        }
+        pos_ += rest.size() - in.remaining();
+        out->push_back(std::move(*p));
+        ++got_;
+        continue;
+      }
+      case Stage::kGen: {
+        const char* what = "request generalized core-set";
+        if (!have_count_) {
+          ByteReader in(rest);
+          uint64_t count = 0;
+          if (!ReadScalar(&in, &count)) {
+            if (final) {
+              return DataLossError("truncated " + std::string(what) +
+                                   " count");
+            }
+            return OkStatus();
+          }
+          pos_ += sizeof(uint64_t);
+          have_count_ = true;
+          want_ = count;
+          got_ = 0;
+          continue;
+        }
+        if (got_ == want_) {
+          stage_ = Stage::kDone;
+          continue;
+        }
+        if (final && want_ - got_ >
+                         rest.size() / (sizeof(uint64_t) +
+                                        kMinPointRecordBytes)) {
+          return InvalidArgumentError(
+              std::string(what) + " claims " + std::to_string(want_) +
+              " entries but only " + std::to_string(rest.size()) +
+              " payload bytes remain");
+        }
+        const std::string where =
+            "entry " + std::to_string(got_) + " of " + what;
+        ByteReader in(rest);
+        uint64_t multiplicity = 0;
+        if (!ReadScalar(&in, &multiplicity)) {
+          if (final) return DataLossError("truncated multiplicity at " + where);
+          return OkStatus();
+        }
+        if (multiplicity == 0) {
+          // The 8 bytes are present: this is corruption, certain even
+          // mid-stream.
+          return InvalidArgumentError("zero multiplicity at " + where);
+        }
+        StatusOr<Point> p = TryReadPointRecord(&in, where);
+        if (!p.ok()) {
+          if (final) return p.status();
+          return OkStatus();  // roll back the multiplicity read too
+        }
+        pos_ += rest.size() - in.remaining();
+        req_.gen.Add(std::move(*p), multiplicity);
+        ++got_;
+        continue;
+      }
+      case Stage::kDone: {
+        if (rest.empty()) return OkStatus();
+        if (final) {
+          return InvalidArgumentError(std::to_string(rest.size()) +
+                                      " trailing bytes after wire request");
+        }
+        return OkStatus();  // Finish() rejects whatever accumulates here
+      }
+    }
+  }
+}
+
+Status StreamingRequestDecoder::Feed(std::string_view bytes) {
+  if (!error_.ok()) return error_;
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > (size_t{1} << 20) && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+  error_ = Advance(/*final=*/false);
+  return error_;
+}
+
+StatusOr<WireRequest> StreamingRequestDecoder::Finish() {
+  if (!error_.ok()) return error_;
+  error_ = Advance(/*final=*/true);
+  if (!error_.ok()) return error_;
+  return std::move(req_);
+}
+
 StatusOr<WireRequest> TryDecodeWireRequest(std::string_view payload) {
-  ByteReader in(payload);
-  WireRequest req;
-  uint8_t type = 0, problem = 0, extended = 0;
-  if (!ReadScalar(&in, &type)) {
-    return DataLossError("truncated wire request header");
-  }
-  if (type < kMinTaskType || type > kMaxTaskType) {
-    return InvalidArgumentError("unknown wire task type " +
-                                std::to_string(type));
-  }
-  req.type = static_cast<WireTaskType>(type);
-  DIVERSE_RETURN_IF_ERROR(ReadString(&in, &req.metric, "metric name"));
-  if (!ReadScalar(&in, &problem)) {
-    return DataLossError("truncated wire request problem");
-  }
-  if (problem > kMaxProblem) {
-    return InvalidArgumentError("unknown diversity problem id " +
-                                std::to_string(problem));
-  }
-  req.problem = static_cast<DiversityProblem>(problem);
-  DIVERSE_RETURN_IF_ERROR(ReadString(&in, &req.round, "round name"));
-  if (!ReadScalar(&in, &req.task) || !ReadScalar(&in, &req.attempt) ||
-      !ReadScalar(&in, &req.delay_ms) || !ReadScalar(&in, &req.k) ||
-      !ReadScalar(&in, &req.k_prime) || !ReadScalar(&in, &req.delegates) ||
-      !ReadScalar(&in, &extended) || !ReadScalar(&in, &req.range)) {
-    return DataLossError("truncated wire request envelope");
-  }
-  req.extended = extended != 0;
-  StatusOr<PointSet> points = TryReadPointSet(&in, "request points");
-  if (!points.ok()) return points.status();
-  req.points = std::move(*points);
-  StatusOr<PointSet> points2 = TryReadPointSet(&in, "request points2");
-  if (!points2.ok()) return points2.status();
-  req.points2 = std::move(*points2);
-  StatusOr<GeneralizedCoreset> gen =
-      TryReadGenCoreset(&in, "request generalized core-set");
-  if (!gen.ok()) return gen.status();
-  req.gen = std::move(*gen);
-  if (in.remaining() != 0) {
-    return InvalidArgumentError(std::to_string(in.remaining()) +
-                                " trailing bytes after wire request");
-  }
-  return req;
+  StreamingRequestDecoder decoder;
+  const Status fed = decoder.Feed(payload);
+  if (!fed.ok()) return fed;
+  return decoder.Finish();
 }
 
 std::string EncodeWireReply(const WireReply& reply) {
@@ -185,6 +434,7 @@ std::string EncodeWireReply(const WireReply& reply) {
   AppendScalar<uint8_t>(static_cast<uint8_t>(reply.status.code()), &out);
   AppendString(reply.status.message(), &out);
   AppendScalar<double>(reply.range, &out);
+  AppendScalar<uint8_t>(reply.cache_miss ? 1 : 0, &out);
   AppendPointSet(reply.points, &out);
   AppendGenCoreset(reply.gen, &out);
   return out;
@@ -217,6 +467,16 @@ StatusOr<WireReply> TryDecodeWireReply(std::string_view payload) {
   if (!ReadScalar(&in, &reply.range)) {
     return DataLossError("truncated wire reply range");
   }
+  uint8_t cache_miss = 0;
+  if (!ReadScalar(&in, &cache_miss)) {
+    return DataLossError("truncated wire reply cache-miss flag");
+  }
+  if (cache_miss > 1) {
+    return InvalidArgumentError("wire reply cache-miss flag is " +
+                                std::to_string(cache_miss) +
+                                " (must be 0 or 1)");
+  }
+  reply.cache_miss = cache_miss != 0;
   StatusOr<PointSet> points = TryReadPointSet(&in, "reply points");
   if (!points.ok()) return points.status();
   reply.points = std::move(*points);

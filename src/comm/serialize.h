@@ -66,6 +66,23 @@ struct WireRequest {
   uint64_t delegates = 0;
   bool extended = false;  // GMM-EXT (delegate-augmented) vs plain GMM
   double range = 0.0;
+
+  // Worker-side partition caching (README "Distributed runtime"). The
+  // fingerprint is the content stamp of the `points` section
+  // (FingerprintPoints — pure content, so retries and repeated solves over
+  // one corpus key identically); 0 = untagged, no cache interaction.
+  uint64_t points_fingerprint = 0;
+  /// The `points` section is omitted from the wire; the worker must resolve
+  /// `points_fingerprint` from its partition cache (kNotFound + cache_miss
+  /// reply when it cannot, and the driver falls back to a full ship).
+  bool points_by_ref = false;
+  /// The worker should verify the shipped `points` against the fingerprint
+  /// and insert them into its cache (kDataLoss reply on a stamp mismatch).
+  bool cache_insert = false;
+  /// Non-zero: evict this entry from the worker cache before serving (the
+  /// cache-evict fault — exercises the miss -> full-re-ship degraded path).
+  uint64_t evict_fingerprint = 0;
+
   PointSet points;
   PointSet points2;
   GeneralizedCoreset gen;
@@ -76,6 +93,10 @@ struct WireRequest {
 struct WireReply {
   WireTaskType type = WireTaskType::kCoreset;
   Status status;
+  /// True on a by-ref request whose fingerprint was not in the worker's
+  /// partition cache (status kNotFound): the driver distinguishes "re-ship
+  /// the partition inline" from a genuine task failure by this bit.
+  bool cache_miss = false;
   /// kCoreset / kMergeCoresets / kSolve / kInstantiate result.
   PointSet points;
   /// kGenCoreset / kGenSolve result.
@@ -96,15 +117,73 @@ void AppendGenCoreset(const GeneralizedCoreset& gen, std::string* out);
 DIVERSE_MUST_USE StatusOr<GeneralizedCoreset> TryReadGenCoreset(
     ByteReader* in, const std::string& what);
 
+/// 64-bit content stamp of a point set: a word-mixed hash over the same
+/// logical bytes AppendPointRecord serializes (tag, dim, nnz, raw
+/// index/value bit patterns), plus the count. Pure content — independent
+/// of object identity, allocation, or transport — so the driver computes
+/// it without serializing and the worker verifies it on the decoded
+/// points (decode is exact, so the stamps agree iff the bytes survived).
+/// Never returns 0 (0 is the "untagged" sentinel in WireRequest).
+uint64_t FingerprintPoints(const PointSet& points);
+
+/// Approximate resident bytes of a point set (records + vector headers):
+/// the unit of the worker cache budget and the driver's oversize guard.
+size_t ApproxPointSetBytes(const PointSet& points);
+
 /// Request / reply payload codecs. Decoders reject structural nonsense
 /// (unknown task type, unknown metric name is left to the worker, counts
 /// the payload cannot hold, truncation) with kInvalidArgument / kDataLoss.
-std::string EncodeWireRequest(const WireRequest& request);
+///
+/// `points_override`, when non-null, is serialized as the request's
+/// `points` section in place of request.points — the driver ships a
+/// partition it does not own without copying it into the WireRequest
+/// first. Ignored when request.points_by_ref (no points section at all).
+std::string EncodeWireRequest(const WireRequest& request,
+                              const PointSet* points_override = nullptr);
 DIVERSE_MUST_USE StatusOr<WireRequest> TryDecodeWireRequest(
     std::string_view payload);
 std::string EncodeWireReply(const WireReply& reply);
 DIVERSE_MUST_USE StatusOr<WireReply> TryDecodeWireReply(
     std::string_view payload);
+
+/// Incremental decoder of one wire-request payload, fed the kRequestChunk /
+/// kRequestLast slices as they arrive so the worker deserializes while
+/// later chunks are still in flight. Feed() consumes whole records
+/// greedily and buffers only the unconsumed tail; it reports structural
+/// errors it is already certain of (unknown task type, zero multiplicity)
+/// immediately and defers truncation-vs-corruption judgement to Finish(),
+/// where the stream is complete and every error is final. Feeding the
+/// whole payload once then calling Finish() is exactly
+/// TryDecodeWireRequest (the monolithic decoder is implemented this way).
+class StreamingRequestDecoder {
+ public:
+  /// Consumes the next slice. A non-OK return is sticky and structural;
+  /// the stream cannot be trusted afterwards.
+  DIVERSE_MUST_USE Status Feed(std::string_view bytes);
+
+  /// Completes the decode; the stream must hold exactly one request.
+  DIVERSE_MUST_USE StatusOr<WireRequest> Finish();
+
+  /// Decode progress (tests pin that deserialization overlaps arrival).
+  size_t points_decoded() const { return req_.points.size(); }
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  enum class Stage : uint8_t { kEnvelope, kPoints, kPoints2, kGen, kDone };
+
+  // Consumes as much of buf_ as possible. In `final` mode every blocked
+  // parse is an error; otherwise a blocked parse waits for more bytes.
+  Status Advance(bool final);
+
+  Stage stage_ = Stage::kEnvelope;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_ (compacted as it grows)
+  WireRequest req_;
+  bool have_count_ = false;
+  uint64_t want_ = 0;  // entries expected in the current section
+  uint64_t got_ = 0;
+  Status error_;  // sticky structural error
+};
 
 }  // namespace diverse
 

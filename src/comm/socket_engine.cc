@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "comm/frame.h"
+#include "comm/net_io.h"
 
 namespace diverse {
 
@@ -27,20 +28,10 @@ std::string EnvelopeSuffix(const TaskEnvelope& env) {
          ", attempt " + std::to_string(env.attempt) + ")";
 }
 
-// Writes all of `bytes` to the socket. MSG_NOSIGNAL: a dead worker must
-// surface as a Status on this thread, not a process-wide SIGPIPE.
-bool SendAll(int fd, const std::string& bytes) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 }  // namespace
@@ -86,7 +77,9 @@ SocketEngine::~SocketEngine() {
   std::string bye;
   AppendFrame(FrameType::kShutdown, "", &bye);
   for (Worker& w : workers_) {
-    if (w.alive && w.proc.fd >= 0) (void)SendAll(w.proc.fd, bye);
+    if (w.alive && w.proc.fd >= 0) {
+      (void)SendAllWithDeadline(w.proc.fd, bye, 1000).ok();
+    }
   }
   for (Worker& w : workers_) (void)WaitSubprocess(&w.proc, 2000);
 }
@@ -140,16 +133,17 @@ FrameReadResult ReadFrameFromSocket(int fd, std::string* inbuf,
     }
     int timeout_ms = -1;
     if (deadline_ms > 0) {
-      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-                                 deadline - std::chrono::steady_clock::now())
-                                 .count();
-      if (remaining <= 0) {
+      // PollTimeoutMs rounds a sub-millisecond remainder UP to 1 and
+      // returns 0 only when the deadline has truly passed — a truncating
+      // cast here would either expire early or (as a negative timeout)
+      // block poll forever.
+      timeout_ms = PollTimeoutMs(std::chrono::steady_clock::now(), deadline);
+      if (timeout_ms == 0) {
         result.status = DeadlineExceededError(
             "RPC deadline (" + std::to_string(deadline_ms) +
             " ms) expired awaiting the worker's reply");
         return result;
       }
-      timeout_ms = static_cast<int>(std::min<long long>(remaining, 60000));
     }
     struct pollfd pfd;
     pfd.fd = fd;
@@ -166,6 +160,9 @@ FrameReadResult ReadFrameFromSocket(int fd, std::string* inbuf,
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
+      // The parent fd is non-blocking (write deadlines need it); a poll
+      // wakeup that raced the bytes away is just "try again".
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       result.status = UnavailableError(
           std::string("read from worker failed: ") + std::strerror(errno));
       return result;
@@ -185,7 +182,9 @@ bool SocketEngine::PingWorker(Worker* w, uint64_t ack_deadline_ms) {
   if (w->proc.fd < 0) return false;
   std::string ping;
   AppendFrame(FrameType::kHeartbeat, "", &ping);
-  if (!SendAll(w->proc.fd, ping)) return false;
+  if (!SendAllWithDeadline(w->proc.fd, ping, ack_deadline_ms).ok()) {
+    return false;
+  }
   FrameReadResult got =
       ReadFrameFromSocket(w->proc.fd, &w->inbuf, ack_deadline_ms);
   return got.status.ok() && got.frame.type == FrameType::kHeartbeatAck;
@@ -193,15 +192,31 @@ bool SocketEngine::PingWorker(Worker* w, uint64_t ack_deadline_ms) {
 
 Status SocketEngine::SpawnSlot(size_t slot, bool is_respawn) {
   Status last = UnavailableError("worker spawn not attempted");
+  const std::vector<std::string> worker_args = {
+      "--cache-bytes=" + std::to_string(options_.worker_cache_bytes),
+      "--write-deadline-ms=" + std::to_string(options_.rpc_deadline_ms)};
   for (size_t attempt = 0; attempt < 1 + options_.max_respawn_attempts;
        ++attempt) {
     if (attempt > 0) {
+      // Shift-clamped: a hostile max_respawn_attempts cannot push the
+      // shift past the width of the type (that would be UB, and 1 << 64
+      // "backoffs" were observed as instant hot respawn loops).
       std::this_thread::sleep_for(std::chrono::milliseconds(
-          options_.respawn_backoff_ms << (attempt - 1)));
+          RespawnBackoffMs(options_.respawn_backoff_ms, attempt)));
     }
-    StatusOr<Subprocess> proc = SpawnWorker(binary_, {});
+    StatusOr<Subprocess> proc = SpawnWorker(binary_, worker_args);
     if (!proc.ok()) {
       last = proc.status();
+      continue;
+    }
+    // The write-deadline machinery only binds on a non-blocking fd (a
+    // blocking send never returns EAGAIN, so it could hang forever against
+    // a stalled reader no matter what deadline we computed).
+    if (!SetNonBlocking(proc->fd)) {
+      Subprocess doomed = *proc;
+      KillSubprocess(&doomed);
+      (void)WaitSubprocess(&doomed, 2000);
+      last = UnavailableError("could not set the worker socket non-blocking");
       continue;
     }
     // Handshake before trusting the slot: exec failures and protocol
@@ -220,6 +235,7 @@ Status SocketEngine::SpawnSlot(size_t slot, bool is_respawn) {
     w.proc = probe.proc;
     w.inbuf = std::move(probe.inbuf);
     w.alive = true;
+    w.cached.clear();  // a fresh process starts with an empty cache
     ++stats_.workers_spawned;
     if (is_respawn) ++stats_.respawns;
     return OkStatus();
@@ -247,6 +263,7 @@ void SocketEngine::ReleaseWorker(Worker* w, bool healthy) {
     (void)WaitSubprocess(&w->proc, 2000);
     w->inbuf.clear();
     w->alive = false;
+    w->cached.clear();  // the cache died with the process
   }
   MutexLock lock(&mu_);
   free_.push_back(w->slot);
@@ -254,7 +271,8 @@ void SocketEngine::ReleaseWorker(Worker* w, bool healthy) {
 }
 
 Status SocketEngine::Exchange(Worker* w, const TaskEnvelope& env,
-                              const std::string& frame, WireReply* reply) {
+                              const std::string& payload, WireReply* reply,
+                              CallTally* tally) {
   if (env.fault == FaultKind::kConnDrop) {
     // Sever the link instead of completing the RPC; the worker sees EOF
     // and exits, the attempt fails as a lost connection.
@@ -280,12 +298,45 @@ Status SocketEngine::Exchange(Worker* w, const TaskEnvelope& env,
            errno == EINTR) {
     }
   }
-  if (!SendAll(w->proc.fd, frame)) {
-    return AbortedError("request write failed (worker process died?)" +
-                        EnvelopeSuffix(env));
+  const auto ship_start = std::chrono::steady_clock::now();
+  const auto deadline =
+      ship_start + std::chrono::milliseconds(options_.rpc_deadline_ms);
+  const bool has_deadline = options_.rpc_deadline_ms > 0;
+  Status sent = OkStatus();
+  if (options_.chunk_bytes > 0 && payload.size() > options_.chunk_bytes) {
+    // Bounded slices, each its own checksummed frame, all written under
+    // the one RPC deadline. The worker starts deserializing the first
+    // slice while the rest are still being written.
+    const std::string_view whole(payload);
+    std::string piece;
+    for (size_t off = 0; off < whole.size() && sent.ok();
+         off += options_.chunk_bytes) {
+      const size_t n = std::min(options_.chunk_bytes, whole.size() - off);
+      const bool final_slice = off + n == whole.size();
+      piece.clear();
+      AppendFrame(final_slice ? FrameType::kRequestLast
+                              : FrameType::kRequestChunk,
+                  whole.substr(off, n), &piece);
+      sent = SendAllUntil(w->proc.fd, piece, deadline, has_deadline);
+      if (sent.ok()) {
+        ++tally->chunks_sent;
+        tally->request_bytes_sent += piece.size();
+      }
+    }
+  } else {
+    std::string wire;
+    AppendFrame(FrameType::kRequest, payload, &wire);
+    sent = SendAllUntil(w->proc.fd, wire, deadline, has_deadline);
+    if (sent.ok()) tally->request_bytes_sent += wire.size();
   }
+  tally->ship_seconds += SecondsSince(ship_start);
+  if (!sent.ok()) {
+    return Status(sent.code(), sent.message() + EnvelopeSuffix(env));
+  }
+  const auto reply_start = std::chrono::steady_clock::now();
   FrameReadResult got =
       ReadFrameFromSocket(w->proc.fd, &w->inbuf, options_.rpc_deadline_ms);
+  tally->reply_seconds += SecondsSince(reply_start);
   if (!got.status.ok()) {
     return Status(got.status.code(), got.status.message() + EnvelopeSuffix(env));
   }
@@ -337,9 +388,9 @@ WireRequest SocketEngine::MakeRequest(WireTaskType type,
 }
 
 StatusOr<WireReply> SocketEngine::Call(const TaskEnvelope& env,
-                                       const WireRequest& req) {
-  std::string frame;
-  AppendFrame(FrameType::kRequest, EncodeWireRequest(req), &frame);
+                                       WireRequest* req,
+                                       const PointSet* points,
+                                       bool cacheable) {
   Worker* w = AcquireWorker();
   if (w == nullptr) return UnavailableError("socket engine is shut down");
   if (!w->alive) {
@@ -351,20 +402,100 @@ StatusOr<WireReply> SocketEngine::Call(const TaskEnvelope& env,
       return revived;
     }
   }
+  CallTally tally;
+  const bool caching = cacheable && points != nullptr && !points->empty() &&
+                       options_.worker_cache_bytes > 0;
+  uint64_t key = 0;
+  if (caching) {
+    const auto fp_start = std::chrono::steady_clock::now();
+    // The MapReduce drivers stamp the envelope once per round; a bare
+    // engine call (tests, benches) pays the fingerprint itself.
+    key = env.cache_key != 0 ? env.cache_key : FingerprintPoints(*points);
+    tally.ship_seconds += SecondsSince(fp_start);
+    if (env.fault == FaultKind::kCacheEvict) {
+      // Inflict the eviction for real: the worker drops the entry before
+      // serving, so the by-ref attempt below misses and the driver walks
+      // the full fallback path.
+      req->evict_fingerprint = key;
+    }
+  }
+  if (env.fault == FaultKind::kReadStall) {
+    // Tell the worker to sleep without reading, then ship normally: on a
+    // partition larger than the kernel socket buffer the write below can
+    // only complete if the deadline machinery is broken.
+    const uint64_t stall_ms = env.fault_param > 0
+                                  ? env.fault_param
+                                  : options_.rpc_deadline_ms * 2 + 100;
+    std::string stall;
+    std::string param(reinterpret_cast<const char*>(&stall_ms),
+                      sizeof(stall_ms));
+    AppendFrame(FrameType::kStall, param, &stall);
+    const Status stalled =
+        SendAllWithDeadline(w->proc.fd, stall, options_.rpc_deadline_ms);
+    if (!stalled.ok()) {
+      ReleaseWorker(w, /*healthy=*/false);
+      MutexLock lock(&mu_);
+      ++stats_.rpc_errors;
+      return Status(stalled.code(), stalled.message() + EnvelopeSuffix(env));
+    }
+  }
   WireReply reply;
-  const Status exchanged = Exchange(w, env, frame, &reply);
+  Status exchanged = OkStatus();
+  bool by_ref = caching && w->cached.count(key) > 0 &&
+                env.fault != FaultKind::kReadStall;
+  if (by_ref) {
+    req->points_by_ref = true;
+    req->cache_insert = false;
+    req->points_fingerprint = key;
+    const auto enc_start = std::chrono::steady_clock::now();
+    const std::string payload = EncodeWireRequest(*req);
+    tally.ship_seconds += SecondsSince(enc_start);
+    exchanged = Exchange(w, env, payload, &reply, &tally);
+    if (exchanged.ok() && reply.cache_miss &&
+        reply.status.code() == StatusCode::kNotFound) {
+      // The worker evicted (or lost) the entry: fall back to a full ship.
+      // Transparent to the caller — this is the certified degraded path.
+      ++tally.cache_misses;
+      w->cached.erase(key);
+      by_ref = false;
+    } else if (exchanged.ok()) {
+      ++tally.cache_hits;
+    }
+  }
+  if (!by_ref && exchanged.ok()) {
+    req->points_by_ref = false;
+    req->cache_insert = caching;
+    req->points_fingerprint = caching ? key : 0;
+    const auto enc_start = std::chrono::steady_clock::now();
+    const std::string payload = EncodeWireRequest(*req, points);
+    tally.ship_seconds += SecondsSince(enc_start);
+    exchanged = Exchange(w, env, payload, &reply, &tally);
+    if (exchanged.ok() && caching && reply.status.ok()) {
+      // The worker verified the fingerprint and inserted the partition;
+      // later calls for the same content send only the by-ref stub. (A
+      // non-OK reply — fingerprint mismatch, task error — may not have
+      // reached the insert, so it is not recorded.)
+      w->cached.insert(key);
+    }
+  }
   // Injected frame corruption leaves the live stream in sync, so the
   // worker stays trusted; every other failure kills + respawns.
   const bool healthy =
       exchanged.ok() || (env.fault == FaultKind::kFrameCorrupt &&
                          exchanged.code() == StatusCode::kDataLoss);
   ReleaseWorker(w, healthy);
-  if (!exchanged.ok()) {
+  {
     MutexLock lock(&mu_);
-    ++stats_.rpc_errors;
-    return exchanged;
+    stats_.cache_hits += tally.cache_hits;
+    stats_.cache_misses += tally.cache_misses;
+    stats_.chunks_sent += tally.chunks_sent;
+    stats_.request_bytes_sent += tally.request_bytes_sent;
+    stats_.ship_seconds += tally.ship_seconds;
+    stats_.reply_seconds += tally.reply_seconds;
+    if (!exchanged.ok()) ++stats_.rpc_errors;
   }
-  if (reply.type != req.type) {
+  if (!exchanged.ok()) return exchanged;
+  if (reply.type != req->type) {
     MutexLock lock(&mu_);
     ++stats_.rpc_errors;
     return DataLossError("reply task type does not match the request" +
@@ -399,6 +530,7 @@ void SocketEngine::HeartbeatLoop() {
         (void)WaitSubprocess(&w->proc, 2000);
         w->inbuf.clear();
         w->alive = false;
+        w->cached.clear();
         if (!SpawnSlot(i, /*is_respawn=*/true).ok()) {
           // Slot stays dead but circulates; the next RPC to draw it
           // retries the respawn.
@@ -418,11 +550,10 @@ StatusOr<PointSet> SocketEngine::Coreset(const TaskEnvelope& env,
                                          const PointSet& part,
                                          const CoresetSpec& spec) {
   WireRequest req = MakeRequest(WireTaskType::kCoreset, env);
-  req.points = part;
   req.k_prime = spec.k_prime;
   req.delegates = spec.delegates;
   req.extended = spec.extended;
-  StatusOr<WireReply> reply = Call(env, req);
+  StatusOr<WireReply> reply = Call(env, &req, &part, /*cacheable=*/true);
   if (!reply.ok()) return reply.status();
   if (!reply->status.ok()) return reply->status;
   return std::move(reply->points);
@@ -432,10 +563,9 @@ StatusOr<GenCoresetResult> SocketEngine::GenCoreset(const TaskEnvelope& env,
                                                     const PointSet& part,
                                                     size_t k, size_t k_prime) {
   WireRequest req = MakeRequest(WireTaskType::kGenCoreset, env);
-  req.points = part;
   req.k = k;
   req.k_prime = k_prime;
-  StatusOr<WireReply> reply = Call(env, req);
+  StatusOr<WireReply> reply = Call(env, &req, &part, /*cacheable=*/true);
   if (!reply.ok()) return reply.status();
   if (!reply->status.ok()) return reply->status;
   GenCoresetResult result;
@@ -448,9 +578,8 @@ StatusOr<PointSet> SocketEngine::MergeCoresets(const TaskEnvelope& env,
                                                const PointSet& a,
                                                const PointSet& b) {
   WireRequest req = MakeRequest(WireTaskType::kMergeCoresets, env);
-  req.points = a;
   req.points2 = b;
-  StatusOr<WireReply> reply = Call(env, req);
+  StatusOr<WireReply> reply = Call(env, &req, &a, /*cacheable=*/false);
   if (!reply.ok()) return reply.status();
   if (!reply->status.ok()) return reply->status;
   return std::move(reply->points);
@@ -459,9 +588,8 @@ StatusOr<PointSet> SocketEngine::MergeCoresets(const TaskEnvelope& env,
 StatusOr<PointSet> SocketEngine::Solve(const TaskEnvelope& env,
                                        const PointSet& aggregate, size_t k) {
   WireRequest req = MakeRequest(WireTaskType::kSolve, env);
-  req.points = aggregate;
   req.k = k;
-  StatusOr<WireReply> reply = Call(env, req);
+  StatusOr<WireReply> reply = Call(env, &req, &aggregate, /*cacheable=*/false);
   if (!reply.ok()) return reply.status();
   if (!reply->status.ok()) return reply->status;
   return std::move(reply->points);
@@ -472,7 +600,7 @@ StatusOr<GeneralizedCoreset> SocketEngine::GenSolve(
   WireRequest req = MakeRequest(WireTaskType::kGenSolve, env);
   req.gen = merged;
   req.k = k;
-  StatusOr<WireReply> reply = Call(env, req);
+  StatusOr<WireReply> reply = Call(env, &req, nullptr, /*cacheable=*/false);
   if (!reply.ok()) return reply.status();
   if (!reply->status.ok()) return reply->status;
   return std::move(reply->gen);
@@ -484,9 +612,8 @@ StatusOr<PointSet> SocketEngine::Instantiate(const TaskEnvelope& env,
                                              double range) {
   WireRequest req = MakeRequest(WireTaskType::kInstantiate, env);
   req.gen = selected;
-  req.points = part;
   req.range = range;
-  StatusOr<WireReply> reply = Call(env, req);
+  StatusOr<WireReply> reply = Call(env, &req, &part, /*cacheable=*/true);
   if (!reply.ok()) return reply.status();
   if (!reply->status.ok()) return reply->status;
   return std::move(reply->points);

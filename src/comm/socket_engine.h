@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "comm/comm.h"
@@ -57,8 +58,20 @@ struct SocketEngineOptions {
   uint64_t rpc_deadline_ms = 30000;
   /// Respawn attempts per incident before giving up (kUnavailable).
   size_t max_respawn_attempts = 3;
-  /// Base of the exponential respawn backoff (ms): backoff * 2^attempt.
+  /// Base of the exponential respawn backoff (ms): backoff * 2^attempt,
+  /// shift-clamped and capped at kMaxRespawnBackoffMs (comm/net_io.h).
   uint64_t respawn_backoff_ms = 10;
+  /// Request payloads above this size ship as a sequence of bounded
+  /// kRequestChunk frames (final slice kRequestLast) instead of one
+  /// monolithic kRequest frame, so the worker's streaming decoder overlaps
+  /// deserialization with the chunks still in flight. 0 disables chunking.
+  size_t chunk_bytes = 256 * 1024;
+  /// Per-worker partition-cache budget (bytes), passed to the worker as
+  /// --cache-bytes. When > 0 the engine fingerprints cacheable partitions,
+  /// re-sends only a by-ref stub on repeat ships of the same content, and
+  /// falls back to a full re-ship on a worker-side miss. 0 disables
+  /// caching entirely (no fingerprinting, no cache frames).
+  size_t worker_cache_bytes = size_t{64} << 20;
 };
 
 /// Transport health counters (monotone; read whenever).
@@ -70,6 +83,20 @@ struct SocketEngineStats {
   size_t heartbeats_sent = 0;
   size_t heartbeat_failures = 0;
   size_t rpc_errors = 0;
+  /// By-ref requests the worker served from its partition cache.
+  size_t cache_hits = 0;
+  /// By-ref requests that came back kNotFound + cache_miss (evicted or
+  /// respawned worker); each was transparently retried as a full ship.
+  size_t cache_misses = 0;
+  /// kRequestChunk/kRequestLast frames sent (monolithic requests count 0).
+  size_t chunks_sent = 0;
+  /// Request bytes written to workers, frames included — the ship-volume
+  /// half of the distributed bench's ship-vs-compute split.
+  size_t request_bytes_sent = 0;
+  /// Wall-clock spent fingerprinting, encoding and writing requests.
+  double ship_seconds = 0.0;
+  /// Wall-clock spent awaiting and reading reply frames.
+  double reply_seconds = 0.0;
 };
 
 /// CommunicationEngine over forked worker processes. Thread-safe: engine
@@ -86,6 +113,12 @@ class SocketEngine final : public CommunicationEngine {
   SocketEngine& operator=(const SocketEngine&) = delete;
 
   std::string BackendName() const override { return "socket"; }
+
+  /// Drivers should fingerprint partitions once per round exactly when the
+  /// worker cache can use the key.
+  bool WantsPartitionCacheKeys() const override {
+    return options_.worker_cache_bytes > 0;
+  }
 
   StatusOr<PointSet> Coreset(const TaskEnvelope& env, const PointSet& part,
                              const CoresetSpec& spec) override;
@@ -119,19 +152,42 @@ class SocketEngine final : public CommunicationEngine {
     std::string inbuf;   // bytes read but not yet decoded
     bool alive = false;
     size_t slot = 0;
+    /// Fingerprints this worker's partition cache is believed to hold.
+    /// Advisory only: a stale entry (LRU-evicted worker-side) costs one
+    /// by-ref round-trip and a transparent full re-ship, never a wrong
+    /// answer. Cleared whenever the worker process is replaced.
+    std::unordered_set<uint64_t> cached;
+  };
+
+  /// Per-call transport tallies, merged into stats_ under mu_ at the end
+  /// of Call (the hot path never takes the lock mid-RPC).
+  struct CallTally {
+    size_t cache_hits = 0;
+    size_t cache_misses = 0;
+    size_t chunks_sent = 0;
+    size_t request_bytes_sent = 0;
+    double ship_seconds = 0.0;
+    double reply_seconds = 0.0;
   };
 
   // Builds the common request envelope for `env`.
   WireRequest MakeRequest(WireTaskType type, const TaskEnvelope& env) const;
 
-  // Full RPC: check out a worker, apply transport faults, send request,
-  // await the reply frame under the deadline, return the worker.
-  StatusOr<WireReply> Call(const TaskEnvelope& env, const WireRequest& req);
+  // Full RPC: check out a worker, apply transport faults, ship the request
+  // (by-ref when the worker caches `points`, chunked when large), await
+  // the reply frame under the deadline, return the worker. `points` is the
+  // partition serialized as the request's points section (nullptr: the
+  // small req.points — possibly empty — ships inline); `cacheable` opts
+  // the partition into worker-side caching.
+  StatusOr<WireReply> Call(const TaskEnvelope& env, WireRequest* req,
+                           const PointSet* points, bool cacheable);
 
-  // One send/receive exchange on a checked-out worker. On failure the
-  // worker is dead (or untrusted) and must be respawned by the caller.
-  Status Exchange(Worker* w, const TaskEnvelope& env, const std::string& frame,
-                  WireReply* reply);
+  // One send/receive exchange on a checked-out worker: frames and writes
+  // `payload` (chunking large payloads), then awaits the reply. On failure
+  // the worker is dead (or untrusted) and must be respawned by the caller.
+  Status Exchange(Worker* w, const TaskEnvelope& env,
+                  const std::string& payload, WireReply* reply,
+                  CallTally* tally);
 
   // Heartbeat round-trip on a checked-out worker; false = dead/mute.
   bool PingWorker(Worker* w, uint64_t ack_deadline_ms);

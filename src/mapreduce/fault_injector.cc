@@ -46,13 +46,16 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kConnDrop: return "conn-drop";
     case FaultKind::kFrameCorrupt: return "frame-corrupt";
     case FaultKind::kReplyDelay: return "reply-delay";
+    case FaultKind::kCacheEvict: return "cache-evict";
+    case FaultKind::kReadStall: return "read-stall";
   }
   return "unknown";
 }
 
 bool IsTransportFault(FaultKind kind) {
   return kind == FaultKind::kWorkerCrash || kind == FaultKind::kConnDrop ||
-         kind == FaultKind::kFrameCorrupt || kind == FaultKind::kReplyDelay;
+         kind == FaultKind::kFrameCorrupt || kind == FaultKind::kReplyDelay ||
+         kind == FaultKind::kCacheEvict || kind == FaultKind::kReadStall;
 }
 
 void FaultInjector::Add(FaultSpec spec) { specs_.push_back(std::move(spec)); }
@@ -114,7 +117,8 @@ StatusOr<FaultKind> ParseKind(const std::string& name) {
        {FaultKind::kCrash, FaultKind::kEmptyOutput, FaultKind::kWrongOutput,
         FaultKind::kCorruptPartition, FaultKind::kStraggler,
         FaultKind::kWorkerCrash, FaultKind::kConnDrop,
-        FaultKind::kFrameCorrupt, FaultKind::kReplyDelay}) {
+        FaultKind::kFrameCorrupt, FaultKind::kReplyDelay,
+        FaultKind::kCacheEvict, FaultKind::kReadStall}) {
     if (normalized == FaultKindName(k)) return k;
   }
   return InvalidArgumentError("unknown fault kind '" + name + "'");

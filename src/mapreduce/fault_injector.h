@@ -16,7 +16,7 @@
 //   schedule  := spec { "," spec }
 //   kind      := crash | empty-output | wrong-output | corrupt-partition |
 //                straggler | worker-crash | conn-drop | frame-corrupt |
-//                reply-delay
+//                reply-delay | cache-evict | read-stall
 // ('_' is accepted wherever '-' appears in a kind name.)
 // e.g. "coreset:2:0:crash,coreset:5:0:straggler:100" crashes reducer 2's
 // first attempt of the round named "coreset" and delays reducer 5 by 100ms;
@@ -71,6 +71,16 @@ enum class FaultKind : uint8_t {
   /// The worker delays its reply by `param` ms (default 50); the RPC
   /// deadline expires first and the attempt fails with kDeadlineExceeded.
   kReplyDelay,
+  /// The attempt's partition is evicted from the worker's cache before the
+  /// request is sent. A success-path fault: the by-ref request misses, the
+  /// driver transparently falls back to a full re-ship, and the attempt
+  /// still succeeds — exercising the cache-miss degraded path end to end.
+  kCacheEvict,
+  /// The worker stops reading its socket for `param` ms (default: past the
+  /// RPC deadline) while the request ships; on a partition larger than the
+  /// kernel socket buffer the driver's write deadline expires and the
+  /// attempt fails with kDeadlineExceeded instead of hanging forever.
+  kReadStall,
 };
 
 /// True for the faults applied by the communication layer (kWorkerCrash,

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "comm/serialize.h"
 #include "core/generalized_coreset.h"
 #include "core/sequential.h"
 #include "util/check.h"
@@ -115,16 +116,35 @@ GeneralizedCoreset GarbleGen(const GeneralizedCoreset& gen,
 // The engine-call identity of one reducer attempt. Transport faults ride
 // along so the engine (not the executor) inflicts them — the executor
 // already counted the probe; data faults stay in the reducer body.
-TaskEnvelope MakeEnvelope(const std::string& round, const MrTaskContext& ctx) {
+// `cache_key` is the partition's round-level content stamp (0 = unkeyed).
+TaskEnvelope MakeEnvelope(const std::string& round, const MrTaskContext& ctx,
+                          uint64_t cache_key = 0) {
   TaskEnvelope env;
   env.round = round;
   env.task = ctx.task;
   env.attempt = ctx.attempt;
+  env.cache_key = cache_key;
   if (IsTransportFault(ctx.fault)) {
     env.fault = ctx.fault;
     env.fault_param = ctx.fault_param;
   }
   return env;
+}
+
+// Per-partition content stamps, computed ONCE per driver run rather than
+// per attempt: every retry and speculative re-launch of a task reuses the
+// same key, so a re-ship after a crash (or a second solve over the same
+// corpus) hits the worker's partition cache instead of re-fingerprinting
+// and re-serializing. Empty when the engine has no cache to feed —
+// loopback runs pay nothing for the machinery.
+std::vector<uint64_t> PartitionCacheKeys(const CommunicationEngine& engine,
+                                         const std::vector<PointSet>& parts) {
+  if (!engine.WantsPartitionCacheKeys()) return {};
+  std::vector<uint64_t> keys(parts.size(), 0);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].empty()) keys[i] = FingerprintPoints(parts[i]);
+  }
+  return keys;
 }
 
 Status AnnotateRoundFailure(const std::string& round_name,
@@ -235,6 +255,7 @@ Status MapReduceDiversity::CoresetRound(
     size_t input_size, std::vector<PointSet>* coresets,
     std::optional<DegradedResult>* degraded) const {
   coresets->assign(parts.size(), PointSet{});
+  const std::vector<uint64_t> part_keys = PartitionCacheKeys(*engine, parts);
   RoundOutcome outcome = sim->RunFallibleRound(
       round_name, parts.size(),
       [&](const MrTaskContext& ctx, std::function<void()>* commit) -> Status {
@@ -251,9 +272,10 @@ Status MapReduceDiversity::CoresetRound(
         }
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("input partition", round_name, i, *in));
-        StatusOr<PointSet> cs_or =
-            engine->Coreset(MakeEnvelope(round_name, ctx), *in,
-                            MakeCoresetSpec(in->size(), input_size));
+        StatusOr<PointSet> cs_or = engine->Coreset(
+            MakeEnvelope(round_name, ctx,
+                         part_keys.empty() ? 0 : part_keys[i]),
+            *in, MakeCoresetSpec(in->size(), input_size));
         if (!cs_or.ok()) return cs_or.status();
         PointSet cs = std::move(*cs_or);
         if (ctx.fault == FaultKind::kEmptyOutput) cs.clear();
@@ -425,6 +447,10 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
   // Round 1: GMM-GEN per partition; keep each kernel's range so the
   // instantiation radius r_T = max_i r_{T_i} is known. Failed partitions are
   // dropped (empty generalized core-set, range 0) and excluded from round 3.
+  // One fingerprint pass serves both partition-shipping rounds (1 and 3):
+  // the instantiate round's by-ref requests hit the partitions the
+  // gen-coreset round already shipped into the worker caches.
+  const std::vector<uint64_t> part_keys = PartitionCacheKeys(*engine, parts);
   std::vector<GeneralizedCoreset> gens(parts.size());
   std::vector<double> ranges(parts.size(), 0.0);
   RoundOutcome gen_round = sim.RunFallibleRound(
@@ -446,7 +472,9 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
             ValidateFinitePoints("input partition", "gen-coreset", i, *in));
         size_t k_prime = std::min(options_.k_prime, in->size());
         StatusOr<GenCoresetResult> gen_or = engine->GenCoreset(
-            MakeEnvelope("gen-coreset", ctx), *in, options_.k, k_prime);
+            MakeEnvelope("gen-coreset", ctx,
+                         part_keys.empty() ? 0 : part_keys[i]),
+            *in, options_.k, k_prime);
         if (!gen_or.ok()) return gen_or.status();
         GeneralizedCoreset gen = std::move(gen_or->gen);
         double range = gen_or->range;
@@ -569,7 +597,9 @@ StatusOr<MrResult> MapReduceDiversity::TryRunGeneralized(
         DIVERSE_RETURN_IF_ERROR(
             ValidateFinitePoints("input partition", "instantiate", i, *in));
         StatusOr<PointSet> inst_or = engine->Instantiate(
-            MakeEnvelope("instantiate", ctx), per_part[i], *in, r_t);
+            MakeEnvelope("instantiate", ctx,
+                         part_keys.empty() ? 0 : part_keys[i]),
+            per_part[i], *in, r_t);
         if (!inst_or.ok()) return inst_or.status();
         PointSet inst = std::move(*inst_or);
         if (ctx.fault == FaultKind::kEmptyOutput) inst.clear();

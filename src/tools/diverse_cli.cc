@@ -91,6 +91,8 @@ commands:
             [--tree-reduce=0|1]    (binary merge tree over core-sets, default off)
             [--heartbeat-ms=N]     (idle-worker liveness probe period; 0 = off)
             [--rpc-deadline-ms=N]  (per-RPC reply deadline, default 30000)
+            [--chunk-kb=N]         (streaming ship chunk size; 0 = monolithic frames)
+            [--worker-cache-mb=N]  (per-worker partition cache; 0 = no caching)
             [--worker-binary=PATH] (default: diverse_worker next to this binary)
   generate  --kind=sphere|cube|text --n=N --out=FILE
             [--k=planted] [--dim=D] [--vocab=V] [--topics=T] [--seed=S]
@@ -216,6 +218,10 @@ int RunSolve(const CliFlags& flags) {
     so.heartbeat_ms = static_cast<uint64_t>(flags.GetInt("heartbeat-ms", 0));
     so.rpc_deadline_ms =
         static_cast<uint64_t>(flags.GetInt("rpc-deadline-ms", 30000));
+    so.chunk_bytes =
+        static_cast<size_t>(flags.GetInt("chunk-kb", 256)) * 1024;
+    so.worker_cache_bytes =
+        static_cast<size_t>(flags.GetInt("worker-cache-mb", 64)) << 20;
     socket_engine = std::make_unique<SocketEngine>(so);
     Status healthy = socket_engine->Healthy();
     if (!healthy.ok()) {
@@ -243,6 +249,10 @@ int RunSolve(const CliFlags& flags) {
     std::printf("transport:  socket (%zu workers, %zu respawns, %zu rpc errors)\n",
                 stats.workers_spawned - stats.respawns, stats.respawns,
                 stats.rpc_errors);
+    std::printf("shipping:   %zu bytes, %zu cache hits / %zu misses, "
+                "%.3f s ship / %.3f s reply\n",
+                stats.request_bytes_sent, stats.cache_hits, stats.cache_misses,
+                stats.ship_seconds, stats.reply_seconds);
   }
   std::printf("solution:   %zu points\n", result.solution.size());
   std::printf("diversity:  %.6f\n", result.diversity);

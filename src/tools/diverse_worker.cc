@@ -16,9 +16,15 @@ int main(int argc, char** argv) {
   // honest in the distributed benches.
   ::setenv("DIVERSE_THREADS", "1", /*overwrite=*/0);
   int fd = -1;
+  diverse::WorkerLoopOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--fd=", 5) == 0) {
       fd = std::atoi(argv[i] + 5);
+    } else if (std::strncmp(argv[i], "--cache-bytes=", 14) == 0) {
+      options.cache_bytes =
+          static_cast<size_t>(std::strtoull(argv[i] + 14, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--write-deadline-ms=", 20) == 0) {
+      options.write_deadline_ms = std::strtoull(argv[i] + 20, nullptr, 10);
     }
   }
   if (fd < 0) {
@@ -27,5 +33,5 @@ int main(int argc, char** argv) {
                  "the socket engine, not run directly)\n");
     return 2;
   }
-  return diverse::RunWorkerLoop(fd);
+  return diverse::RunWorkerLoop(fd, options);
 }

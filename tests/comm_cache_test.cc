@@ -1,0 +1,389 @@
+// Hermetic tests of the worker-side partition cache and the streaming
+// request decoder (no sockets, no forked processes): the LRU eviction
+// policy, content fingerprints, the by-ref / cache-miss / stamp-mismatch
+// protocol through ExecuteWireTask, chunked-feed == monolithic decode
+// parity, and the net_io helpers (backoff clamp, poll-timeout truncation)
+// whose failure modes were hangs and shift-overflow UB on the socket path.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/net_io.h"
+#include "comm/serialize.h"
+#include "comm/worker_core.h"
+#include "core/point.h"
+#include "util/status.h"
+
+namespace diverse {
+namespace {
+
+PointSet MakePoints(size_t n, float offset) {
+  PointSet points;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(Point::Dense(
+        {offset + static_cast<float>(i), offset - static_cast<float>(i),
+         0.5f * static_cast<float>(i)}));
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// FingerprintPoints: the content stamp.
+
+TEST(FingerprintTest, IsPureContent) {
+  PointSet a = MakePoints(16, 1.0f);
+  PointSet b = MakePoints(16, 1.0f);  // separate allocation, same content
+  EXPECT_EQ(FingerprintPoints(a), FingerprintPoints(b));
+}
+
+TEST(FingerprintTest, SensitiveToValuesCountAndOrder) {
+  PointSet base = MakePoints(8, 1.0f);
+  const uint64_t fp = FingerprintPoints(base);
+
+  PointSet changed = base;
+  std::vector<float> vals = changed[3].dense_values();
+  vals[1] += 0.25f;
+  changed[3] = Point::Dense(std::move(vals));
+  EXPECT_NE(FingerprintPoints(changed), fp);
+
+  PointSet shorter = base;
+  shorter.pop_back();
+  EXPECT_NE(FingerprintPoints(shorter), fp);
+
+  PointSet swapped = base;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(FingerprintPoints(swapped), fp);
+}
+
+TEST(FingerprintTest, DistinguishesDenseFromSparseAndNeverReturnsZero) {
+  // A dense point and a sparse point with identical raw value bytes must
+  // not collide (the per-point header word encodes the representation).
+  PointSet dense;
+  dense.push_back(Point::Dense({1.0f, 2.0f}));
+  PointSet sparse;
+  sparse.push_back(Point::Sparse({0, 1}, {1.0f, 2.0f}, 2));
+  EXPECT_NE(FingerprintPoints(dense), FingerprintPoints(sparse));
+  // 0 is the "untagged" wire sentinel; the empty set must not produce it.
+  EXPECT_NE(FingerprintPoints(PointSet{}), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPartitionCache: bytes-bounded LRU.
+
+TEST(WorkerCacheTest, LookupMissThenInsertThenHit) {
+  WorkerPartitionCache cache(size_t{1} << 20);
+  EXPECT_EQ(cache.Lookup(42), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  PointSet part = MakePoints(10, 2.0f);
+  const uint64_t fp = FingerprintPoints(part);
+  auto stored = cache.Insert(fp, part);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->size(), 10u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.size_bytes(), 0u);
+
+  auto hit = cache.Lookup(fp);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), stored.get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(WorkerCacheTest, EvictsLeastRecentlyUsedUnderPressure) {
+  const size_t one_entry = ApproxPointSetBytes(MakePoints(64, 0.0f));
+  // Room for two resident entries, not three.
+  WorkerPartitionCache cache(2 * one_entry + one_entry / 2);
+  PointSet a = MakePoints(64, 1.0f), b = MakePoints(64, 2.0f),
+           c = MakePoints(64, 3.0f);
+  const uint64_t fa = FingerprintPoints(a), fb = FingerprintPoints(b),
+                 fc = FingerprintPoints(c);
+  (void)cache.Insert(fa, a);
+  (void)cache.Insert(fb, b);
+  ASSERT_EQ(cache.entries(), 2u);
+  // Touch `a` so `b` becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(fa), nullptr);
+  (void)cache.Insert(fc, c);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup(fa), nullptr);
+  EXPECT_EQ(cache.Lookup(fb), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(fc), nullptr);
+}
+
+TEST(WorkerCacheTest, OversizeEntryBypassesStorage) {
+  WorkerPartitionCache cache(64);  // smaller than any real partition
+  PointSet part = MakePoints(32, 0.0f);
+  const uint64_t fp = FingerprintPoints(part);
+  auto stored = cache.Insert(fp, part);
+  ASSERT_NE(stored, nullptr);  // caller still gets the partition
+  EXPECT_EQ(stored->size(), 32u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.Lookup(fp), nullptr);
+}
+
+TEST(WorkerCacheTest, EvictDropsTheEntry) {
+  WorkerPartitionCache cache(size_t{1} << 20);
+  PointSet part = MakePoints(8, 5.0f);
+  const uint64_t fp = FingerprintPoints(part);
+  (void)cache.Insert(fp, part);
+  EXPECT_TRUE(cache.Evict(fp));
+  EXPECT_FALSE(cache.Evict(fp));  // already gone
+  EXPECT_EQ(cache.Lookup(fp), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(WorkerCacheTest, SharedPtrSurvivesEviction) {
+  WorkerPartitionCache cache(size_t{1} << 20);
+  PointSet part = MakePoints(8, 7.0f);
+  const uint64_t fp = FingerprintPoints(part);
+  auto held = cache.Insert(fp, part);
+  ASSERT_TRUE(cache.Evict(fp));
+  // A task computing on the partition keeps it alive past the eviction.
+  EXPECT_EQ(held->size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// The cache protocol through the worker execution core.
+
+WireRequest MakeSolveRequest(const PointSet& points, size_t k) {
+  WireRequest req;
+  req.type = WireTaskType::kSolve;
+  req.metric = "euclidean";
+  req.round = "solve";
+  req.k = k;
+  req.points = points;
+  return req;
+}
+
+TEST(CacheProtocolTest, ByRefMissRepliesNotFoundWithCacheMissBit) {
+  WorkerPartitionCache cache(size_t{1} << 20);
+  WireRequest req = MakeSolveRequest(PointSet{}, 3);
+  req.points_by_ref = true;
+  req.points_fingerprint = 0xDEADBEEFu;
+  StatusOr<WireReply> reply =
+      TryDecodeWireReply(ExecuteWireTask(EncodeWireRequest(req), &cache));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(reply->cache_miss);
+  EXPECT_TRUE(reply->points.empty());  // no compute happened
+}
+
+TEST(CacheProtocolTest, CachedReplyIsBitIdenticalToInlineShip) {
+  const PointSet part = MakePoints(40, 3.0f);
+  const uint64_t fp = FingerprintPoints(part);
+
+  // Reference: a plain inline ship with no cache interaction.
+  const std::string inline_reply =
+      ExecuteWireTask(EncodeWireRequest(MakeSolveRequest(part, 5)), nullptr);
+
+  // Ship once with cache_insert, then solve again by reference.
+  WorkerPartitionCache cache(size_t{1} << 20);
+  WireRequest insert = MakeSolveRequest(part, 5);
+  insert.cache_insert = true;
+  insert.points_fingerprint = fp;
+  const std::string insert_reply =
+      ExecuteWireTask(EncodeWireRequest(insert), &cache);
+  EXPECT_EQ(insert_reply, inline_reply);
+
+  WireRequest by_ref = MakeSolveRequest(PointSet{}, 5);
+  by_ref.points_by_ref = true;
+  by_ref.points_fingerprint = fp;
+  const std::string cached_reply =
+      ExecuteWireTask(EncodeWireRequest(by_ref), &cache);
+  // The invariant the whole feature rests on: cached == shipped, to the
+  // byte.
+  EXPECT_EQ(cached_reply, inline_reply);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheProtocolTest, FingerprintMismatchIsDataLossAndNothingIsCached) {
+  WorkerPartitionCache cache(size_t{1} << 20);
+  WireRequest req = MakeSolveRequest(MakePoints(12, 1.0f), 3);
+  req.cache_insert = true;
+  req.points_fingerprint = FingerprintPoints(req.points) ^ 0x1;  // corrupt
+  StatusOr<WireReply> reply =
+      TryDecodeWireReply(ExecuteWireTask(EncodeWireRequest(req), &cache));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(reply->status.message().find("fingerprint mismatch"),
+            std::string::npos)
+      << reply->status.message();
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(CacheProtocolTest, EvictFingerprintForcesTheMissPath) {
+  WorkerPartitionCache cache(size_t{1} << 20);
+  const PointSet part = MakePoints(20, 2.0f);
+  const uint64_t fp = FingerprintPoints(part);
+  WireRequest insert = MakeSolveRequest(part, 4);
+  insert.cache_insert = true;
+  insert.points_fingerprint = fp;
+  (void)ExecuteWireTask(EncodeWireRequest(insert), &cache);
+  ASSERT_EQ(cache.entries(), 1u);
+
+  // The cache-evict fault: evict rides on the by-ref request itself, so
+  // the worker drops the entry and then reports the miss.
+  WireRequest by_ref = MakeSolveRequest(PointSet{}, 4);
+  by_ref.points_by_ref = true;
+  by_ref.points_fingerprint = fp;
+  by_ref.evict_fingerprint = fp;
+  StatusOr<WireReply> reply =
+      TryDecodeWireReply(ExecuteWireTask(EncodeWireRequest(by_ref), &cache));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->cache_miss);
+  EXPECT_EQ(reply->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingRequestDecoder: chunked feed == monolithic decode.
+
+WireRequest MakeBigRequest() {
+  WireRequest req;
+  req.type = WireTaskType::kCoreset;
+  req.metric = "euclidean";
+  req.round = "coreset";
+  req.task = 7;
+  req.attempt = 1;
+  req.k_prime = 9;
+  req.delegates = 2;
+  req.extended = true;
+  req.points = MakePoints(300, 4.0f);
+  req.points2 = MakePoints(5, 1.0f);
+  req.gen.Add(Point::Dense({1.0f, 2.0f, 3.0f}), 3);
+  req.gen.Add(Point::Sparse({1, 4}, {0.5f, -2.0f}, 8), 1);
+  return req;
+}
+
+TEST(StreamingDecoderTest, ChunkedFeedMatchesMonolithicAtEverySplitSize) {
+  const WireRequest req = MakeBigRequest();
+  const std::string payload = EncodeWireRequest(req);
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{64}, size_t{1000},
+                       payload.size() / 2, payload.size()}) {
+    StreamingRequestDecoder decoder;
+    for (size_t off = 0; off < payload.size(); off += chunk) {
+      ASSERT_TRUE(
+          decoder
+              .Feed(std::string_view(payload).substr(
+                  off, std::min(chunk, payload.size() - off)))
+              .ok())
+          << "chunk size " << chunk << " at offset " << off;
+    }
+    StatusOr<WireRequest> decoded = decoder.Finish();
+    ASSERT_TRUE(decoded.ok())
+        << "chunk " << chunk << ": " << decoded.status().ToString();
+    // Bit-identity via re-encode: the streamed decode must reproduce the
+    // exact source payload.
+    EXPECT_EQ(EncodeWireRequest(*decoded), payload) << "chunk " << chunk;
+  }
+}
+
+TEST(StreamingDecoderTest, DecodesPointsWhileLaterChunksAreStillInFlight) {
+  const std::string payload = EncodeWireRequest(MakeBigRequest());
+  StreamingRequestDecoder decoder;
+  // Feed 70%: the decoder must have consumed whole points already (the
+  // overlap the chunked ship exists for), without buffering everything.
+  ASSERT_TRUE(
+      decoder.Feed(std::string_view(payload).substr(0, payload.size() * 7 / 10))
+          .ok());
+  EXPECT_GT(decoder.points_decoded(), 0u);
+  EXPECT_LT(decoder.buffered_bytes(), payload.size() / 2);
+  ASSERT_TRUE(
+      decoder.Feed(std::string_view(payload).substr(payload.size() * 7 / 10))
+          .ok());
+  StatusOr<WireRequest> decoded = decoder.Finish();
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->points.size(), 300u);
+}
+
+TEST(StreamingDecoderTest, CertainStructuralErrorsSurfaceMidStream) {
+  std::string payload = EncodeWireRequest(MakeBigRequest());
+  payload[0] = 0x7F;  // unknown task type: certain corruption, first byte
+  StreamingRequestDecoder decoder;
+  const Status fed = decoder.Feed(std::string_view(payload).substr(0, 16));
+  EXPECT_EQ(fed.code(), StatusCode::kInvalidArgument);
+  // Sticky: further feeds keep reporting the same error.
+  EXPECT_EQ(decoder.Feed("more").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(decoder.Finish().ok());
+}
+
+TEST(StreamingDecoderTest, TruncationIsOnlyDiagnosedAtFinish) {
+  const std::string payload = EncodeWireRequest(MakeBigRequest());
+  StreamingRequestDecoder decoder;
+  ASSERT_TRUE(
+      decoder.Feed(std::string_view(payload).substr(0, payload.size() - 3))
+          .ok());
+  StatusOr<WireRequest> decoded = decoder.Finish();
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().code() == StatusCode::kDataLoss ||
+              decoded.status().code() == StatusCode::kInvalidArgument)
+      << decoded.status().ToString();
+}
+
+TEST(StreamingDecoderTest, ByRefRequestCarriesNoPointsSection) {
+  WireRequest req = MakeBigRequest();
+  req.points_by_ref = true;
+  req.points_fingerprint = 0x1234;
+  const std::string payload = EncodeWireRequest(req);
+  // Far smaller than the inline ship: the whole point of the stub.
+  EXPECT_LT(payload.size(), 400u);
+  StatusOr<WireRequest> decoded = TryDecodeWireRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->points_by_ref);
+  EXPECT_TRUE(decoded->points.empty());
+  EXPECT_EQ(decoded->points_fingerprint, 0x1234u);
+  EXPECT_EQ(decoded->points2.size(), 5u);  // later sections still ship
+}
+
+// ---------------------------------------------------------------------------
+// net_io: the arithmetic whose failure modes were UB and infinite hangs.
+
+TEST(NetIoTest, RespawnBackoffClampsTheShiftBeforeShifting) {
+  EXPECT_EQ(RespawnBackoffMs(10, 0), 0u);   // attempt 0: no backoff
+  EXPECT_EQ(RespawnBackoffMs(10, 1), 10u);  // 10 << 0
+  EXPECT_EQ(RespawnBackoffMs(10, 2), 20u);
+  EXPECT_EQ(RespawnBackoffMs(10, 5), 160u);
+  // The old expression `base << (attempt - 1)` was UB from attempt 65 on
+  // (shift >= width) and overflowed long before; now every large attempt
+  // saturates at the cap.
+  for (size_t attempt : {size_t{20}, size_t{64}, size_t{65}, size_t{100},
+                         size_t{1000000}}) {
+    EXPECT_EQ(RespawnBackoffMs(10, attempt), kMaxRespawnBackoffMs)
+        << "attempt " << attempt;
+  }
+  EXPECT_EQ(RespawnBackoffMs(0, 17), 0u);  // disabled backoff stays disabled
+  // A base already above the cap pins to the cap immediately.
+  EXPECT_EQ(RespawnBackoffMs(kMaxRespawnBackoffMs + 1, 3),
+            kMaxRespawnBackoffMs);
+}
+
+TEST(NetIoTest, PollTimeoutRoundsSubMillisecondRemaindersUpNotToZero) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point now = Clock::now();
+  // Expired (and exactly-now) deadlines: 0, the caller's "expired" signal.
+  EXPECT_EQ(PollTimeoutMs(now, now), 0);
+  EXPECT_EQ(PollTimeoutMs(now, now - std::chrono::milliseconds(5)), 0);
+  // A sub-millisecond remainder must round UP to 1: a truncating cast
+  // yields 0 here, and poll(0) spins — while a negative cast result would
+  // make poll block forever and the RPC deadline never fire.
+  EXPECT_EQ(PollTimeoutMs(now, now + std::chrono::microseconds(200)), 1);
+  EXPECT_EQ(PollTimeoutMs(now, now + std::chrono::microseconds(999)), 1);
+  EXPECT_EQ(PollTimeoutMs(now, now + std::chrono::milliseconds(2)), 2);
+  // Huge remainders clamp to the 60s poll quantum (the deadline is
+  // re-checked at the loop top, so the clamp costs nothing).
+  EXPECT_EQ(PollTimeoutMs(now, now + std::chrono::hours(2)), 60000);
+  // Never negative, for any remainder.
+  for (int us : {-1000000, -1, 0, 1, 500, 999, 1001, 1000000}) {
+    EXPECT_GE(PollTimeoutMs(now, now + std::chrono::microseconds(us)), 0)
+        << us << "us";
+  }
+}
+
+}  // namespace
+}  // namespace diverse

@@ -382,6 +382,151 @@ TEST(DistributedTest, HeartbeatDetectsDeadWorkerWhileIdle) {
 }
 
 // ---------------------------------------------------------------------------
+// Write deadline: a stalled reader must fail the attempt in bounded time,
+// not hang the driver in a blocking send() forever.
+
+TEST(DistributedTest, StalledReaderFailsShipWithDeadlineNotHang) {
+  // A partition far larger than the AF_UNIX socket buffer (~208KB default):
+  // with the worker's read loop stalled, the driver's chunked write fills
+  // the pipe and must surface kDeadlineExceeded within the deadline budget,
+  // where the old blocking SendAll sat in send() until the stall ended.
+  const PointSet big = GenerateGaussianBlobs(30000, 8, 3, 0.05, 17);
+  SocketEngineOptions so =
+      SocketOptions("euclidean", DiversityProblem::kRemoteEdge);
+  so.num_workers = 1;
+  so.rpc_deadline_ms = 300;
+  so.worker_cache_bytes = 0;  // force the full ship every time
+  SocketEngine socket(so);
+  ASSERT_TRUE(socket.Healthy().ok());
+
+  TaskEnvelope env;
+  env.round = "coreset";
+  env.fault = FaultKind::kReadStall;  // worker sleeps without reading
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<PointSet> result = socket.Coreset(env, big, CoresetSpec{8, 0, false});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+  // Bounded: deadline plus generous respawn/teardown slack, nowhere near
+  // the multi-second injected stall.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+
+  // The respawned worker serves the retry; a fault-free call completes.
+  TaskEnvelope clean_env;
+  clean_env.round = "coreset";
+  StatusOr<PointSet> retry =
+      socket.Coreset(clean_env, big, CoresetSpec{8, 0, false});
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(DistributedTest, ReadStallFaultRecoversThroughRetryBitIdentically) {
+  EuclideanMetric metric;
+  const PointSet input = DenseInput();
+  MrOptions opts = BaseOptions();
+  MapReduceDiversity clean(&metric, DiversityProblem::kRemoteEdge, opts);
+  StatusOr<MrResult> base = clean.TryRun(input);
+  ASSERT_TRUE(base.ok());
+
+  StatusOr<FaultInjector> faults =
+      FaultInjector::Parse("coreset:1:0:read-stall");
+  ASSERT_TRUE(faults.ok());
+  SocketEngineOptions so =
+      SocketOptions("euclidean", DiversityProblem::kRemoteEdge);
+  so.rpc_deadline_ms = 300;
+  SocketEngine socket(so);
+  ASSERT_TRUE(socket.Healthy().ok());
+  MrOptions faulty = opts;
+  faulty.faults = &*faults;
+  faulty.engine = &socket;
+  MapReduceDiversity mr(&metric, DiversityProblem::kRemoteEdge, faulty);
+  StatusOr<MrResult> result = mr.TryRun(input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(SamePoints(base->solution, result->solution));
+  EXPECT_EQ(base->diversity, result->diversity);
+  EXPECT_GE(result->task_retries, 1u);
+  EXPECT_GE(socket.stats().rpc_errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side partition cache, end to end over real sockets.
+
+TEST(DistributedTest, RepeatedSolveHitsWorkerCacheBitIdentically) {
+  EuclideanMetric metric;
+  const PointSet input = DenseInput();
+  MrOptions opts = BaseOptions();
+  MapReduceDiversity loopback_mr(&metric, DiversityProblem::kRemoteEdge, opts);
+  StatusOr<MrResult> base = loopback_mr.TryRun(input);
+  ASSERT_TRUE(base.ok());
+
+  // One worker makes routing deterministic: every warm-run partition is
+  // asked of the worker that cached it in the cold run.
+  SocketEngineOptions so =
+      SocketOptions("euclidean", DiversityProblem::kRemoteEdge);
+  so.num_workers = 1;
+  SocketEngine socket(so);
+  ASSERT_TRUE(socket.Healthy().ok());
+  ASSERT_TRUE(socket.WantsPartitionCacheKeys());
+  opts.engine = &socket;
+  MapReduceDiversity mr(&metric, DiversityProblem::kRemoteEdge, opts);
+
+  StatusOr<MrResult> cold = mr.TryRun(input);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const size_t cold_bytes = socket.stats().request_bytes_sent;
+
+  StatusOr<MrResult> warm = mr.TryRun(input);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // The cached solve is bit-identical to both the cold solve and loopback.
+  EXPECT_TRUE(SamePoints(base->solution, warm->solution));
+  EXPECT_TRUE(SamePoints(cold->solution, warm->solution));
+  EXPECT_EQ(base->diversity, warm->diversity);
+  // The second run's partition ships were served by reference.
+  EXPECT_GE(socket.stats().cache_hits, opts.num_partitions);
+  // A by-ref stub is tiny: the warm run must add far less request volume
+  // than the cold run's full partition ships.
+  const size_t warm_bytes = socket.stats().request_bytes_sent - cold_bytes;
+  EXPECT_LT(warm_bytes, cold_bytes / 2);
+}
+
+TEST(DistributedTest, CacheEvictFaultFallsBackToFullReship) {
+  EuclideanMetric metric;
+  const PointSet input = DenseInput();
+  MrOptions opts = BaseOptions();
+  MapReduceDiversity loopback_mr(&metric, DiversityProblem::kRemoteClique,
+                                 opts);
+  StatusOr<MrResult> base = loopback_mr.TryRunGeneralized(input);
+  ASSERT_TRUE(base.ok());
+
+  // One worker so the gen-coreset round (round 1) warms the same cache the
+  // instantiate round (round 3) reads; the injected evict then forces the
+  // by-ref attempt to miss and re-ship — a success-path fault.
+  StatusOr<FaultInjector> faults =
+      FaultInjector::Parse("instantiate:1:0:cache-evict");
+  ASSERT_TRUE(faults.ok());
+  SocketEngineOptions so =
+      SocketOptions("euclidean", DiversityProblem::kRemoteClique);
+  so.num_workers = 1;
+  SocketEngine socket(so);
+  ASSERT_TRUE(socket.Healthy().ok());
+  MrOptions sopts = opts;
+  sopts.faults = &*faults;
+  sopts.engine = &socket;
+  MapReduceDiversity mr(&metric, DiversityProblem::kRemoteClique, sopts);
+  StatusOr<MrResult> result = mr.TryRunGeneralized(input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(SamePoints(base->solution, result->solution));
+  EXPECT_EQ(base->diversity, result->diversity);
+  // The evicted by-ref attempt came back as a miss and was transparently
+  // re-shipped: no retry, no respawn, just one recorded miss.
+  EXPECT_GE(socket.stats().cache_misses, 1u);
+  EXPECT_EQ(socket.stats().respawns, 0u);
+  EXPECT_GE(socket.stats().cache_hits, 1u);  // the non-faulted partitions
+}
+
+// ---------------------------------------------------------------------------
 // Engine hygiene.
 
 TEST(DistributedTest, MissingWorkerBinaryReportsUnhealthy) {

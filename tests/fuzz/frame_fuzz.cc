@@ -26,6 +26,29 @@
 
 namespace {
 
+// Streamed-decode oracle: feeding `payload` to the chunked decoder in two
+// slices (split point derived from the bytes) must agree with the
+// monolithic decoder — same verdict, and on acceptance the identical
+// request (checked through the canonical re-encoding).
+void CheckStreamingParity(std::string_view payload) {
+  diverse::StatusOr<diverse::WireRequest> mono =
+      diverse::TryDecodeWireRequest(payload);
+  const size_t split =
+      payload.empty()
+          ? 0
+          : (static_cast<uint8_t>(payload.back()) * 131) % payload.size();
+  diverse::StreamingRequestDecoder decoder;
+  // Feed errors are sticky and re-surface at Finish; ignore them here.
+  (void)decoder.Feed(payload.substr(0, split));
+  (void)decoder.Feed(payload.substr(split));
+  diverse::StatusOr<diverse::WireRequest> streamed = decoder.Finish();
+  DIVERSE_CHECK(streamed.ok() == mono.ok());
+  if (mono.ok()) {
+    DIVERSE_CHECK(diverse::EncodeWireRequest(*streamed) ==
+                  diverse::EncodeWireRequest(*mono));
+  }
+}
+
 void FuzzPayload(const diverse::Frame& frame) {
   using diverse::FrameType;
   if (frame.type == FrameType::kRequest) {
@@ -33,12 +56,14 @@ void FuzzPayload(const diverse::Frame& frame) {
         diverse::TryDecodeWireRequest(frame.payload);
     if (!req.ok()) {
       DIVERSE_CHECK(!req.status().message().empty());
+      CheckStreamingParity(frame.payload);
       return;
     }
     // Accepted request: the canonical re-encoding must decode again.
     diverse::StatusOr<diverse::WireRequest> again =
         diverse::TryDecodeWireRequest(diverse::EncodeWireRequest(*req));
     DIVERSE_CHECK(again.ok());
+    CheckStreamingParity(frame.payload);
   } else if (frame.type == FrameType::kReply) {
     diverse::StatusOr<diverse::WireReply> reply =
         diverse::TryDecodeWireReply(frame.payload);
@@ -54,6 +79,10 @@ void FuzzPayload(const diverse::Frame& frame) {
 
 void FuzzOne(const uint8_t* data, size_t size) {
   std::string_view buf(reinterpret_cast<const char*>(data), size);
+  // A chunked request spans kRequestChunk frames closed by kRequestLast —
+  // reassembled across loop iterations exactly as the worker loop does.
+  diverse::StreamingRequestDecoder chunked;
+  std::string chunk_bytes;
   // Drain frames from the front exactly as ReadFrameFromSocket does.
   while (true) {
     diverse::Frame frame;
@@ -78,6 +107,25 @@ void FuzzOne(const uint8_t* data, size_t size) {
     DIVERSE_CHECK(back.type == frame.type);
     DIVERSE_CHECK(back.payload == frame.payload);
     FuzzPayload(frame);
+    if (frame.type == diverse::FrameType::kRequestChunk) {
+      (void)chunked.Feed(frame.payload);
+      chunk_bytes += frame.payload;
+    } else if (frame.type == diverse::FrameType::kRequestLast) {
+      (void)chunked.Feed(frame.payload);
+      chunk_bytes += frame.payload;
+      // The reassembled chunk stream must agree with a monolithic decode
+      // of the concatenated bytes.
+      diverse::StatusOr<diverse::WireRequest> streamed = chunked.Finish();
+      diverse::StatusOr<diverse::WireRequest> mono =
+          diverse::TryDecodeWireRequest(chunk_bytes);
+      DIVERSE_CHECK(streamed.ok() == mono.ok());
+      if (mono.ok()) {
+        DIVERSE_CHECK(diverse::EncodeWireRequest(*streamed) ==
+                      diverse::EncodeWireRequest(*mono));
+      }
+      chunked = diverse::StreamingRequestDecoder();
+      chunk_bytes.clear();
+    }
     buf.remove_prefix(consumed);
   }
 }
